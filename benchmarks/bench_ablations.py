@@ -1,0 +1,95 @@
+"""A1/A2/A3 — ablations of the design choices DESIGN.md calls out.
+
+* A1 backtracking (Section 5.1): keep tightening the cost bound beta vs
+  accepting the first valid implementation.
+* A2 layout parameterization (Section 5.1): allow deinterleaved
+  intermediate layouts vs forcing in-order everywhere.
+* A3 lane-0 pruning (Section 4.1): the cheap first-lane check before full
+  sketch verification.
+"""
+
+import pytest
+
+from repro.hvx.cost import cost_of
+from repro.ir import builder as B
+from repro.synthesis import LoweringOptions, RakeSelector
+from repro.types import U16, U8
+
+W = 512
+
+
+def u8v(offset=0):
+    return B.load("input", offset, 128, U8)
+
+
+def conv_expr():
+    """A 3x3 convolution with a fused narrowing — rich enough that every
+    design choice matters."""
+    acc = None
+    for dy, row_w in zip((-1, 0, 1), ((1, 2, 1), (2, 4, 2), (1, 2, 1))):
+        for dx, w in zip((-1, 0, 1), row_w):
+            term = B.widen(u8v(dy * W + dx)) * w
+            acc = term if acc is None else acc + term
+    return B.cast(U8, (acc + 8) >> 4)
+
+
+def absd_expr():
+    row = lambda dy: (B.widen(u8v(dy * W - 1)) + B.widen(u8v(dy * W)) * 2
+                      + B.widen(u8v(dy * W + 1)))
+    return B.absd(row(-1), row(1))
+
+
+def run(expr, **options):
+    selector = RakeSelector(options=LoweringOptions(**options))
+    result = selector.select(expr)
+    return result.program, selector.stats
+
+
+def test_a1_backtracking_cost(benchmark):
+    program_bt, _ = benchmark.pedantic(
+        lambda: run(conv_expr(), backtracking=True), rounds=1, iterations=1
+    )
+    program_first, _ = run(conv_expr(), backtracking=False)
+    with_bt = cost_of(program_bt)
+    without_bt = cost_of(program_first)
+    print(f"\nA1 backtracking: best-found {with_bt.key} vs "
+          f"first-found {without_bt.key}")
+    assert with_bt.key <= without_bt.key
+
+
+def test_a1_backtracking_queries(benchmark):
+    _, stats_bt = benchmark.pedantic(
+        lambda: run(conv_expr(), backtracking=True), rounds=1, iterations=1
+    )
+    _, stats_first = run(conv_expr(), backtracking=False)
+    # backtracking keeps searching, so it must issue at least as many
+    # sketch/swizzle queries
+    assert stats_bt.stages["swizzling"].queries >= \
+        stats_first.stages["swizzling"].queries
+
+
+def test_a2_layout_parameterization(benchmark):
+    program_layout, _ = benchmark.pedantic(
+        lambda: run(absd_expr(), layout_search=True), rounds=1, iterations=1
+    )
+    program_inorder, _ = run(absd_expr(), layout_search=False)
+    c_layout = cost_of(program_layout)
+    c_inorder = cost_of(program_inorder)
+    print(f"\nA2 layout search: {c_layout.key} vs in-order-only "
+          f"{c_inorder.key}")
+    # deferring the interleave can only help (Section 5.1)
+    assert c_layout.key <= c_inorder.key
+
+
+def test_a3_lane0_pruning(benchmark):
+    _, stats_pruned = benchmark.pedantic(
+        lambda: run(conv_expr(), lane0_pruning=True), rounds=1, iterations=1
+    )
+    program_full, stats_full = run(conv_expr(), lane0_pruning=False)
+    pruned_q = stats_pruned.stages["sketching"].queries
+    full_q = stats_full.stages["sketching"].queries
+    print(f"\nA3 lane-0 pruning: {pruned_q} sketch queries with pruning, "
+          f"{full_q} without (pruning adds cheap rejections)")
+    assert pruned_q >= full_q
+    # both configurations still find an implementation
+    assert program_full is not None

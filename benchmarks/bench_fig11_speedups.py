@@ -1,0 +1,67 @@
+"""E1 — Figure 11: speedup of Rake over the Halide baseline, per benchmark.
+
+For every workload both backends are compiled (cached per session) and the
+simulated cycle counts compared.  The terminal summary renders the full
+bar chart with the paper's reference values.
+
+Expected shape (paper): average ~1.18x, best case gaussian3x3, roughly
+half the suite tied (memory-bound or min/max-only kernels), depthwise_conv
+the regression case.
+"""
+
+import pytest
+
+from repro.reporting import SpeedupRow, geomean
+from repro.sim import measure
+from repro.workloads.base import all_workloads, get
+
+ALL_NAMES = [wl.name for wl in all_workloads()]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_fig11_speedup(name, benchmark, compile_cache, fig11_rows):
+    wl = get(name)
+    rake = compile_cache(name, "rake")
+    baseline = compile_cache(name, "baseline")
+
+    result = benchmark(measure, rake, wl.width, wl.height)
+    rake_cycles = result.total
+    baseline_cycles = measure(baseline, wl.width, wl.height).total
+
+    row = SpeedupRow(
+        name=name,
+        rake_cycles=rake_cycles,
+        baseline_cycles=baseline_cycles,
+        paper_speedup=wl.paper_speedup,
+        paper_band=wl.paper_band,
+    )
+    fig11_rows.append(row)
+
+    # Shape assertions per the paper's bands.
+    if wl.paper_band == "improved":
+        # Rake must be better end-to-end, or at least in compute work when
+        # the kernel is bandwidth-bound in our roofline (the paper's
+        # testbed has different balance; EXPERIMENTS.md discusses l2norm
+        # and matmul).
+        rake_compute = sum(s.compute_ii for s in result.stages)
+        base_compute = sum(
+            s.compute_ii for s in measure(baseline, wl.width, wl.height).stages
+        )
+        assert row.speedup > 1.0 or rake_compute < base_compute, (
+            f"{name}: paper reports an improvement, measured {row.speedup:.2f}x"
+            f" (compute II {rake_compute} vs {base_compute})"
+        )
+    elif wl.paper_band == "tied":
+        assert row.speedup >= 0.95, (
+            f"{name}: paper reports parity, measured {row.speedup:.2f}x"
+        )
+
+
+def test_fig11_summary(fig11_rows, benchmark):
+    """Aggregate shape: the suite-wide average improvement is real."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(fig11_rows) == len(ALL_NAMES)
+    mean = geomean([r.speedup for r in fig11_rows])
+    assert mean > 1.05, f"suite geomean {mean:.2f}x"
+    best = max(fig11_rows, key=lambda r: r.speedup)
+    assert best.speedup > 1.3

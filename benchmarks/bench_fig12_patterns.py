@@ -1,0 +1,94 @@
+"""E4 — Figure 12: the five representative optimization classes.
+
+Missing patterns: average_pool's mixed-width accumulate, camera_pipe's
+redundant clamp, add's shift folding.  Semantic reasoning: l2norm's
+vmpyie and gaussian3x3's fused vasr-rnd-sat.  Each case prints the
+three-column comparison and asserts the paper's delta.
+"""
+
+import pytest
+
+from repro.baseline import optimize as baseline_optimize
+from repro.hvx import display_latency, isa as H, program_listing
+from repro.ir import builder as B
+from repro.ir.printer import to_pretty
+from repro.reporting import codegen_comparison
+from repro.synthesis import select_instructions
+from repro.types import I16, I32, U16, U8
+
+
+def ops_of(program):
+    return [n.op for n in program if isinstance(n, H.HvxInstr)]
+
+
+def _compare(title, expr, benchmark):
+    result = benchmark.pedantic(
+        select_instructions, args=(expr,), rounds=1, iterations=1
+    )
+    base_prog = baseline_optimize(expr)
+    print()
+    print(codegen_comparison(
+        title, to_pretty(expr), program_listing(base_prog),
+        program_listing(result.program),
+    ))
+    return base_prog, result.program
+
+
+def test_average_pool_missing_pattern(benchmark):
+    """wild_u16x + uint16x128(wild_u8x): Halide zero-extends then adds;
+    Rake uses one widening multiply-accumulate with weight 1."""
+    e = B.load("acc", 0, 128, U16) + B.widen(B.load("input", 0, 128, U8))
+    base_prog, rake_prog = _compare("Figure 12: average_pool", e, benchmark)
+    assert "vmpy_acc" in ops_of(rake_prog)
+    assert "vzxt" in ops_of(base_prog)
+    assert display_latency(rake_prog) < display_latency(base_prog)
+
+
+def test_camera_pipe_redundant_max(benchmark):
+    """uint8x128(max(min(wild_i16x, 255), 0)): vpackub already saturates,
+    so the clamp is redundant — Rake removes it, Halide keeps it."""
+    e = B.cast(U8, B.maximum(
+        B.minimum(B.load("t", 0, 128, I16), B.broadcast(255, 128, I16)),
+        B.broadcast(0, 128, I16)))
+    base_prog, rake_prog = _compare("Figure 12: camera_pipe", e, benchmark)
+    assert "vmax" in ops_of(base_prog) and "vmin" in ops_of(base_prog)
+    assert "vmax" not in ops_of(rake_prog)
+    assert display_latency(rake_prog) < display_latency(base_prog)
+
+
+def test_add_shift_folding(benchmark):
+    """int16x128(wild_u8x) << 6 + x128(int16(wild_u8) * -64): the shift
+    folds into a widening multiply-accumulate."""
+    zp = B.var("zp", U8)
+    e = (B.shl(B.cast(I16, B.load("input", 0, 128, U8)),
+               B.broadcast(6, 128, I16))
+         + B.broadcast(B.mul(B.cast(I16, zp), B.const(-64, I16)), 128))
+    base_prog, rake_prog = _compare("Figure 12: add", e, benchmark)
+    rake_ops = ops_of(rake_prog)
+    assert "vmpy" in rake_ops or "vmpy_acc" in rake_ops
+    assert display_latency(rake_prog) <= display_latency(base_prog)
+
+
+def test_l2norm_semantic_reasoning(benchmark):
+    """x64(wild_i32) * int32x64(wild_i16x): vmpyie is only legal because
+    the halfwords provably stay non-negative in this context."""
+    h = B.cast(I16, B.shr(B.load("input", 0, 64, U16), 1))
+    e = B.broadcast(B.var("inv_norm", I32), 64) * B.cast(I32, h)
+    base_prog, rake_prog = _compare("Figure 12: l2norm", e, benchmark)
+    assert "vmpyie" in ops_of(rake_prog)
+    assert "vmpyie" not in ops_of(base_prog)
+    assert ops_of(base_prog).count("vmpyio") == 2
+    assert display_latency(rake_prog) < display_latency(base_prog)
+
+
+def test_gaussian3x3_fused_narrow(benchmark):
+    """uint8x128((wild_i16x + 8) >> 4): fused shift-round-saturate — legal
+    because the value provably fits u8 (truncate == saturate here)."""
+    row = (B.widen(B.load("input", -1, 128, U8))
+           + B.widen(B.load("input", 0, 128, U8)) * 2
+           + B.widen(B.load("input", 1, 128, U8)))
+    e = B.cast(U8, (row + 8) >> 4)
+    base_prog, rake_prog = _compare("Figure 12: gaussian3x3", e, benchmark)
+    base_ops = ops_of(base_prog)
+    assert not any(op.startswith("vasrn") for op in base_ops)
+    assert display_latency(rake_prog) < display_latency(base_prog)

@@ -1,0 +1,51 @@
+"""E5 — Figure 9: the bottom-up lifting trace of the Sobel convolution.
+
+Reproduces the table's progression: extend steps for the leaves, a replace
+step turning widen into vs-mpy-add, and update steps growing the kernel to
+(2 1 1).
+"""
+
+import pytest
+
+from repro.ir import builder as B
+from repro.reporting import lifting_trace
+from repro.synthesis.lifting import Lifter
+from repro.synthesis.oracle import Oracle
+from repro.types import U8
+
+
+def sobel_row():
+    return (B.widen(B.load("input", -1, 128, U8))
+            + B.widen(B.load("input", 0, 128, U8)) * 2
+            + B.widen(B.load("input", 1, 128, U8)))
+
+
+def test_fig9_lifting_trace(benchmark):
+    def run():
+        lifter = Lifter(Oracle())
+        lifter.lift(sobel_row())
+        return lifter
+
+    lifter = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Figure 9: lifting the Sobel 3-point convolution")
+    print(lifting_trace(lifter.trace))
+
+    rules = [s.rule for s in lifter.trace]
+    # Steps 1-4 of the figure: extends for the leaf loads/broadcast.
+    assert rules.count("extend") >= 3
+    # Step 5: replace widen with vs-mpy-add.
+    assert "replace" in rules
+    # Steps 6-7: updates folding the adds into the kernel.
+    assert rules[-1] == "update"
+    assert "(2 1 1)" in lifter.trace[-1].result
+
+
+def test_fig9_queries_are_counted(benchmark):
+    oracle = Oracle()
+
+    def run():
+        Lifter(oracle).lift(sobel_row())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert oracle.stats.stages["lifting"].queries > 5

@@ -1,0 +1,75 @@
+"""Shared infrastructure for the paper-reproduction benchmark harness.
+
+Compilation results are cached per session (Rake synthesis for the full
+suite takes a few minutes, as synthesis-based compilation does), and the
+collected measurements are rendered as the paper's Figure 11 and Table 1
+in the terminal summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workloads  # noqa: F401 - populate the registry
+from repro.pipeline import compile_pipeline
+from repro.workloads.base import get
+
+_COMPILE_CACHE: dict = {}
+_FIG11_ROWS: list = []
+_TABLE1_ROWS: list = []
+
+
+def compiled(name: str, backend: str):
+    """Session-cached compilation of one workload with one backend."""
+    key = (name, backend)
+    if key not in _COMPILE_CACHE:
+        wl = get(name)
+        _COMPILE_CACHE[key] = compile_pipeline(wl.build(), backend=backend)
+    return _COMPILE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def compile_cache():
+    return compiled
+
+
+@pytest.fixture(scope="session")
+def fig11_rows():
+    return _FIG11_ROWS
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    return _TABLE1_ROWS
+
+
+def pytest_terminal_summary(terminalreporter):
+    import json
+    import pathlib
+
+    from repro.reporting import compilation_table, speedup_figure
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    if _FIG11_ROWS:
+        terminalreporter.write_sep("=", "Figure 11 reproduction")
+        rows = sorted(_FIG11_ROWS, key=lambda r: r.name)
+        figure = speedup_figure(rows)
+        terminalreporter.write_line(figure)
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "fig11.txt").write_text(figure + "\n")
+        (results_dir / "fig11.json").write_text(json.dumps([
+            {"name": r.name, "rake_cycles": r.rake_cycles,
+             "baseline_cycles": r.baseline_cycles,
+             "speedup": round(r.speedup, 3),
+             "paper_speedup": r.paper_speedup, "paper_band": r.paper_band}
+            for r in rows
+        ], indent=2) + "\n")
+    if _TABLE1_ROWS:
+        terminalreporter.write_sep("=", "Table 1 reproduction")
+        rows = sorted(_TABLE1_ROWS, key=lambda r: r["name"])
+        table = compilation_table(rows)
+        terminalreporter.write_line(table)
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "table1.txt").write_text(table + "\n")
+        (results_dir / "table1.json").write_text(
+            json.dumps(rows, indent=2) + "\n")

@@ -1,0 +1,66 @@
+"""Retargeting Rake to ARM Neon (paper Section 6).
+
+The paper reports that the HVX-derived uber-instructions transfer to ARM
+Neon with only slight modifications.  This example demonstrates exactly
+that: the SAME lifted expression lowers to HVX and to Neon, through the
+same three-stage synthesis engine, with only the grammar + interpreter
+swapped.
+
+Run:  python examples/neon_port.py
+"""
+
+from repro.hvx import program_listing
+from repro.ir import builder as B
+from repro.neon import select_instructions_neon
+from repro.synthesis import select_instructions
+from repro.synthesis.oracle import Oracle
+from repro.types import U8
+from repro.uber import printer as uber_printer
+
+
+def kernel(lanes: int):
+    """The gaussian tap at a given vector width."""
+    a, b, c = (B.load("input", off, lanes, U8) for off in (-1, 0, 1))
+    return B.cast(U8, (B.widen(a) + B.widen(b) * 2 + B.widen(c) + 8) >> 4)
+
+
+def main() -> None:
+    hvx_expr = kernel(128)   # one HVX vector of u8
+    neon_expr = kernel(16)   # one Neon Q register of u8
+
+    hvx = select_instructions(hvx_expr)
+    neon = select_instructions_neon(neon_expr)
+
+    print("Lifted Uber-Instruction IR (identical modulo lane count):")
+    print(" HVX :", uber_printer.to_string(hvx.lifted)[:120], "...")
+    print(" Neon:", uber_printer.to_string(neon.lifted)[:120], "...")
+
+    print()
+    print("=" * 72)
+    print("HVX lowering (128-byte vectors, sliding-window reductions)")
+    print("=" * 72)
+    print(program_listing(hvx.program))
+
+    print()
+    print("=" * 72)
+    print("Neon lowering (16-byte Q registers, vmlal chains + vext windows)")
+    print("=" * 72)
+    print(program_listing(neon.program))
+
+    assert Oracle().equivalent(hvx_expr, hvx.program)
+    assert Oracle().equivalent(neon_expr, neon.program)
+    print()
+    print("both programs verified against the IR semantics")
+    print()
+    print("Observations matching the paper's Section 6:")
+    print(" * the Uber-Instruction IR needed no changes;")
+    print(" * HVX exploits vtmpy (sliding window) and pays an interleave;")
+    print(" * Neon has no sliding-window multiply, so the kernel becomes a")
+    print("   vmull/vmlal chain over vext windows — but its widening ops")
+    print("   are in-order, so no layout (interleave) reasoning is needed;")
+    print(" * both fuse the round/shift/narrow into one instruction")
+    print("   (vasr-rnd-sat on HVX, vrshrn/vqrshrun on Neon).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: synthesize HVX code for one vector expression.
+
+Builds the gaussian-style expression from the paper's Figure 12, runs
+Rake's three synthesis stages, and prints every intermediate artifact:
+the Halide IR, the lifted Uber-Instruction IR, the lifting trace, and the
+final HVX program with its cost annotation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import select_instructions
+from repro.hvx import cost_of, program_listing
+from repro.ir import builder as B
+from repro.ir.printer import to_pretty
+from repro.reporting import lifting_trace
+from repro.types import U8
+from repro.uber import printer as uber_printer
+
+
+def main() -> None:
+    # uint8x128((in[x-1] + 2*in[x] + in[x+1] + 8) >> 4)
+    a = B.load("input", -1, 128, U8)
+    b = B.load("input", 0, 128, U8)
+    c = B.load("input", 1, 128, U8)
+    expr = B.cast(U8, (B.widen(a) + B.widen(b) * 2 + B.widen(c) + 8) >> 4)
+
+    print("=" * 72)
+    print("Halide IR input")
+    print("=" * 72)
+    print(to_pretty(expr))
+
+    result = select_instructions(expr)
+
+    print()
+    print("=" * 72)
+    print("Stage 1 — lifted Uber-Instruction IR (Algorithm 1)")
+    print("=" * 72)
+    print(uber_printer.to_pretty(result.lifted))
+    print()
+    print("Lifting trace (Figure 9 style):")
+    print(lifting_trace(result.trace))
+
+    print()
+    print("=" * 72)
+    print("Stages 2+3 — synthesized HVX program (Algorithm 2)")
+    print("=" * 72)
+    print(program_listing(result.program))
+    print()
+    cost = cost_of(result.program)
+    print(f"cost: per-resource {dict(cost.per_resource)}, "
+          f"total {cost.total} instructions, {cost.loads} load slots")
+    print()
+    print("Note the two headline wins: the 3-point kernel became a single")
+    print("vtmpy sliding-window reduction, and the round/shift/narrow chain")
+    print("fused into one vasr-rnd-sat — sound only because the value range")
+    print("is provable from the expression itself (Section 7.1.2).")
+
+
+if __name__ == "__main__":
+    main()

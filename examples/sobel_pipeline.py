@@ -1,0 +1,81 @@
+"""The paper's running example end to end: the Sobel filter (Figure 2).
+
+Walks the full Figure 1 flow: algorithm + schedule -> lowered vector IR
+(Figure 3) -> instruction selection with both backends -> simulated cycle
+counts -> functional execution on a synthetic image, checking both
+backends produce identical pixels.
+
+Run:  python examples/sobel_pipeline.py
+"""
+
+from repro.frontend import Func, ImageParam, Var, fabsd, fcast, fclamp
+from repro.hvx import program_listing
+from repro.ir.printer import to_pretty
+from repro.pipeline import compile_pipeline
+from repro.sim import Image, execute, measure, reference_execute
+from repro.types import U16, U8
+
+
+def sobel() -> Func:
+    """Figure 2 of the paper, in this library's mini-Halide."""
+    x, y = Var("x"), Var("y")
+    inp = ImageParam("input", U8, 2)
+
+    in16 = Func("in16", U16)
+    in16[x, y] = fcast(U16, inp(x, y))
+
+    x_avg = Func("x_avg", U16)
+    x_avg[x, y] = in16(x - 1, y) + 2 * in16(x, y) + in16(x + 1, y)
+    sobel_x = Func("sobel_x", U16)
+    sobel_x[x, y] = fabsd(x_avg(x, y - 1), x_avg(x, y + 1))
+
+    y_avg = Func("y_avg", U16)
+    y_avg[x, y] = in16(x, y - 1) + 2 * in16(x, y) + in16(x, y + 1)
+    sobel_y = Func("sobel_y", U16)
+    sobel_y[x, y] = fabsd(y_avg(x - 1, y), y_avg(x + 1, y))
+
+    out = Func("sobel", U8)
+    out[x, y] = fcast(U8, fclamp(sobel_x(x, y) + sobel_y(x, y), 0, 255))
+
+    # the schedule of Figure 2: offload, prefetch, tile, vectorize
+    return out.hexagon().prefetch(2).tile(128, 4).vectorize(128)
+
+
+def main() -> None:
+    pipeline = sobel()
+
+    print("Compiling with Rake (synthesis) ...")
+    rake = compile_pipeline(pipeline, backend="rake")
+    print("Compiling with the Halide-style baseline ...")
+    baseline = compile_pipeline(sobel(), backend="baseline")
+
+    (expr_info,) = rake.lowered.vector_expressions()
+    print()
+    print("Lowered vector expression (Figure 3):")
+    print(to_pretty(expr_info[1])[:1200])
+
+    print()
+    print("Rake codegen:")
+    print(program_listing(rake.stages[-1].exprs[0].program))
+    print()
+    print("Baseline codegen:")
+    print(program_listing(baseline.stages[-1].exprs[0].program))
+
+    rk = measure(rake)
+    bl = measure(baseline)
+    print()
+    print(f"simulated cycles: rake={rk.total}  baseline={bl.total}  "
+          f"speedup={bl.total / rk.total:.2f}x (paper: ~1.27x)")
+
+    print()
+    print("Executing both backends on a synthetic 256x16 image ...")
+    image = Image(U8, 256, 16).fill_random(42)
+    out_rake = execute(rake, {"input": image}, 256, 16)["sobel"]
+    out_base = execute(baseline, {"input": image}, 256, 16)["sobel"]
+    out_ref = reference_execute(rake, {"input": image}, 256, 16)["sobel"]
+    assert out_rake.pixels() == out_base.pixels() == out_ref.pixels()
+    print("all three agree pixel-for-pixel: rake == baseline == IR reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Rake: synthesis-based vector instruction selection for DSPs.
+
+A from-scratch Python reproduction of "Vector Instruction Selection for
+Digital Signal Processors using Program Synthesis" (ASPLOS 2022).
+
+Quickstart::
+
+    from repro import ir, select_instructions
+    from repro.types import U8
+
+    a = ir.load("in", -1, 128, U8)
+    b = ir.load("in", 0, 128, U8)
+    c = ir.load("in", 1, 128, U8)
+    expr = ir.cast(U8, (ir.widen(a) + ir.widen(b) * 2 + ir.widen(c) + 2) >> 2)
+    result = select_instructions(expr)
+    print(result.program)
+
+Subpackages:
+
+* :mod:`repro.ir` - Halide-like target-independent vector IR
+* :mod:`repro.frontend` - mini-Halide algorithms + schedules
+* :mod:`repro.hvx` - the HVX machine model (ISA + interpreter + costs)
+* :mod:`repro.uber` - the Uber-Instruction IR
+* :mod:`repro.synthesis` - Rake's three-stage synthesis engine
+* :mod:`repro.baseline` - the Halide-style pattern-matching baseline
+* :mod:`repro.sim` - VLIW cycle simulator and functional executor
+* :mod:`repro.workloads` - the paper's 21 benchmarks
+* :mod:`repro.pipeline` - end-to-end compile driver
+"""
+
+from . import errors, types
+from .pipeline import (
+    BACKEND_BASELINE,
+    BACKEND_RAKE,
+    CompiledExpr,
+    CompiledPipeline,
+    CompiledStage,
+    compile_pipeline,
+)
+from .synthesis import (
+    LoweringOptions,
+    RakeSelector,
+    SelectionResult,
+    select_instructions,
+)
+
+__version__ = "1.0.0"

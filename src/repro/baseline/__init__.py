@@ -1,0 +1,4 @@
+"""Baseline Halide-style pattern-matching instruction selector."""
+
+from .optimizer import HalideOptimizer, optimize
+from .peephole import cleanup

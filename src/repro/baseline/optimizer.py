@@ -1,0 +1,385 @@
+"""The baseline instruction selector: a Halide-style pattern matcher.
+
+This stands in for the production Halide 12.0 HVX backend
+(``HexagonOptimize.cpp``) the paper compares against: a greedy, top-down
+rewriter with a fixed library of syntactic patterns.  It is deliberately
+faithful to the baseline's documented strengths *and* gaps:
+
+Implemented patterns (the baseline's strengths):
+  * vmpa for two-term widening multiply-adds over loads,
+  * vmpy/vmpyi for widening / same-width multiplies,
+  * vzxt/vsxt widening casts,
+  * vavg/vavg_rnd for halving adds,
+  * vpacke/vpackub narrowing casts (with the redundant-clamp behaviour of
+    Figure 12's camera_pipe row: clamps are lowered, then a saturating
+    pack is used anyway),
+  * vmpyio-based word-by-halfword multiplies (with the extra data movement
+    Figure 12's l2norm row shows),
+  * vmin/vmax/vabsdiff/vasl/vasr/vmux, unaligned loads.
+
+Deliberately missing (the gaps Rake exploits, per Figures 4 and 12):
+  * no vtmpy (sliding-window 3-point reductions),
+  * no accumulating multiply forms (vmpa_acc, vmpy_acc, vmpyi_acc),
+  * no fused narrowing shifts (vasr-rnd-sat),
+  * no vdmpy/vrmpy reductions for strided/pooled reads,
+  * no semantic range reasoning (no vmpyie, no redundant-clamp removal,
+    no saturate/truncate interchange).
+
+The output is verified: the pipeline differential-tests every baseline
+program against the IR interpreter, so the gaps cost performance, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PatternError, UnsupportedExpressionError
+from ..hvx import isa as H
+from ..hvx.memory import load_pair, load_window
+from ..ir import expr as E
+from .peephole import cleanup
+from ..types import ScalarType
+
+
+def _shape_bits(t) -> int:
+    return E.elem_of(t).bits * E.lanes_of(t)
+
+
+@dataclass
+class HalideOptimizer:
+    """Greedy top-down pattern matching from vector IR to HVX."""
+
+    vbytes: int = 128
+
+    # -- shape helpers -------------------------------------------------------
+
+    def _shape(self, t) -> str:
+        bits = _shape_bits(t)
+        if bits == self.vbytes * 8:
+            return "vec"
+        if bits == 2 * self.vbytes * 8:
+            return "pair"
+        raise UnsupportedExpressionError(
+            f"{t} does not fit a native vector or pair"
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def optimize(self, e: E.Expr) -> H.HvxExpr:
+        """Lower one vector IR expression to HVX, greedily.
+
+        The result is coerced (free retype) to the IR node's signedness so
+        value-dependent consumers (arithmetic shifts, saturating packs,
+        min/max) observe the semantics the IR specifies.
+        """
+        impl = self._lower(e)
+        if impl is None:
+            raise UnsupportedExpressionError(
+                f"baseline cannot lower {type(e).__name__}"
+            )
+        want = E.elem_of(e.type)
+        have = impl.type.elem
+        if have is not None and want.bits == have.bits \
+                and want.signed != have.signed:
+            op = "retype_i" if want.signed else "retype_u"
+            impl = H.HvxInstr(op, (impl,))
+        return cleanup(impl)
+
+    # -- the rewriter ----------------------------------------------------------
+
+    def _lower(self, e: E.Expr) -> H.HvxExpr | None:
+        self._shape(e.type)  # reject widths we cannot map
+
+        if isinstance(e, E.Load):
+            if self._shape(e.type) == "vec":
+                return load_window(e.buffer, e.offset, e.lanes, e.elem, e.stride)
+            return load_pair(e.buffer, e.offset, e.lanes, e.elem, e.stride)
+
+        if isinstance(e, E.Broadcast):
+            return H.HvxSplat(
+                e.value, E.elem_of(e.type), e.lanes,
+                pairwise=self._shape(e.type) == "pair",
+            )
+
+        if isinstance(e, (E.Cast, E.SaturatingCast)):
+            return self._lower_cast(e)
+
+        if isinstance(e, (E.Add, E.Sub)):
+            return self._lower_add_sub(e)
+
+        if isinstance(e, E.Mul):
+            return self._lower_mul(e)
+
+        if isinstance(e, E.Shl):
+            n = self._const_of(e.b)
+            if n is None:
+                raise UnsupportedExpressionError("non-constant shift amount")
+            return H.HvxInstr("vasl", (self.optimize(e.a),), (n,))
+
+        if isinstance(e, E.Shr):
+            n = self._const_of(e.b)
+            if n is None:
+                raise UnsupportedExpressionError("non-constant shift amount")
+            return H.HvxInstr("vasr", (self.optimize(e.a),), (n,))
+
+        if isinstance(e, E.Div):
+            c = self._const_of(e.b)
+            if c is None or c <= 0 or c & (c - 1):
+                raise UnsupportedExpressionError("division is not a shift")
+            op = "vasr" if E.elem_of(e.type).signed else "vlsr"
+            return H.HvxInstr(op, (self.optimize(e.a),),
+                              (c.bit_length() - 1,))
+
+        if isinstance(e, E.Min):
+            return H.HvxInstr("vmin", (self.optimize(e.a), self.optimize(e.b)))
+        if isinstance(e, E.Max):
+            return H.HvxInstr("vmax", (self.optimize(e.a), self.optimize(e.b)))
+        if isinstance(e, E.Absd):
+            return H.HvxInstr("vabsdiff",
+                              (self.optimize(e.a), self.optimize(e.b)))
+        if isinstance(e, E.Select):
+            return self._lower_select(e)
+        return None
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _const_of(e: E.Expr) -> int | None:
+        if isinstance(e, E.Broadcast):
+            e = e.value
+        if isinstance(e, E.Const):
+            return e.value
+        return None
+
+    @staticmethod
+    def _as_widening_term(e: E.Expr):
+        """Match ``widen(load)`` or ``widen(load) * c`` -> (load, weight)."""
+        weight = 1
+        if isinstance(e, E.Mul):
+            for vec_side, const_side in ((e.a, e.b), (e.b, e.a)):
+                c = HalideOptimizer._const_of(const_side)
+                if c is not None:
+                    e, weight = vec_side, c
+                    break
+            else:
+                return None
+        if not isinstance(e, E.Cast):
+            return None
+        inner = e.value
+        if not isinstance(inner, E.Load):
+            return None
+        if e.target.bits != inner.elem.bits * 2:
+            return None
+        return inner, weight
+
+    # -- casts -------------------------------------------------------------------
+
+    def _lower_cast(self, e):
+        target = e.target
+        src = E.elem_of(e.value.type)
+        saturating = isinstance(e, E.SaturatingCast)
+
+        if target.bits == src.bits * 2:
+            # Widening: vzxt/vsxt on a vector operand.
+            inner = self.optimize(e.value)
+            op = "vsxt" if src.signed else "vzxt"
+            return H.HvxInstr(op, (inner,))
+
+        if target.bits * 2 == src.bits:
+            inner = self.optimize(e.value)
+            hi = H.HvxInstr("hi", (inner,))
+            lo = H.HvxInstr("lo", (inner,))
+            if saturating or self._is_clamped_to(e.value, target):
+                # Halide's rule: a clamped narrowing uses the saturating
+                # pack — without removing the now-redundant clamps
+                # (Figure 12, camera_pipe).
+                op = "vpackub" if not target.signed else "vpackob"
+                return H.HvxInstr(op, (hi, lo))
+            return H.HvxInstr("vpacke", (hi, lo))
+
+        if target.bits == src.bits:
+            inner = self.optimize(e.value)
+            if inner.type.elem is not None \
+                    and inner.type.elem.signed != target.signed:
+                op = "retype_i" if target.signed else "retype_u"
+                return H.HvxInstr(op, (inner,))
+            return inner  # reinterpret: bits unchanged
+        raise UnsupportedExpressionError(
+            f"cast {src} -> {target} is not a native conversion"
+        )
+
+    @staticmethod
+    def _is_clamped_to(e: E.Expr, target: ScalarType) -> bool:
+        """Syntactic clamp check: max(min(x, hi), lo) to target's range."""
+        if isinstance(e, E.Max):
+            hi_clamp = e.a if isinstance(e.a, E.Min) else e.b
+            lo_val = HalideOptimizer._const_of(
+                e.b if hi_clamp is e.a else e.a
+            )
+            if isinstance(hi_clamp, E.Min) and lo_val is not None:
+                hi_val = HalideOptimizer._const_of(hi_clamp.b)
+                if hi_val is None:
+                    hi_val = HalideOptimizer._const_of(hi_clamp.a)
+                return (
+                    hi_val is not None
+                    and lo_val >= target.min_value
+                    and hi_val <= target.max_value
+                )
+        if isinstance(e, E.Min):
+            hi_val = HalideOptimizer._const_of(e.b)
+            return (
+                hi_val is not None
+                and hi_val <= target.max_value
+                and not E.elem_of(e.a.type).signed
+            )
+        return False
+
+    # -- add / sub / vmpa ----------------------------------------------------------
+
+    def _lower_add_sub(self, e):
+        if isinstance(e, E.Add):
+            # rounding halving add: cast site handles vavg; here try vmpa.
+            terms = (self._as_widening_term(e.a), self._as_widening_term(e.b))
+            if None not in terms:
+                (l0, w0), (l1, w1) = terms
+                if (
+                    l0.elem == l1.elem and l0.stride == l1.stride
+                    and l0.lanes == l1.lanes and l0.stride in (1, 2)
+                    and self._shape(e.type) == "pair"
+                    and all(-128 <= w <= 127 for w in (w0, w1))
+                ):
+                    rows = H.HvxInstr("vcombine", (
+                        load_window(l0.buffer, l0.offset, l0.lanes, l0.elem,
+                                    l0.stride),
+                        load_window(l1.buffer, l1.offset, l1.lanes, l1.elem,
+                                    l1.stride),
+                    ))
+                    return H.HvxInstr("vmpa", (rows,), (w0, w1))
+        op = "vadd" if isinstance(e, E.Add) else "vsub"
+        return H.HvxInstr(op, (self.optimize(e.a), self.optimize(e.b)))
+
+    # -- multiplies -------------------------------------------------------------------
+
+    def _lower_mul(self, e):
+        out_bits = E.elem_of(e.type).bits
+
+        for vec_side, scl_side in ((e.a, e.b), (e.b, e.a)):
+            c = self._const_of(scl_side)
+            if c is None and not isinstance(scl_side, E.Broadcast):
+                continue
+            # Widening multiply by a scalar: vmpy on the narrow source,
+            # provided the scalar provably fits the narrow width.
+            if isinstance(vec_side, E.Cast) \
+                    and E.elem_of(vec_side.value.type).bits * 2 == out_bits:
+                narrow_elem = E.elem_of(vec_side.value.type)
+                scalar = self._narrow_scalar(scl_side, c, narrow_elem)
+                if scalar is not None:
+                    inner = self.optimize(vec_side.value)
+                    splat = H.HvxSplat(scalar, narrow_elem, inner.type.lanes)
+                    return H.HvxInstr("vmpy", (inner, splat))
+                # Scalar genuinely wider than the vector elements: the
+                # vmpyio shape (Figure 12, l2norm).
+                eo = self._lower_word_by_half(e)
+                if eo is not None:
+                    return eo
+            # Same-width multiply: vmpyi.
+            lowered = self.optimize(vec_side)
+            scalar = (
+                scl_side.value if isinstance(scl_side, E.Broadcast)
+                else E.Const(E.elem_of(e.type).wrap(c), E.elem_of(e.type))
+            )
+            splat = H.HvxSplat(
+                scalar, lowered.type.elem, lowered.type.lanes,
+                pairwise=lowered.type.is_pair,
+            )
+            return H.HvxInstr("vmpyi", (lowered, splat))
+
+        # vector * vector
+        if isinstance(e.a, E.Cast) and isinstance(e.b, E.Cast) \
+                and E.elem_of(e.a.value.type).bits * 2 == out_bits \
+                and E.elem_of(e.b.value.type).bits * 2 == out_bits:
+            return H.HvxInstr(
+                "vmpy", (self.optimize(e.a.value), self.optimize(e.b.value))
+            )
+        return H.HvxInstr("vmpyi", (self.optimize(e.a), self.optimize(e.b)))
+
+    @staticmethod
+    def _narrow_scalar(scl_side, c, narrow_elem):
+        """A scalar expression equal to the broadcast at the narrow width,
+        or None when the value may not fit."""
+        if c is not None:
+            if narrow_elem.contains(c) or not narrow_elem.signed:
+                return E.Const(narrow_elem.wrap(c), narrow_elem)
+            return None
+        v = scl_side.value
+        if isinstance(v, (E.Cast, E.SaturatingCast)) \
+                and E.elem_of(v.value.type).bits == narrow_elem.bits:
+            return v.value
+        if E.elem_of(v.type).bits == narrow_elem.bits:
+            return v
+        return None
+
+    def _lower_word_by_half(self, e: E.Mul):
+        """x64(word) * int32(halfword vector): the vmpyio/vaslw shape.
+
+        Halide multiplies the odd halfwords directly, then rotates the even
+        halfwords into odd position and repeats — one multiply and one
+        permute more than Rake's vmpyie (Figure 12, l2norm).
+        """
+        for bc_side, vec_side in ((e.a, e.b), (e.b, e.a)):
+            if not isinstance(bc_side, E.Broadcast):
+                continue
+            if E.elem_of(bc_side.type).bits != 32:
+                continue
+            if not isinstance(vec_side, E.Cast):
+                continue
+            inner = vec_side.value
+            if E.elem_of(inner.type).bits != 16:
+                continue
+            h = self.optimize(inner)
+            if not h.type.is_vec:
+                continue
+            splat = H.HvxSplat(bc_side.value, E.elem_of(bc_side.type),
+                               h.type.lanes // 2)
+            odds = H.HvxInstr("vmpyio", (splat, h))
+            rot = H.HvxInstr("vror", (h,), (h.type.lanes - 1,))
+            evens = H.HvxInstr("vmpyio", (splat, rot))
+            pair = H.HvxInstr("vcombine", (evens, odds))
+            return H.HvxInstr("vshuffvdd", (pair,))
+        return None
+
+    # -- select -----------------------------------------------------------------------
+
+    def _lower_select(self, e: E.Select):
+        cond = e.cond
+        if not isinstance(cond, E._Compare):
+            raise UnsupportedExpressionError("select on a non-comparison")
+        ca, cb = self.optimize(cond.a), self.optimize(cond.b)
+        ct, cf = self.optimize(e.t), self.optimize(e.f)
+        swap = False
+        if isinstance(cond, E.GT):
+            pred = H.HvxInstr("vcmp_gt", (ca, cb))
+        elif isinstance(cond, E.LT):
+            pred = H.HvxInstr("vcmp_gt", (cb, ca))
+        elif isinstance(cond, E.EQ):
+            pred = H.HvxInstr("vcmp_eq", (ca, cb))
+        elif isinstance(cond, E.LE):
+            pred = H.HvxInstr("vcmp_gt", (ca, cb))
+            swap = True
+        elif isinstance(cond, E.GE):
+            pred = H.HvxInstr("vcmp_gt", (cb, ca))
+            swap = True
+        else:  # NE
+            pred = H.HvxInstr("vcmp_eq", (ca, cb))
+            swap = True
+        if swap:
+            ct, cf = cf, ct
+        if ct.type.is_vec:
+            return H.HvxInstr("vmux", (pred, ct, cf))
+        raise UnsupportedExpressionError("pair-wide select in baseline")
+
+
+def optimize(e: E.Expr, vbytes: int = 128) -> H.HvxExpr:
+    """Lower one vector IR expression with the baseline optimizer."""
+    return HalideOptimizer(vbytes=vbytes).optimize(e)

@@ -1,0 +1,73 @@
+"""Peephole cleanup for baseline output.
+
+The paper notes that "Halide's optimizer has an optimization pass
+dedicated specifically to eliminating such unnecessary interleaves and
+deinterleaves, [but] it is not always able to do so" (Section 7.1.3).
+This module is that pass: a bottom-up rewrite over HVX programs that
+cancels adjacent inverse shuffles and strips no-op renames.  Like the
+original, it is *local* — it only sees patterns that are syntactically
+adjacent, so shuffles separated by computation survive (which is exactly
+the gap Rake's layout-parameterized lowering closes).
+"""
+
+from __future__ import annotations
+
+from ..hvx import isa as H
+
+#: pairs of mutually inverse pair shuffles
+_INVERSES = {
+    ("vshuffvdd", "vdealvdd"),
+    ("vdealvdd", "vshuffvdd"),
+    ("neon.vzip", "neon.vuzp"),
+    ("neon.vuzp", "neon.vzip"),
+    ("retype_i", "retype_u"),
+    ("retype_u", "retype_i"),
+}
+
+
+def _rewrite(node: H.HvxExpr) -> H.HvxExpr:
+    children = node.children
+    if children:
+        new_children = tuple(_rewrite(c) for c in children)
+        if new_children != children:
+            node = node.with_children(new_children)
+    if not isinstance(node, H.HvxInstr):
+        return node
+
+    # shuffle(inverse_shuffle(x)) -> x
+    if len(node.args) == 1 and isinstance(node.args[0], H.HvxInstr):
+        inner = node.args[0]
+        if (node.op, inner.op) in _INVERSES:
+            return inner.args[0]
+
+    # lo(vcombine(a, b)) -> a ; hi(vcombine(a, b)) -> b
+    if node.op in ("lo", "hi") and isinstance(node.args[0], H.HvxInstr) \
+            and node.args[0].op in ("vcombine", "neon.vpair"):
+        lo_arg, hi_arg = node.args[0].args
+        return lo_arg if node.op == "lo" else hi_arg
+
+    # vcombine(lo(p), hi(p)) -> p
+    if node.op in ("vcombine", "neon.vpair") and len(node.args) == 2:
+        a, b = node.args
+        if isinstance(a, H.HvxInstr) and isinstance(b, H.HvxInstr) \
+                and a.op == "lo" and b.op == "hi" \
+                and a.args[0] == b.args[0]:
+            return a.args[0]
+
+    # double retype to the same signedness collapses
+    if node.op in ("retype_i", "retype_u") \
+            and isinstance(node.args[0], H.HvxInstr) \
+            and node.args[0].op == node.op:
+        return node.args[0]
+
+    return node
+
+
+def cleanup(program: H.HvxExpr) -> H.HvxExpr:
+    """Apply the local shuffle-cancellation rewrites to a fixpoint."""
+    previous = None
+    current = program
+    while previous != current:
+        previous = current
+        current = _rewrite(current)
+    return current

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the 21-benchmark suite with paper bands.
+* ``compile WORKLOAD`` — compile with one or both instruction selectors,
+  report simulated cycles and (optionally) the selected programs.
+* ``isa`` — browse the registered instruction families (HVX and Neon).
+* ``speedups`` — the Figure 11 sweep over every workload (slow: full
+  synthesis for the suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import workloads  # noqa: F401 - populate the registry
+from . import neon  # noqa: F401 - register the Neon instruction families
+from .hvx import all_instructions, program_listing, to_assembly
+from .pipeline import compile_pipeline
+from .reporting import SpeedupRow, speedup_figure
+from .sim import measure
+from .workloads.base import all_workloads, get, names
+
+
+def _cmd_list(args) -> int:
+    print(f"{'name':>16}  {'category':<14} {'band':<10} notes")
+    print("-" * 76)
+    for wl in all_workloads():
+        paper = f"{wl.paper_speedup}x" if wl.paper_speedup else wl.paper_band
+        note = (wl.notes[:60] + "...") if len(wl.notes) > 60 else wl.notes
+        print(f"{wl.name:>16}  {wl.category:<14} {paper:<10} {note}")
+    return 0
+
+
+def _compile_one(name: str, backend: str, show_programs: bool,
+                 width: int | None, height: int | None, asm: bool = False):
+    wl = get(name)
+    compiled = compile_pipeline(wl.build(), backend=backend)
+    cycles = measure(compiled, width or wl.width, height or wl.height)
+    print(f"[{backend}] {name}: {cycles.total} cycles "
+          f"({compiled.optimized_exprs} expressions synthesized, "
+          f"{compiled.fallbacks} fallbacks)")
+    for sc in cycles.stages:
+        print(f"    stage {sc.name}: {sc.total} cycles "
+              f"(II {sc.compute_ii}, mem {sc.memory_cycles}, {sc.bound}-bound)")
+    if show_programs or asm:
+        for cs in compiled.stages:
+            for ce in cs.exprs:
+                if ce.selector == "trivial":
+                    continue
+                print(f"\n-- {cs.name} [{ce.selector}] --")
+                if asm:
+                    print(to_assembly(ce.program))
+                else:
+                    print(program_listing(ce.program))
+    return cycles.total
+
+
+def _cmd_compile(args) -> int:
+    if args.workload not in names():
+        print(f"unknown workload {args.workload!r}; see `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    backends = ["rake", "baseline"] if args.backend == "both" else [args.backend]
+    totals = {}
+    for backend in backends:
+        totals[backend] = _compile_one(
+            args.workload, backend, args.show_programs, args.width,
+            args.height, asm=args.asm,
+        )
+    if len(totals) == 2:
+        print(f"\nspeedup: {totals['baseline'] / totals['rake']:.2f}x "
+              f"(baseline / rake)")
+    return 0
+
+
+def _cmd_isa(args) -> int:
+    for name, instr in sorted(all_instructions().items()):
+        if args.target == "hvx" and name.startswith("neon."):
+            continue
+        if args.target == "neon" and not name.startswith("neon."):
+            continue
+        if args.group and args.group not in instr.groups:
+            continue
+        groups = ",".join(sorted(instr.groups))
+        print(f"{name:<18} [{instr.resource:>7}] ({groups})")
+        print(f"    {instr.doc}")
+    return 0
+
+
+def _cmd_speedups(args) -> int:
+    rows = []
+    for wl in all_workloads():
+        if args.only and wl.name not in args.only:
+            continue
+        print(f"compiling {wl.name} ...", file=sys.stderr)
+        rake = compile_pipeline(wl.build(), backend="rake")
+        base = compile_pipeline(wl.build(), backend="baseline")
+        rows.append(SpeedupRow(
+            name=wl.name,
+            rake_cycles=measure(rake, wl.width, wl.height).total,
+            baseline_cycles=measure(base, wl.width, wl.height).total,
+            paper_speedup=wl.paper_speedup,
+            paper_band=wl.paper_band,
+        ))
+    print(speedup_figure(sorted(rows, key=lambda r: r.name)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rake (ASPLOS 2022) reproduction: synthesis-based "
+                    "vector instruction selection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 21 paper benchmarks")
+
+    p_compile = sub.add_parser("compile", help="compile one benchmark")
+    p_compile.add_argument("workload")
+    p_compile.add_argument("--backend", choices=("rake", "baseline", "both"),
+                           default="both")
+    p_compile.add_argument("--show-programs", action="store_true")
+    p_compile.add_argument("--asm", action="store_true",
+                           help="print register-allocated assembly listings")
+    p_compile.add_argument("--width", type=int, default=None)
+    p_compile.add_argument("--height", type=int, default=None)
+
+    p_isa = sub.add_parser("isa", help="browse the instruction registry")
+    p_isa.add_argument("--target", choices=("all", "hvx", "neon"),
+                       default="all")
+    p_isa.add_argument("--group", default=None,
+                       help="filter by group tag (e.g. mpy, narrow, swizzle)")
+
+    p_speed = sub.add_parser("speedups",
+                             help="the Figure 11 sweep (slow: full synthesis)")
+    p_speed.add_argument("--only", nargs="*", default=None,
+                         help="restrict to these workloads")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "compile": _cmd_compile,
+        "isa": _cmd_isa,
+        "speedups": _cmd_speedups,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

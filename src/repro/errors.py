@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeMismatchError(ReproError):
+    """An IR expression was built or evaluated with incompatible types."""
+
+
+class EvaluationError(ReproError):
+    """An IR or ISA interpreter failed to evaluate an expression."""
+
+
+class LoweringError(ReproError):
+    """The frontend could not lower an algorithm to vector IR."""
+
+
+class SynthesisError(ReproError):
+    """A synthesis stage failed to find an equivalent implementation."""
+
+
+class UnsupportedExpressionError(SynthesisError):
+    """The optimizer does not handle this expression shape."""
+
+
+class PatternError(ReproError):
+    """A baseline rewrite pattern was malformed or misapplied."""
+
+
+class SimulationError(ReproError):
+    """The cycle simulator was given an invalid program or machine state."""
+
+
+class ScheduleError(ReproError):
+    """A frontend schedule directive was invalid for the given Func."""

@@ -1,0 +1,28 @@
+"""Mini-Halide frontend: algorithms, schedules and lowering to vector IR."""
+
+from .fexpr import (
+    FAccess,
+    FBinary,
+    FCall,
+    FCast,
+    FConst,
+    FExpr,
+    FParam,
+    FSelect,
+    Var,
+    fabsd,
+    fcast,
+    fclamp,
+    fmax,
+    fmin,
+    fsat_cast,
+    fselect,
+)
+from .func import Func, ImageParam, Schedule
+from .lowering import (
+    DEFAULT_ROW_STRIDE,
+    LoweredPipeline,
+    Stage,
+    lower_pipeline,
+    reachable_funcs,
+)

@@ -1,0 +1,197 @@
+"""Frontend expression language — the algorithm half of mini-Halide.
+
+Algorithms are written over :class:`Var` index variables and :class:`Func`
+references, exactly like Halide's pure definitions::
+
+    x, y = Var("x"), Var("y")
+    blur = Func("blur", U16)
+    blur[x, y] = (in16(x - 1, y) + 2 * in16(x, y) + in16(x + 1, y)) // 4
+
+Frontend expressions are *not* the vector IR: they reference index variables
+symbolically.  :mod:`repro.frontend.lowering` turns them into
+:mod:`repro.ir` vector expressions once a schedule fixes vectorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import LoweringError
+from ..types import ScalarType
+
+
+class FExpr:
+    """Base class of frontend (algorithm-level) expressions."""
+
+    __slots__ = ()
+
+    def _wrap(self, other) -> "FExpr":
+        if isinstance(other, int):
+            return FConst(other)
+        if isinstance(other, FExpr):
+            return other
+        raise LoweringError(f"cannot use {other!r} in an algorithm expression")
+
+    def __add__(self, other):
+        return FBinary("+", self, self._wrap(other))
+
+    def __radd__(self, other):
+        return FBinary("+", self._wrap(other), self)
+
+    def __sub__(self, other):
+        return FBinary("-", self, self._wrap(other))
+
+    def __rsub__(self, other):
+        return FBinary("-", self._wrap(other), self)
+
+    def __mul__(self, other):
+        return FBinary("*", self, self._wrap(other))
+
+    def __rmul__(self, other):
+        return FBinary("*", self._wrap(other), self)
+
+    def __floordiv__(self, other):
+        return FBinary("/", self, self._wrap(other))
+
+    def __rfloordiv__(self, other):
+        return FBinary("/", self._wrap(other), self)
+
+    def __mod__(self, other):
+        return FBinary("%", self, self._wrap(other))
+
+    def __lshift__(self, other):
+        return FBinary("<<", self, self._wrap(other))
+
+    def __rshift__(self, other):
+        return FBinary(">>", self, self._wrap(other))
+
+    def __lt__(self, other):
+        return FBinary("<", self, self._wrap(other))
+
+    def __gt__(self, other):
+        return FBinary(">", self, self._wrap(other))
+
+    def __le__(self, other):
+        return FBinary("<=", self, self._wrap(other))
+
+    def __ge__(self, other):
+        return FBinary(">=", self, self._wrap(other))
+
+
+@dataclass(frozen=True, eq=False)
+class Var(FExpr):
+    """A pure index variable (x, y, a tile coordinate...)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FConst(FExpr):
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FParam(FExpr):
+    """A runtime scalar parameter (loop invariant)."""
+
+    name: str
+    dtype: ScalarType
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class FBinary(FExpr):
+    op: str
+    a: FExpr
+    b: FExpr
+
+    def __repr__(self) -> str:
+        return f"({self.a} {self.op} {self.b})"
+
+
+@dataclass(frozen=True, eq=False)
+class FCall(FExpr):
+    """A call of a two-argument function: min, max, absd, avg variants."""
+
+    fn: str
+    args: tuple
+
+    def __repr__(self) -> str:
+        return f"{self.fn}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True, eq=False)
+class FCast(FExpr):
+    dtype: ScalarType
+    value: FExpr
+    saturating: bool = False
+
+    def __repr__(self) -> str:
+        suffix = "_sat" if self.saturating else ""
+        return f"{self.dtype}{suffix}({self.value})"
+
+
+@dataclass(frozen=True, eq=False)
+class FSelect(FExpr):
+    cond: FExpr
+    t: FExpr
+    f: FExpr
+
+    def __repr__(self) -> str:
+        return f"select({self.cond}, {self.t}, {self.f})"
+
+
+@dataclass(frozen=True, eq=False)
+class FAccess(FExpr):
+    """A call of a Func or input buffer at index expressions."""
+
+    target: object  # Func or ImageParam
+    indices: tuple
+
+    def __repr__(self) -> str:
+        idx = ", ".join(map(repr, self.indices))
+        return f"{self.target.name}({idx})"
+
+
+def fmin(a: FExpr, b) -> FExpr:
+    a = a if isinstance(a, FExpr) else FConst(a)
+    return FCall("min", (a, a._wrap(b)))
+
+
+def fmax(a: FExpr, b) -> FExpr:
+    a = a if isinstance(a, FExpr) else FConst(a)
+    return FCall("max", (a, a._wrap(b)))
+
+
+def fabsd(a: FExpr, b) -> FExpr:
+    return FCall("absd", (a, a._wrap(b)))
+
+
+def fclamp(v: FExpr, lo, hi) -> FExpr:
+    return fmin(fmax(v, lo), hi)
+
+
+def fcast(dtype: ScalarType, v) -> FExpr:
+    if isinstance(v, int):
+        v = FConst(v)
+    return FCast(dtype, v, saturating=False)
+
+
+def fsat_cast(dtype: ScalarType, v) -> FExpr:
+    if isinstance(v, int):
+        v = FConst(v)
+    return FCast(dtype, v, saturating=True)
+
+
+def fselect(cond: FExpr, t: FExpr, f) -> FExpr:
+    t = t if isinstance(t, FExpr) else FConst(t)
+    return FSelect(cond, t, t._wrap(f))

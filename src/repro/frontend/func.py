@@ -1,0 +1,118 @@
+"""Funcs, input images and schedules — the mini-Halide programming model.
+
+A :class:`Func` has a pure definition over index variables, optionally
+followed by update definitions (the reduction form used by matmul and the
+ML benchmarks).  The schedule surface mirrors the paper's Figure 2: funcs
+can be offloaded (``hexagon``), tiled, vectorized and materialized
+(``compute_root``) or inlined (the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+from ..types import ScalarType
+from .fexpr import FAccess, FConst, FExpr, Var
+
+
+def _wrap_indices(indices) -> tuple:
+    return tuple(FConst(i) if isinstance(i, int) else i for i in indices)
+
+
+@dataclass(frozen=True)
+class ImageParam:
+    """A named input buffer of ``dims`` dimensions."""
+
+    name: str
+    elem: ScalarType
+    dims: int = 2
+
+    def __call__(self, *indices) -> FAccess:
+        if len(indices) != self.dims:
+            raise ScheduleError(
+                f"{self.name} has {self.dims} dimensions, got {len(indices)}"
+            )
+        return FAccess(self, _wrap_indices(indices))
+
+
+@dataclass
+class Schedule:
+    """Scheduling directives attached to a Func.
+
+    ``compute_root`` materializes the Func into its own buffer (its
+    expression becomes a separate synthesis unit); inlined Funcs dissolve
+    into their consumers, exactly as in Halide.  ``hexagon``, ``tile`` and
+    ``prefetch`` shape the simulated loop nest.
+    """
+
+    compute_root: bool = False
+    vectorize_lanes: int | None = None
+    hexagon: bool = False
+    tile: tuple | None = None  # (tile_w, tile_h)
+    prefetch: int = 0
+
+
+class Func:
+    """A pure (optionally updated) image function."""
+
+    def __init__(self, name: str, elem: ScalarType):
+        self.name = name
+        self.elem = elem
+        self.args: tuple = ()
+        self.body: FExpr | None = None
+        self.updates: list[FExpr] = []
+        self.update_extents: list[int] = []
+        self.schedule = Schedule()
+
+    # -- definition ---------------------------------------------------------
+
+    def __setitem__(self, key, value: FExpr) -> None:
+        args = key if isinstance(key, tuple) else (key,)
+        if not all(isinstance(a, Var) for a in args):
+            raise ScheduleError("Func definitions index by Vars only")
+        if self.body is not None:
+            raise ScheduleError(f"{self.name} is already defined")
+        self.args = tuple(args)
+        self.body = value if isinstance(value, FExpr) else FExpr()._wrap(value)
+
+    def update(self, expr: FExpr, extent: int = 1) -> "Func":
+        """Add an update definition (e.g. ``f.update(f(x) + in(r, x), K)``).
+
+        Self-references inside ``expr`` read the currently stored value —
+        the accumulator of a reduction loop.  ``extent`` is the reduction
+        domain size: the update runs that many times per output tile.
+        """
+        if self.body is None:
+            raise ScheduleError(f"{self.name} must be defined before updates")
+        self.updates.append(expr)
+        self.update_extents.append(extent)
+        return self
+
+    def __call__(self, *indices) -> FAccess:
+        return FAccess(self, _wrap_indices(indices))
+
+    # -- schedule ------------------------------------------------------------
+
+    def compute_root(self) -> "Func":
+        self.schedule.compute_root = True
+        return self
+
+    def vectorize(self, lanes: int) -> "Func":
+        self.schedule.vectorize_lanes = lanes
+        return self
+
+    def hexagon(self) -> "Func":
+        self.schedule.hexagon = True
+        return self
+
+    def tile(self, tile_w: int, tile_h: int) -> "Func":
+        self.schedule.tile = (tile_w, tile_h)
+        return self
+
+    def prefetch(self, iterations: int) -> "Func":
+        self.schedule.prefetch = iterations
+        return self
+
+    def __repr__(self) -> str:
+        return f"Func({self.name})"

@@ -1,0 +1,69 @@
+"""Concrete load-sequence construction shared by both instruction selectors.
+
+A dense element window can reach a register three ways (cheapest first):
+an aligned ``vmem``, an unaligned ``vmemu`` (double load-unit occupancy),
+or ``valign`` of the two surrounding aligned vectors.  Strided windows are
+materialized by loading the dense footprint and deinterleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import EvaluationError
+from ..types import ScalarType
+from .isa import HvxExpr, HvxInstr, HvxLoad
+
+
+def window_realizations(
+    buffer: str, offset: int, lanes: int, elem: ScalarType
+) -> Iterator[HvxExpr]:
+    """All single-vector loads of a dense window, cheapest first."""
+    if offset % lanes == 0:
+        yield HvxLoad(buffer, offset, lanes, elem)
+        return
+    yield HvxLoad(buffer, offset, lanes, elem)  # vmemu
+    base = (offset // lanes) * lanes
+    yield HvxInstr(
+        "valign",
+        (
+            HvxLoad(buffer, base, lanes, elem),
+            HvxLoad(buffer, base + lanes, lanes, elem),
+        ),
+        (offset - base,),
+    )
+
+
+def load_window(
+    buffer: str, offset: int, lanes: int, elem: ScalarType, stride: int = 1
+) -> HvxExpr:
+    """One reasonable realization of a (possibly strided) window.
+
+    This is the non-searching path used by the baseline optimizer; the
+    synthesis path enumerates all realizations instead.
+    """
+    if stride == 1:
+        return next(window_realizations(buffer, offset, lanes, elem))
+    if stride == 2:
+        dense = offset if offset % 2 == 0 else offset - 1
+        half = "lo" if offset % 2 == 0 else "hi"
+        w0 = load_window(buffer, dense, lanes, elem)
+        w1 = load_window(buffer, dense + lanes, lanes, elem)
+        dealt = HvxInstr("vdealvdd", (HvxInstr("vcombine", (w0, w1)),))
+        return HvxInstr(half, (dealt,))
+    if stride == 4:
+        a = load_window(buffer, offset, lanes, elem, 2)
+        b = load_window(buffer, offset + 2 * lanes, lanes, elem, 2)
+        dealt = HvxInstr("vdealvdd", (HvxInstr("vcombine", (a, b)),))
+        return HvxInstr("lo", (dealt,))
+    raise EvaluationError(f"unsupported load stride: {stride}")
+
+
+def load_pair(buffer: str, offset: int, lanes: int, elem: ScalarType,
+              stride: int = 1) -> HvxExpr:
+    """A register pair holding ``lanes`` window elements (lo then hi)."""
+    half = lanes // 2
+    return HvxInstr("vcombine", (
+        load_window(buffer, offset, half, elem, stride),
+        load_window(buffer, offset + half * stride, half, elem, stride),
+    ))

@@ -1,0 +1,48 @@
+"""Pretty-printer for HVX programs, in the paper's rendering style:
+
+    vtmpy(vcombine(input[-1..126], input[127..254]), 0x1, 0x2)
+"""
+
+from __future__ import annotations
+
+from ..ir import printer as ir_printer
+from .isa import HvxExpr, HvxInstr, HvxLoad, HvxSplat
+
+
+def to_string(node: HvxExpr) -> str:
+    """Compact single-line rendering of an HVX expression."""
+    if isinstance(node, HvxLoad):
+        tag = "" if node.aligned else "u"
+        return (
+            f"vmem{tag}({node.buffer}[{node.offset}.."
+            f"{node.offset + node.lanes - 1}])"
+        )
+    if isinstance(node, HvxSplat):
+        return f"vsplat({ir_printer.to_string(node.scalar)})"
+    if isinstance(node, HvxInstr):
+        parts = [to_string(a) for a in node.args]
+        parts.extend(hex(i) if i >= 0 else str(i) for i in node.imms)
+        return f"{node.op}({', '.join(parts)})"
+    return repr(node)
+
+
+def to_pretty(node: HvxExpr, indent: int = 0, width: int = 70) -> str:
+    """Indented multi-line rendering for large programs."""
+    flat = to_string(node)
+    pad = "  " * indent
+    if len(flat) <= width or not isinstance(node, HvxInstr) or not node.args:
+        return pad + flat
+    parts = [to_pretty(a, indent + 1, width) for a in node.args]
+    parts.extend(
+        "  " * (indent + 1) + (hex(i) if i >= 0 else str(i)) for i in node.imms
+    )
+    inner = ",\n".join(parts)
+    return f"{pad}{node.op}(\n{inner})"
+
+
+def program_listing(node: HvxExpr) -> str:
+    """Multi-line rendering preceded by the paper-style cost annotation."""
+    from .cost import display_latency, load_count
+
+    header = f"/* Latency: {display_latency(node)}, Loads: {load_count(node)} */"
+    return header + "\n" + to_pretty(node)

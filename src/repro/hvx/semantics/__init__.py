@@ -1,0 +1,6 @@
+"""Instruction definitions, grouped by functional unit.
+
+Importing this package populates the ISA registry in :mod:`repro.hvx.isa`.
+"""
+
+from . import alu, multiply, permute, shift  # noqa: F401

@@ -1,0 +1,250 @@
+"""ALU instruction family: add/sub (wrapping and saturating), min/max,
+averages, absolute difference, bitwise logic, compares and mux.
+
+All operations are elementwise over matching vec/pair operands.  Groups tag
+each instruction with the compute patterns it can realize so the per-uber
+grammars (:mod:`repro.synthesis.grammar`) can select candidates.
+"""
+
+from __future__ import annotations
+
+from ...types import ScalarType
+from ..isa import HvxType, define, pred
+from ..values import PredVec, Vec, VecPair
+from .common import (
+    binary_lanewise,
+    bits_compatible,
+    make_result,
+    require,
+    same_bits_2,
+    same_shape_2,
+    unsigned_result,
+    widened,
+)
+
+
+def _kind(v) -> str:
+    return "pair" if isinstance(v, VecPair) else "vec"
+
+
+define(
+    "vadd", 2, "alu",
+    same_bits_2,
+    binary_lanewise(lambda x, y, e: e.wrap(x + y)),
+    groups=("add", "mpyadd"),
+    doc="Elementwise wrapping addition (vaddb/vaddh/vaddw families).",
+)
+
+define(
+    "vadd_sat", 2, "alu",
+    same_shape_2,
+    binary_lanewise(lambda x, y, e: e.saturate(x + y)),
+    groups=("add", "sat"),
+    doc="Elementwise saturating addition.",
+)
+
+define(
+    "vsub", 2, "alu",
+    same_bits_2,
+    binary_lanewise(lambda x, y, e: e.wrap(x - y)),
+    groups=("sub", "mpyadd"),
+    doc="Elementwise wrapping subtraction.",
+)
+
+define(
+    "vsub_sat", 2, "alu",
+    same_shape_2,
+    binary_lanewise(lambda x, y, e: e.saturate(x - y)),
+    groups=("sub", "sat"),
+    doc="Elementwise saturating subtraction.",
+)
+
+define(
+    "vavg", 2, "alu",
+    same_shape_2,
+    binary_lanewise(lambda x, y, e: (x + y) >> 1),
+    groups=("avg",),
+    doc="Elementwise truncating average (a + b) >> 1, computed exactly.",
+)
+
+define(
+    "vavg_rnd", 2, "alu",
+    same_shape_2,
+    binary_lanewise(lambda x, y, e: (x + y + 1) >> 1),
+    groups=("avg",),
+    doc="Elementwise rounding average (a + b + 1) >> 1.",
+)
+
+define(
+    "vnavg", 2, "alu",
+    same_shape_2,
+    binary_lanewise(lambda x, y, e: e.wrap((x - y) >> 1)),
+    groups=("avg",),
+    doc="Elementwise halving difference (a - b) >> 1.",
+)
+
+def _vabsdiff_sem(args, _imms):
+    a, b = args
+    elem = ScalarType(a.elem.bits, False)
+    out = tuple(abs(x - y) for x, y in zip(a.values, b.values))
+    return make_result(_kind(a), elem, out)
+
+
+define(
+    "vabsdiff", 2, "alu",
+    unsigned_result,
+    _vabsdiff_sem,
+    groups=("absd",),
+    doc="Elementwise absolute difference; result is unsigned of same width.",
+)
+
+define(
+    "vmax", 2, "alu",
+    same_shape_2,
+    binary_lanewise(lambda x, y, e: max(x, y)),
+    groups=("minmax",),
+    doc="Elementwise maximum.",
+)
+
+define(
+    "vmin", 2, "alu",
+    same_shape_2,
+    binary_lanewise(lambda x, y, e: min(x, y)),
+    groups=("minmax",),
+    doc="Elementwise minimum.",
+)
+
+
+def _bitwise(f):
+    def sem(args, _imms):
+        a, b = args
+        bits = a.elem.bits
+        mask = (1 << bits) - 1
+        out = tuple(
+            a.elem.wrap(f(x & mask, y & mask)) for x, y in zip(a.values, b.values)
+        )
+        return make_result(_kind(a), a.elem, out)
+
+    return sem
+
+
+define("vand", 2, "alu", same_bits_2, _bitwise(lambda x, y: x & y),
+       groups=("logic",), doc="Bitwise AND.")
+define("vor", 2, "alu", same_bits_2, _bitwise(lambda x, y: x | y),
+       groups=("logic",), doc="Bitwise OR.")
+define("vxor", 2, "alu", same_bits_2, _bitwise(lambda x, y: x ^ y),
+       groups=("logic",), doc="Bitwise XOR.")
+
+
+def _vnot_type(ts, _imms):
+    (a,) = ts
+    require(a.kind in ("vec", "pair"), "vnot needs a vector operand")
+    return a
+
+
+def _vnot_sem(args, _imms):
+    (a,) = args
+    mask = (1 << a.elem.bits) - 1
+    out = tuple(a.elem.wrap(~x & mask) for x in a.values)
+    return make_result(_kind(a), a.elem, out)
+
+
+define("vnot", 1, "alu", _vnot_type, _vnot_sem, groups=("logic",),
+       doc="Bitwise NOT.")
+
+
+def _vabs_type(ts, _imms):
+    (a,) = ts
+    require(a.kind in ("vec", "pair"), "vabs needs a vector operand")
+    require(a.elem.signed, "vabs is defined for signed lanes")
+    return a
+
+
+def _vabs_sem(saturate: bool):
+    def sem(args, _imms):
+        (a,) = args
+        conv = a.elem.saturate if saturate else a.elem.wrap
+        out = tuple(conv(abs(x)) for x in a.values)
+        return make_result(_kind(a), a.elem, out)
+
+    return sem
+
+
+define("vabs", 1, "alu", _vabs_type, _vabs_sem(False), groups=("absd",),
+       doc="Absolute value (wraps at the type minimum, like VABS).")
+define("vabs_sat", 1, "alu", _vabs_type, _vabs_sem(True),
+       groups=("absd", "sat"),
+       doc="Saturating absolute value (type minimum maps to maximum).")
+
+
+def _cmp_type(ts, _imms):
+    a = same_shape_2(ts)
+    require(a.is_vec, "compares operate on single vectors")
+    return pred(a.lanes)
+
+
+def _cmp(f):
+    def sem(args, _imms):
+        a, b = args
+        return PredVec(tuple(f(x, y) for x, y in zip(a.values, b.values)))
+
+    return sem
+
+
+define("vcmp_gt", 2, "alu", _cmp_type, _cmp(lambda x, y: x > y),
+       groups=("cmp",), doc="Elementwise greater-than, writes a predicate.")
+define("vcmp_eq", 2, "alu", _cmp_type, _cmp(lambda x, y: x == y),
+       groups=("cmp",), doc="Elementwise equality, writes a predicate.")
+
+
+def _vmux_type(ts, _imms):
+    q, a, b = ts
+    require(q.kind == "pred", "vmux selector must be a predicate")
+    require(a == b and a.is_vec, "vmux arms must be matching vectors")
+    require(q.lanes == a.lanes, "vmux lane count mismatch")
+    return a
+
+
+def _vmux_sem(args, _imms):
+    q, a, b = args
+    out = tuple(x if c else y for c, x, y in zip(q.values, a.values, b.values))
+    return Vec(a.elem, out)
+
+
+define("vmux", 3, "alu", _vmux_type, _vmux_sem, groups=("select",),
+       doc="Per-lane select driven by a predicate register.")
+
+
+def _widen_type(signed: bool):
+    def type_fn(ts, _imms):
+        (a,) = ts
+        require(a.is_vec, "extension requires a single vector")
+        require(a.elem.bits <= 16, "cannot widen past 32 bits here")
+        require(a.elem.signed == signed,
+                f"{'vsxt' if signed else 'vzxt'} needs "
+                f"{'signed' if signed else 'unsigned'} input")
+        return widened(a)
+
+    return type_fn
+
+
+def _extend_sem(args, _imms):
+    (a,) = args
+    return VecPair(a.elem.widened(), a.values)
+
+
+define(
+    "vzxt", 1, "permute",
+    _widen_type(signed=False),
+    _extend_sem,
+    groups=("widen",),
+    doc="Zero-extend each lane into a pair of double-width lanes (in order).",
+)
+
+define(
+    "vsxt", 1, "permute",
+    _widen_type(signed=True),
+    _extend_sem,
+    groups=("widen",),
+    doc="Sign-extend each lane into a pair of double-width lanes (in order).",
+)

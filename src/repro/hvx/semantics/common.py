@@ -1,0 +1,114 @@
+"""Shared type-rule and semantics helpers for HVX instruction definitions."""
+
+from __future__ import annotations
+
+from ...errors import TypeMismatchError
+from ...types import ScalarType
+from ..isa import HvxType, pair, pred, vec
+from ..values import PredVec, Vec, VecPair
+
+
+def fail(msg: str):
+    raise TypeMismatchError(msg)
+
+
+def require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise TypeMismatchError(msg)
+
+
+def same_shape_2(ts: tuple, _imms: tuple = ()) -> HvxType:
+    """Both operands identical vec/pair type; result is the same type.
+
+    Used by value-dependent operations (min/max, averages, saturating
+    arithmetic) where the signedness interpretation matters.
+    """
+    a, b = ts
+    require(a == b and a.kind in ("vec", "pair"), f"operands must match: {a} vs {b}")
+    return a
+
+
+def bits_compatible(a: HvxType, b: HvxType) -> bool:
+    """Same register shape: kind, lane count and element width.
+
+    Signedness is ignored — registers carry bits, and wrapping
+    (two's-complement) operations are signedness-agnostic.
+    """
+    return (
+        a.kind == b.kind
+        and a.kind in ("vec", "pair")
+        and a.lanes == b.lanes
+        and a.elem is not None
+        and b.elem is not None
+        and a.elem.bits == b.elem.bits
+    )
+
+
+def same_bits_2(ts: tuple, _imms: tuple = ()) -> HvxType:
+    """Operands must be bit-compatible; result takes the first's type.
+
+    Used by wrapping arithmetic and bitwise logic, which operate on bit
+    patterns: adding an i16 accumulator to a u16 vector is well defined.
+    """
+    a, b = ts
+    require(bits_compatible(a, b), f"operands must be bit-compatible: {a} vs {b}")
+    return a
+
+
+def unsigned_result(ts: tuple, _imms: tuple = ()) -> HvxType:
+    """Same shape as operands, but unsigned element of the same width."""
+    a = same_shape_2(ts)
+    return HvxType(a.kind, ScalarType(a.elem.bits, False), a.lanes)
+
+
+def widened(t: HvxType, signed: bool | None = None) -> HvxType:
+    """The pair type holding the widened elements of a vec ``t``."""
+    require(t.is_vec, "widening requires a single vector")
+    elem = t.elem.widened()
+    if signed is not None:
+        elem = ScalarType(elem.bits, signed)
+    return pair(elem, t.lanes)
+
+
+def elementwise(op):
+    """Lift a scalar function to vec/pair operands lanewise.
+
+    All vec/pair operands must share lane counts; scalar ints pass through.
+    The result element type must be supplied by the caller via closure.
+    """
+
+    def apply(values, elem, kind="vec"):
+        lanes = len(values[0])
+        rows = []
+        for v in values:
+            rows.append(v.values if isinstance(v, (Vec, VecPair, PredVec)) else (v,) * lanes)
+        out = tuple(op(*vals) for vals in zip(*rows))
+        if kind == "pair":
+            return VecPair(elem, out)
+        return Vec(elem, out)
+
+    return apply
+
+
+def make_result(kind: str, elem: ScalarType, values) -> Vec | VecPair:
+    values = tuple(values)
+    if kind == "pair":
+        return VecPair(elem, values)
+    return Vec(elem, values)
+
+
+def binary_lanewise(f):
+    """Semantics for a same-type binary op: ``out[i] = f(a[i], b[i], elem)``."""
+
+    def sem(args, _imms):
+        a, b = args
+        out = tuple(f(x, y, a.elem) for x, y in zip(a.values, b.values))
+        return make_result("pair" if isinstance(a, VecPair) else "vec", a.elem, out)
+
+    return sem
+
+
+def product_elem(a: ScalarType, b: ScalarType) -> ScalarType:
+    """Widened element type of a multiply: unsigned only if both are."""
+    require(a.bits == b.bits, f"multiply width mismatch: {a} vs {b}")
+    return ScalarType(a.bits * 2, a.signed or b.signed)

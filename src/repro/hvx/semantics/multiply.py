@@ -1,0 +1,401 @@
+"""Multiply instruction family: widening multiplies, multiply-accumulates,
+the vmpa two-row multiply-add, pairwise/sliding reductions (vdmpy, vtmpy,
+vrmpy) and the even/odd word-by-halfword multiplies (vmpyie/vmpyio).
+
+Layout model (see DESIGN.md): all multiplies here produce pairs in logical
+(in-order) register layout *except* ``vtmpy``/``vtmpy_acc``, which produce
+deinterleaved pairs exactly as the paper describes for real HVX — the
+swizzle synthesizer must interleave their output when an in-order result is
+required.
+"""
+
+from __future__ import annotations
+
+from ...types import ScalarType
+from ..isa import HvxType, define, pair, vec
+from ..values import Vec, VecPair
+from .common import bits_compatible, product_elem, require
+
+
+def _vmpy_type(ts, _imms=()):
+    a, b = ts
+    require(a.is_vec and b.is_vec, "vmpy needs two single vectors")
+    require(a.lanes == b.lanes, "vmpy lane count mismatch")
+    return pair(product_elem(a.elem, b.elem), a.lanes)
+
+
+def _vmpy_sem(args, _imms):
+    a, b = args
+    elem = product_elem(a.elem, b.elem)
+    return VecPair(elem, tuple(x * y for x, y in zip(a.values, b.values)))
+
+
+define(
+    "vmpy", 2, "mpy",
+    _vmpy_type,
+    _vmpy_sem,
+    groups=("mpy", "widening", "mpyadd"),
+    doc="Widening elementwise multiply; result is an in-order pair.",
+)
+
+
+def _vmpy_acc_type(ts, _imms):
+    acc, a, b = ts
+    prod = _vmpy_type((a, b))
+    require(bits_compatible(acc, prod),
+            f"accumulator type {acc} != product type {prod}")
+    return acc
+
+
+def _vmpy_acc_sem(args, _imms):
+    acc, a, b = args
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(c + x * y) for c, x, y in zip(acc.values, a.values, b.values)
+    )
+    return VecPair(elem, out)
+
+
+define(
+    "vmpy_acc", 3, "mpy",
+    _vmpy_acc_type,
+    _vmpy_acc_sem,
+    groups=("mpy", "widening", "acc", "mpyadd"),
+    doc="Widening multiply-accumulate: acc[i] += a[i] * b[i].",
+)
+
+
+def _vmpyi_type(ts, _imms=()):
+    a, b = ts
+    require(a == b and a.kind in ("vec", "pair"),
+            "vmpyi needs matching operands")
+    require(a.elem.bits >= 16, "vmpyi exists for halfword/word elements")
+    return a
+
+
+def _vmpyi_sem(args, _imms):
+    a, b = args
+    out = tuple(a.elem.wrap(x * y) for x, y in zip(a.values, b.values))
+    if isinstance(a, VecPair):
+        return VecPair(a.elem, out)
+    return Vec(a.elem, out)
+
+
+define(
+    "vmpyi", 2, "mpy",
+    _vmpyi_type,
+    _vmpyi_sem,
+    groups=("mpy", "mpyadd"),
+    doc="Non-widening (wrapping) elementwise multiply.",
+)
+
+
+def _vmpyi_acc_type(ts, _imms):
+    acc, a, b = ts
+    prod = _vmpyi_type((a, b))
+    require(bits_compatible(acc, prod), "vmpyi_acc accumulator type mismatch")
+    return acc
+
+
+def _vmpyi_acc_sem(args, _imms):
+    acc, a, b = args
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(c + x * y) for c, x, y in zip(acc.values, a.values, b.values)
+    )
+    if isinstance(acc, VecPair):
+        return VecPair(elem, out)
+    return Vec(elem, out)
+
+
+define(
+    "vmpyi_acc", 3, "mpy",
+    _vmpyi_acc_type,
+    _vmpyi_acc_sem,
+    groups=("mpy", "acc", "mpyadd"),
+    doc="Non-widening multiply-accumulate: acc[i] += a[i] * b[i] (wrapping).",
+)
+
+
+def _vmpa_type(ts, imms):
+    (p,) = ts
+    require(p.is_pair, "vmpa consumes a vector pair (two rows)")
+    require(p.elem.bits <= 16, "vmpa widens; input must be byte or halfword")
+    return pair(ScalarType(p.elem.bits * 2, True), p.lanes // 2)
+
+
+def _vmpa_sem(args, imms):
+    (p,) = args
+    w0, w1 = imms
+    half = p.lanes // 2
+    elem = ScalarType(p.elem.bits * 2, True)
+    out = tuple(
+        p.values[i] * w0 + p.values[half + i] * w1 for i in range(half)
+    )
+    return VecPair(elem, out)
+
+
+define(
+    "vmpa", 1, "mpy",
+    _vmpa_type,
+    _vmpa_sem,
+    n_imms=2,
+    groups=("mpy", "widening", "mpyadd"),
+    doc="Two-row widening multiply-add: out[i] = lo[i]*w0 + hi[i]*w1 "
+        "(in-order pair result).",
+)
+
+
+def _vmpa_acc_type(ts, imms):
+    acc, p = ts
+    prod = _vmpa_type((p,), imms)
+    require(bits_compatible(acc, prod), "vmpa_acc accumulator type mismatch")
+    return acc
+
+
+def _vmpa_acc_sem(args, imms):
+    acc, p = args
+    w0, w1 = imms
+    half = p.lanes // 2
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(acc.values[i] + p.values[i] * w0 + p.values[half + i] * w1)
+        for i in range(half)
+    )
+    return VecPair(elem, out)
+
+
+define(
+    "vmpa_acc", 2, "mpy",
+    _vmpa_acc_type,
+    _vmpa_acc_sem,
+    n_imms=2,
+    groups=("mpy", "widening", "acc", "mpyadd"),
+    doc="Accumulating vmpa: acc[i] += lo[i]*w0 + hi[i]*w1.",
+)
+
+
+def _vdmpy_type(ts, imms):
+    (a,) = ts
+    require(a.is_vec, "vdmpy consumes a single vector")
+    require(a.elem.bits <= 16, "vdmpy widens; input must be byte or halfword")
+    return vec(ScalarType(a.elem.bits * 2, True), a.lanes // 2)
+
+
+def _vdmpy_sem(args, imms):
+    (a,) = args
+    w0, w1 = imms
+    elem = ScalarType(a.elem.bits * 2, True)
+    out = tuple(
+        a.values[2 * i] * w0 + a.values[2 * i + 1] * w1
+        for i in range(a.lanes // 2)
+    )
+    return Vec(elem, out)
+
+
+define(
+    "vdmpy", 1, "mpy",
+    _vdmpy_type,
+    _vdmpy_sem,
+    n_imms=2,
+    groups=("mpy", "widening", "reduce", "mpyadd"),
+    doc="Pairwise (stride-2) widening dot product: "
+        "out[i] = in[2i]*w0 + in[2i+1]*w1.",
+)
+
+
+def _vdmpy_acc_type(ts, imms):
+    acc, a = ts
+    prod = _vdmpy_type((a,), imms)
+    require(bits_compatible(acc, prod), "vdmpy_acc accumulator type mismatch")
+    return acc
+
+
+def _vdmpy_acc_sem(args, imms):
+    acc, a = args
+    w0, w1 = imms
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(acc.values[i] + a.values[2 * i] * w0 + a.values[2 * i + 1] * w1)
+        for i in range(a.lanes // 2)
+    )
+    return Vec(elem, out)
+
+
+define(
+    "vdmpy_acc", 2, "mpy",
+    _vdmpy_acc_type,
+    _vdmpy_acc_sem,
+    n_imms=2,
+    groups=("mpy", "widening", "acc", "reduce", "mpyadd"),
+    doc="Accumulating pairwise dot product.",
+)
+
+
+def _vtmpy_type(ts, imms):
+    (p,) = ts
+    require(p.is_pair, "vtmpy consumes a vector pair (contiguous window)")
+    require(p.elem.bits <= 16, "vtmpy widens; input must be byte or halfword")
+    return pair(ScalarType(p.elem.bits * 2, True), p.lanes // 2)
+
+
+def _vtmpy_logical(p: VecPair, w0: int, w1: int) -> list:
+    n = p.lanes // 2
+    return [
+        p.values[i] * w0 + p.values[i + 1] * w1 + p.values[i + 2]
+        for i in range(n)
+    ]
+
+
+def _deinterleave_order(seq) -> tuple:
+    return tuple(seq[0::2]) + tuple(seq[1::2])
+
+
+define(
+    "vtmpy", 1, "mpy",
+    _vtmpy_type,
+    lambda args, imms: VecPair(
+        ScalarType(args[0].elem.bits * 2, True),
+        _deinterleave_order(_vtmpy_logical(args[0], *imms)),
+    ),
+    n_imms=2,
+    groups=("mpy", "widening", "sliding", "mpyadd"),
+    doc="3-point sliding widening multiply-add over a contiguous pair: "
+        "out[i] = in[i]*w0 + in[i+1]*w1 + in[i+2].  Result pair is "
+        "DEINTERLEAVED (even logical lanes in lo, odd in hi).",
+)
+
+
+def _vtmpy_acc_type(ts, imms):
+    acc, p = ts
+    prod = _vtmpy_type((p,), imms)
+    require(bits_compatible(acc, prod), "vtmpy_acc accumulator type mismatch")
+    return acc
+
+
+def _vtmpy_acc_sem(args, imms):
+    acc, p = args
+    elem = acc.elem
+    logical = _deinterleave_order(_vtmpy_logical(p, *imms))
+    out = tuple(elem.wrap(c + v) for c, v in zip(acc.values, logical))
+    return VecPair(elem, out)
+
+
+define(
+    "vtmpy_acc", 2, "mpy",
+    _vtmpy_acc_type,
+    _vtmpy_acc_sem,
+    n_imms=2,
+    groups=("mpy", "widening", "acc", "sliding", "mpyadd"),
+    doc="Accumulating vtmpy; the accumulator must use the same "
+        "deinterleaved layout as the product.",
+)
+
+
+def _vrmpy_type(ts, imms):
+    (a,) = ts
+    require(a.is_vec, "vrmpy consumes a single vector")
+    require(a.elem.bits == 8, "vrmpy exists for byte elements")
+    require(a.lanes % 4 == 0, "vrmpy needs a multiple of 4 lanes")
+    signed = a.elem.signed or any(w < 0 for w in imms)
+    return vec(ScalarType(32, signed), a.lanes // 4)
+
+
+def _vrmpy_sem(args, imms):
+    (a,) = args
+    signed = a.elem.signed or any(w < 0 for w in imms)
+    elem = ScalarType(32, signed)
+    out = tuple(
+        elem.wrap(sum(a.values[4 * i + k] * imms[k] for k in range(4)))
+        for i in range(a.lanes // 4)
+    )
+    return Vec(elem, out)
+
+
+define(
+    "vrmpy", 1, "mpy",
+    _vrmpy_type,
+    _vrmpy_sem,
+    n_imms=4,
+    groups=("mpy", "widening", "reduce", "mpyadd"),
+    doc="4-wide (stride-4) widening dot product into 32-bit lanes.",
+)
+
+
+def _vrmpy_acc_type(ts, imms):
+    acc, a = ts
+    prod = _vrmpy_type((a,), imms)
+    require(bits_compatible(acc, prod), "vrmpy_acc accumulator type mismatch")
+    return acc
+
+
+def _vrmpy_acc_sem(args, imms):
+    acc, a = args
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(acc.values[i] + sum(a.values[4 * i + k] * imms[k] for k in range(4)))
+        for i in range(a.lanes // 4)
+    )
+    return Vec(elem, out)
+
+
+define(
+    "vrmpy_acc", 2, "mpy",
+    _vrmpy_acc_type,
+    _vrmpy_acc_sem,
+    n_imms=4,
+    groups=("mpy", "widening", "acc", "reduce", "mpyadd"),
+    doc="Accumulating 4-wide dot product.",
+)
+
+
+def _vmpy_eo_type(signed_even: bool):
+    def type_fn(ts, _imms):
+        w, h = ts
+        require(w.is_vec and h.is_vec, "vmpyie/io need two single vectors")
+        require(w.elem.bits == 32, "first operand must have word lanes")
+        require(h.elem.bits == 16, "second operand must have halfword lanes")
+        require(h.lanes == 2 * w.lanes, "halfword vector must have 2x lanes")
+        return vec(ScalarType(32, True), w.lanes)
+
+    return type_fn
+
+
+def _vmpyio_sem(args, _imms):
+    w, h = args
+    elem = ScalarType(32, True)
+    signed16 = ScalarType(16, True)
+    out = tuple(
+        elem.wrap(w.values[i] * signed16.wrap(h.values[2 * i + 1]))
+        for i in range(w.lanes)
+    )
+    return Vec(elem, out)
+
+
+def _vmpyie_sem(args, _imms):
+    w, h = args
+    elem = ScalarType(32, True)
+    unsigned16 = ScalarType(16, False)
+    out = tuple(
+        elem.wrap(w.values[i] * unsigned16.wrap(h.values[2 * i]))
+        for i in range(w.lanes)
+    )
+    return Vec(elem, out)
+
+
+define(
+    "vmpyio", 2, "mpy",
+    _vmpy_eo_type(signed_even=False),
+    _vmpyio_sem,
+    groups=("mpy", "evenodd", "mpyadd"),
+    doc="Multiply word lanes by the ODD halfword lanes (signed).",
+)
+
+define(
+    "vmpyie", 2, "mpy",
+    _vmpy_eo_type(signed_even=True),
+    _vmpyie_sem,
+    groups=("mpy", "evenodd", "mpyadd"),
+    doc="Multiply word lanes by the EVEN halfword lanes, treated as "
+        "UNSIGNED — only safe when the even lanes are provably non-negative.",
+)

@@ -1,0 +1,264 @@
+"""Permute instruction family: pair construction, interleave/deinterleave,
+narrowing packs and the byte shuffles, plus window alignment (valign/vror).
+
+These are the swizzle instructions of Section 5: they move data without
+computing new values, and they execute on the (single) permute unit, which
+is why the cost model pushes the synthesizer to avoid them when possible.
+"""
+
+from __future__ import annotations
+
+from ...types import ScalarType
+from ..isa import HvxType, define, pair, vec
+from ..values import Vec, VecPair, deinterleave, interleave
+from .common import require
+
+
+def _vcombine_type(ts, _imms):
+    lo, hi = ts
+    require(lo.is_vec and hi.is_vec and lo == hi,
+            "vcombine needs two matching vectors")
+    return pair(lo.elem, lo.lanes * 2)
+
+
+define(
+    "vcombine", 2, "permute",
+    _vcombine_type,
+    lambda args, _imms: VecPair(args[0].elem, args[0].values + args[1].values),
+    groups=("pairing",),
+    doc="Concatenate two vectors into a pair (first operand becomes lo).",
+)
+
+
+def _half_type(ts, _imms):
+    (p,) = ts
+    require(p.is_pair, "lo/hi extract from a pair")
+    return vec(p.elem, p.lanes // 2)
+
+
+define(
+    "lo", 1, "none",
+    _half_type,
+    lambda args, _imms: args[0].lo,
+    latency=0,
+    groups=("pairing",),
+    doc="Extract the low vector of a pair (free register rename).",
+)
+
+define(
+    "hi", 1, "none",
+    _half_type,
+    lambda args, _imms: args[0].hi,
+    latency=0,
+    groups=("pairing",),
+    doc="Extract the high vector of a pair (free register rename).",
+)
+
+
+def _pair_identity_type(ts, _imms):
+    (p,) = ts
+    require(p.is_pair, "operand must be a pair")
+    return p
+
+
+define(
+    "vshuffvdd", 1, "permute",
+    _pair_identity_type,
+    lambda args, _imms: interleave(args[0]),
+    groups=("swizzle",),
+    doc="Interleave the halves of a pair: out[2i]=lo[i], out[2i+1]=hi[i]. "
+        "Restores logical order after a deinterleaving producer (vtmpy).",
+)
+
+define(
+    "vdealvdd", 1, "permute",
+    _pair_identity_type,
+    lambda args, _imms: deinterleave(args[0]),
+    groups=("swizzle",),
+    doc="Deinterleave a pair: lo gets even lanes, hi gets odd lanes.",
+)
+
+
+def _narrow_pack_type(signed_out):
+    def type_fn(ts, _imms):
+        a, b = ts
+        require(a.is_vec and b.is_vec and a == b,
+                "pack needs two matching vectors (hi, lo)")
+        require(a.elem.bits >= 16, "cannot narrow byte lanes")
+        signed = a.elem.signed if signed_out is None else signed_out
+        return vec(ScalarType(a.elem.bits // 2, signed), a.lanes * 2)
+
+    return type_fn
+
+
+def _pack_sem(pick, signed_out):
+    def sem(args, _imms):
+        hi, lo = args
+        signed = hi.elem.signed if signed_out is None else signed_out
+        elem = ScalarType(hi.elem.bits // 2, signed)
+        out = tuple(pick(x, hi.elem, elem) for x in lo.values + hi.values)
+        return Vec(elem, out)
+
+    return sem
+
+
+define(
+    "vpacke", 2, "permute",
+    _narrow_pack_type(None),
+    _pack_sem(lambda x, src, dst: dst.wrap(x), None),
+    groups=("narrow",),
+    doc="Truncating pack: keep the low half of each (hi, lo) lane, in order.",
+)
+
+define(
+    "vpacko", 2, "permute",
+    _narrow_pack_type(None),
+    _pack_sem(
+        lambda x, src, dst: dst.wrap((x & ((1 << src.bits) - 1)) >> dst.bits),
+        None,
+    ),
+    groups=("narrow",),
+    doc="High-half pack: keep the high half of each (hi, lo) lane, in order.",
+)
+
+define(
+    "vpackub", 2, "permute",
+    _narrow_pack_type(False),
+    _pack_sem(lambda x, src, dst: dst.saturate(x), False),
+    groups=("narrow", "sat"),
+    doc="Saturating pack of (hi, lo) to the unsigned narrowed type "
+        "(permute-unit twin of vsat; the paper's vpackub).",
+)
+
+define(
+    "vpackob", 2, "permute",
+    _narrow_pack_type(True),
+    _pack_sem(lambda x, src, dst: dst.saturate(x), True),
+    groups=("narrow", "sat"),
+    doc="Saturating pack of (hi, lo) to the signed narrowed type.",
+)
+
+
+define(
+    "vshuffeb", 2, "permute",
+    _narrow_pack_type(None),
+    # Interleaving truncation: even output lanes from lo, odd from hi —
+    # the in-order narrowing for DEINTERLEAVED pairs.
+    lambda args, _imms: Vec(
+        ScalarType(args[0].elem.bits // 2, args[0].elem.signed),
+        tuple(
+            ScalarType(args[0].elem.bits // 2, args[0].elem.signed).wrap(v)
+            for xy in zip(args[1].values, args[0].values)
+            for v in xy
+        ),
+    ),
+    groups=("narrow",),
+    doc="Interleaving truncating pack: out[2i]=trunc(lo[i]), "
+        "out[2i+1]=trunc(hi[i]).  The in-order narrowing when the source "
+        "pair is deinterleaved (Figure 4c's vshuffeb).",
+)
+
+define(
+    "vshuffob", 2, "permute",
+    _narrow_pack_type(None),
+    lambda args, _imms: Vec(
+        ScalarType(args[0].elem.bits // 2, args[0].elem.signed),
+        tuple(
+            ScalarType(args[0].elem.bits // 2, args[0].elem.signed).wrap(
+                (v & ((1 << args[0].elem.bits) - 1)) >> (args[0].elem.bits // 2)
+            )
+            for xy in zip(args[1].values, args[0].values)
+            for v in xy
+        ),
+    ),
+    groups=("narrow",),
+    doc="Interleaving high-half pack (odd bytes), counterpart of vshuffeb.",
+)
+
+
+def _valign_type(ts, imms):
+    a, b = ts
+    require(a.is_vec and b.is_vec and a == b, "valign needs matching vectors")
+    n = imms[0]
+    require(0 <= n < a.lanes, f"valign amount {n} out of range")
+    return a
+
+
+def _valign_sem(args, imms):
+    a, b = args
+    n = imms[0]
+    merged = a.values + b.values
+    return Vec(a.elem, merged[n:n + a.lanes])
+
+
+define(
+    "valign", 2, "permute",
+    _valign_type,
+    _valign_sem,
+    n_imms=1,
+    groups=("swizzle", "align"),
+    doc="Extract a lane window from the concatenation of two vectors: "
+        "out[i] = concat(a, b)[i + n].  Basis of unaligned-load synthesis.",
+)
+
+
+def _vror_type(ts, imms):
+    (a,) = ts
+    require(a.is_vec, "vror rotates a single vector")
+    return a
+
+
+def _vror_sem(args, imms):
+    (a,) = args
+    n = imms[0] % a.lanes
+    return Vec(a.elem, a.values[n:] + a.values[:n])
+
+
+define(
+    "vror", 1, "permute",
+    _vror_type,
+    _vror_sem,
+    n_imms=1,
+    groups=("swizzle",),
+    doc="Rotate lanes down by n: out[i] = in[(i + n) mod lanes].",
+)
+
+
+def _retype_type(signed: bool):
+    def type_fn(ts, _imms):
+        (a,) = ts
+        require(a.kind in ("vec", "pair"), "retype needs a vector operand")
+        return HvxType(a.kind, ScalarType(a.elem.bits, signed), a.lanes)
+
+    return type_fn
+
+
+def _retype_sem(signed: bool):
+    def sem(args, _imms):
+        (a,) = args
+        elem = ScalarType(a.elem.bits, signed)
+        out = tuple(elem.wrap(v) for v in a.values)
+        if isinstance(a, VecPair):
+            return VecPair(elem, out)
+        return Vec(elem, out)
+
+    return sem
+
+
+define(
+    "retype_i", 1, "none",
+    _retype_type(True),
+    _retype_sem(True),
+    latency=0,
+    groups=("retype",),
+    doc="Reinterpret lanes as signed (free: registers carry bits).",
+)
+
+define(
+    "retype_u", 1, "none",
+    _retype_type(False),
+    _retype_sem(False),
+    latency=0,
+    groups=("retype",),
+    doc="Reinterpret lanes as unsigned (free: registers carry bits).",
+)

@@ -1,0 +1,192 @@
+"""Shift instruction family: lane shifts and the fused narrowing shifts.
+
+The narrowing shifts (``vasrn*``) are the paper's ``vasr-rnd-sat``: they
+take the two halves of an in-order pair (``hi``, ``lo``), shift each lane
+right, optionally round and saturate, and pack into a single vector of the
+narrowed type — one shift-unit instruction replacing a shift + pack chain.
+"""
+
+from __future__ import annotations
+
+from ...types import ScalarType
+from ..isa import define, vec
+from ..values import Vec, VecPair
+from .common import make_result, require
+
+
+def _shift_type(ts, imms):
+    (a,) = ts
+    require(a.kind in ("vec", "pair"), "shift needs a vector operand")
+    n = imms[0]
+    require(0 <= n < a.elem.bits, f"shift amount {n} out of range for {a.elem}")
+    return a
+
+
+def _kind(v) -> str:
+    return "pair" if isinstance(v, VecPair) else "vec"
+
+
+def _shift_sem(f):
+    def sem(args, imms):
+        (a,) = args
+        n = imms[0]
+        out = tuple(a.elem.wrap(f(x, n, a.elem)) for x in a.values)
+        return make_result(_kind(a), a.elem, out)
+
+    return sem
+
+
+define(
+    "vasl", 1, "shift",
+    _shift_type,
+    _shift_sem(lambda x, n, e: x << n),
+    n_imms=1,
+    groups=("shift",),
+    doc="Shift left by an immediate (wrapping).",
+)
+
+define(
+    "vasr", 1, "shift",
+    _shift_type,
+    _shift_sem(lambda x, n, e: x >> n),
+    n_imms=1,
+    groups=("shift",),
+    doc="Arithmetic shift right by an immediate (value-preserving for the "
+        "signed interpretation; exact for unsigned lanes too).",
+)
+
+define(
+    "vlsr", 1, "shift",
+    _shift_type,
+    _shift_sem(lambda x, n, e: (x & ((1 << e.bits) - 1)) >> n),
+    n_imms=1,
+    groups=("shift",),
+    doc="Logical shift right by an immediate (bits view).",
+)
+
+define(
+    "vasr_rnd", 1, "shift",
+    _shift_type,
+    _shift_sem(lambda x, n, e: (x + (1 << (n - 1)) if n else x) >> n),
+    n_imms=1,
+    groups=("shift",),
+    doc="Rounding arithmetic shift right: (x + (1 << (n-1))) >> n.",
+)
+
+
+def _narrow_shift_type(signed_out: bool | None):
+    def type_fn(ts, imms):
+        a, b = ts
+        require(a.is_vec and b.is_vec and a == b,
+                "narrowing shift needs two matching vectors (hi, lo)")
+        require(a.elem.bits >= 16, "cannot narrow byte lanes")
+        n = imms[0]
+        require(0 <= n < a.elem.bits, f"shift amount {n} out of range")
+        signed = a.elem.signed if signed_out is None else signed_out
+        return vec(ScalarType(a.elem.bits // 2, signed), a.lanes * 2)
+
+    return type_fn
+
+
+def _narrow_shift_sem(round_: bool, saturate: bool, signed_out: bool | None):
+    def sem(args, imms):
+        hi, lo = args
+        n = imms[0]
+        signed = hi.elem.signed if signed_out is None else signed_out
+        elem = ScalarType(hi.elem.bits // 2, signed)
+        out = []
+        for x in lo.values + hi.values:
+            if round_ and n:
+                x = x + (1 << (n - 1))
+            x >>= n
+            out.append(elem.saturate(x) if saturate else elem.wrap(x))
+        return Vec(elem, tuple(out))
+
+    return sem
+
+
+define(
+    "vasrn", 2, "shift",
+    _narrow_shift_type(None),
+    _narrow_shift_sem(round_=False, saturate=False, signed_out=None),
+    n_imms=1,
+    groups=("shift", "narrow"),
+    doc="Narrowing shift right: shift (hi, lo) lanes and truncate-pack "
+        "into one vector, in order.",
+)
+
+define(
+    "vasrn_rnd_sat_u", 2, "shift",
+    _narrow_shift_type(False),
+    _narrow_shift_sem(round_=True, saturate=True, signed_out=False),
+    n_imms=1,
+    groups=("shift", "narrow", "sat"),
+    doc="Fused shift-right + round + saturate to the unsigned narrowed "
+        "type (the paper's vasr-rnd-sat).",
+)
+
+define(
+    "vasrn_sat_u", 2, "shift",
+    _narrow_shift_type(False),
+    _narrow_shift_sem(round_=False, saturate=True, signed_out=False),
+    n_imms=1,
+    groups=("shift", "narrow", "sat"),
+    doc="Narrowing shift right with unsigned saturation.",
+)
+
+define(
+    "vasrn_rnd_sat_i", 2, "shift",
+    _narrow_shift_type(True),
+    _narrow_shift_sem(round_=True, saturate=True, signed_out=True),
+    n_imms=1,
+    groups=("shift", "narrow", "sat"),
+    doc="Fused shift-right + round + saturate to the signed narrowed type.",
+)
+
+define(
+    "vasrn_sat_i", 2, "shift",
+    _narrow_shift_type(True),
+    _narrow_shift_sem(round_=False, saturate=True, signed_out=True),
+    n_imms=1,
+    groups=("shift", "narrow", "sat"),
+    doc="Narrowing shift right with signed saturation.",
+)
+
+
+def _vsat_type(signed_out: bool):
+    def type_fn(ts, _imms):
+        a, b = ts
+        require(a.is_vec and b.is_vec and a == b,
+                "vsat needs two matching vectors (hi, lo)")
+        require(a.elem.bits >= 16, "cannot narrow byte lanes")
+        return vec(ScalarType(a.elem.bits // 2, signed_out), a.lanes * 2)
+
+    return type_fn
+
+
+def _vsat_sem(signed_out: bool):
+    def sem(args, _imms):
+        hi, lo = args
+        elem = ScalarType(hi.elem.bits // 2, signed_out)
+        out = tuple(elem.saturate(x) for x in lo.values + hi.values)
+        return Vec(elem, out)
+
+    return sem
+
+
+define(
+    "vsat", 2, "shift",
+    _vsat_type(False),
+    _vsat_sem(False),
+    groups=("narrow", "sat"),
+    doc="Saturating pack of (hi, lo) into the unsigned narrowed type, "
+        "in order (the paper's vsat in Figure 4c).",
+)
+
+define(
+    "vsat_i", 2, "shift",
+    _vsat_type(True),
+    _vsat_sem(True),
+    groups=("narrow", "sat"),
+    doc="Saturating pack of (hi, lo) into the signed narrowed type.",
+)

@@ -1,0 +1,146 @@
+"""Runtime values for the HVX machine model.
+
+The model follows real HVX's register file shape: single vectors
+(:class:`Vec`), vector pairs (:class:`VecPair`, register order ``lo`` then
+``hi``) and predicate registers (:class:`PredVec`).  Values carry their
+element type and data; the machine's byte width is implied by the producing
+instructions rather than hard-coded, so tests can run narrow machines.
+
+Layout convention (documented in DESIGN.md): a pair's tuple is *register
+order* — ``values = lo ++ hi``.  Whether register order equals logical
+element order depends on the producing instruction: most widening
+instructions in this model produce in-order pairs, while the sliding-window
+multiply family (``vtmpy``) produces *deinterleaved* pairs (even logical
+lanes in ``lo``, odd in ``hi``), which is the behaviour the paper's swizzle
+discussion revolves around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EvaluationError
+from ..types import ScalarType
+
+
+@dataclass(frozen=True)
+class Vec:
+    """A single HVX vector register: ``lanes`` elements of type ``elem``."""
+
+    elem: ScalarType
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", tuple(self.elem.wrap(v) for v in self.values)
+        )
+
+    @property
+    def lanes(self) -> int:
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int) -> int:
+        return self.values[i]
+
+
+@dataclass(frozen=True)
+class VecPair:
+    """A vector register pair; ``values`` is register order (lo ++ hi)."""
+
+    elem: ScalarType
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.values) % 2:
+            raise EvaluationError("vector pair must have an even lane count")
+        object.__setattr__(
+            self, "values", tuple(self.elem.wrap(v) for v in self.values)
+        )
+
+    @property
+    def lanes(self) -> int:
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int) -> int:
+        return self.values[i]
+
+    @property
+    def lo(self) -> Vec:
+        half = len(self.values) // 2
+        return Vec(self.elem, self.values[:half])
+
+    @property
+    def hi(self) -> Vec:
+        half = len(self.values) // 2
+        return Vec(self.elem, self.values[half:])
+
+
+@dataclass(frozen=True)
+class PredVec:
+    """A predicate register: one boolean per lane."""
+
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(bool(v) for v in self.values))
+
+    @property
+    def lanes(self) -> int:
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, i: int) -> bool:
+        return self.values[i]
+
+
+HvxValue = Vec | VecPair | PredVec
+
+
+def combine(lo: Vec, hi: Vec) -> VecPair:
+    """``vcombine``: build a pair from two vectors (register order lo, hi)."""
+    if lo.elem != hi.elem or lo.lanes != hi.lanes:
+        raise EvaluationError("vcombine operands must match in type and lanes")
+    return VecPair(lo.elem, lo.values + hi.values)
+
+
+def interleave(pair: VecPair) -> VecPair:
+    """Interleave register halves: out[2i] = lo[i], out[2i+1] = hi[i].
+
+    Applying this to a deinterleaved pair restores logical element order
+    (the job of ``vshuffvdd`` with a negative shamt in real HVX).
+    """
+    half = pair.lanes // 2
+    out = []
+    for i in range(half):
+        out.append(pair.values[i])
+        out.append(pair.values[half + i])
+    return VecPair(pair.elem, tuple(out))
+
+
+def deinterleave(pair: VecPair) -> VecPair:
+    """Deinterleave: lo gets even register lanes, hi gets odd ones."""
+    return VecPair(pair.elem, pair.values[0::2] + pair.values[1::2])
+
+
+def as_lanes(value: HvxValue) -> tuple:
+    """Raw lane tuple of any HVX value."""
+    return value.values
+
+
+def logical_lanes(value: HvxValue, deinterleaved: bool = False) -> tuple:
+    """Lane tuple in logical order.
+
+    For a pair produced in deinterleaved layout, pass ``deinterleaved=True``
+    to reconstruct the logical element order.
+    """
+    if deinterleaved and isinstance(value, VecPair):
+        return as_lanes(interleave(value))
+    return value.values

@@ -1,0 +1,51 @@
+"""Halide-like target-independent vector IR.
+
+Public surface:
+
+* :mod:`repro.ir.expr` — node classes
+* :mod:`repro.ir.builder` — smart constructors (re-exported here)
+* :func:`evaluate` / :class:`Environment` / :class:`BufferView` — interpreter
+* :func:`simplify` — algebraic simplifier
+* :func:`to_string` / :func:`to_pretty` — printers
+* :mod:`repro.ir.analysis` — value-range analysis
+"""
+
+from .analysis import Interval, bounds_of, is_provably_non_negative, provably_fits
+from .builder import *  # noqa: F401,F403 - the DSL surface
+from .expr import (
+    Absd,
+    Add,
+    Broadcast,
+    Cast,
+    Const,
+    Div,
+    Expr,
+    Load,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    SaturatingCast,
+    ScalarVar,
+    Select,
+    Shl,
+    Shr,
+    Sub,
+    elem_of,
+    lanes_of,
+)
+from .interp import BufferView, Environment, Value, evaluate, evaluate_vector
+from .printer import to_pretty, to_string
+from .simplify import simplify
+from .traversal import (
+    buffers_read,
+    collect,
+    depth,
+    live_data,
+    loads_of,
+    node_count,
+    post_order,
+    scalar_vars_of,
+    substitute,
+    transform,
+)

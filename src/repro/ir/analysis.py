@@ -1,0 +1,137 @@
+"""Interval (value-range) analysis over IR expressions.
+
+This is the "semantic reasoning" substrate of Section 7.1.2: Rake may use an
+instruction with narrower preconditions than the input expression (e.g. HVX
+``vmpyie`` only exists for *unsigned* halfwords, and the fused
+``vasr-rnd-sat`` is only equivalent to a truncating cast when the value
+provably fits the destination type).  Both proofs reduce to bounding the
+range of a sub-expression.
+
+The analysis is a conservative abstract interpretation on integer intervals;
+``bounds_of`` never claims a range tighter than the true one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import expr as E
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        assert self.lo <= self.hi, f"malformed interval [{self.lo}, {self.hi}]"
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    @property
+    def is_non_negative(self) -> bool:
+        return self.lo >= 0
+
+    def fits(self, dtype) -> bool:
+        """True if every value of the interval is representable in ``dtype``."""
+        return dtype.min_value <= self.lo and self.hi <= dtype.max_value
+
+
+def _corners(a: Interval, b: Interval, op) -> Interval:
+    values = [op(x, y) for x in (a.lo, a.hi) for y in (b.lo, b.hi)]
+    return Interval(min(values), max(values))
+
+
+def _full_range(elem) -> Interval:
+    return Interval(elem.min_value, elem.max_value)
+
+
+def bounds_of(node: E.Expr) -> Interval:
+    """Conservative per-lane value range of ``node``.
+
+    Loads and free variables are bounded by their type's full range; wrapping
+    operations fall back to the result type's full range unless the exact
+    computation provably stays in range.
+    """
+    elem = E.elem_of(node.type)
+
+    if isinstance(node, E.Const):
+        return Interval(node.value, node.value)
+    if isinstance(node, (E.Load, E.ScalarVar)):
+        return _full_range(elem)
+    if isinstance(node, E.Broadcast):
+        return bounds_of(node.value)
+    if isinstance(node, E.Cast):
+        inner = bounds_of(node.value)
+        if inner.fits(node.target):
+            return inner
+        return _full_range(node.target)
+    if isinstance(node, E.SaturatingCast):
+        inner = bounds_of(node.value)
+        return Interval(
+            node.target.saturate(inner.lo), node.target.saturate(inner.hi)
+        )
+    if isinstance(node, E.Absd):
+        a, b = bounds_of(node.a), bounds_of(node.b)
+        diff = _corners(a, b, lambda x, y: x - y)
+        hi = max(abs(diff.lo), abs(diff.hi))
+        lo = 0 if diff.lo <= 0 <= diff.hi else min(abs(diff.lo), abs(diff.hi))
+        return Interval(lo, hi)
+    if isinstance(node, E._Compare):
+        return Interval(0, 1)
+    if isinstance(node, E.Select):
+        return bounds_of(node.t).union(bounds_of(node.f))
+    if isinstance(node, E._Binary):
+        a, b = bounds_of(node.a), bounds_of(node.b)
+        exact = _exact_binary_bounds(node, a, b, elem)
+        if exact is not None and exact.fits(elem):
+            return exact
+        return _full_range(elem)
+    return _full_range(elem)
+
+
+def _exact_binary_bounds(node, a: Interval, b: Interval, elem) -> Interval | None:
+    if isinstance(node, E.Add):
+        return Interval(a.lo + b.lo, a.hi + b.hi)
+    if isinstance(node, E.Sub):
+        return Interval(a.lo - b.hi, a.hi - b.lo)
+    if isinstance(node, E.Mul):
+        return _corners(a, b, lambda x, y: x * y)
+    if isinstance(node, E.Min):
+        return Interval(min(a.lo, b.lo), min(a.hi, b.hi))
+    if isinstance(node, E.Max):
+        return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+    if isinstance(node, E.Div):
+        if b.lo > 0 or b.hi < 0:
+            return _corners(a, b, lambda x, y: x // y)
+        return None  # divisor range contains 0 (x/0 == 0), keep conservative
+    if isinstance(node, E.Shl):
+        if 0 <= b.lo and b.hi < elem.bits:
+            return _corners(a, b, lambda x, y: x << y)
+        return None
+    if isinstance(node, E.Shr):
+        if 0 <= b.lo and b.hi < elem.bits:
+            return _corners(a, b, lambda x, y: x >> y)
+        return None
+    return None
+
+
+def is_provably_non_negative(node: E.Expr) -> bool:
+    """True if every lane of ``node`` is provably >= 0 (vmpyie-style proof)."""
+    return bounds_of(node).is_non_negative
+
+
+def provably_fits(node: E.Expr, dtype) -> bool:
+    """True if ``node`` provably stays within the range of ``dtype``.
+
+    When this holds, a truncating cast to ``dtype`` and a saturating cast to
+    ``dtype`` are interchangeable — the proof obligation behind the
+    gaussian3x3 ``vasr-rnd-sat`` rewrite in Figure 12.
+    """
+    return bounds_of(node).fits(dtype)

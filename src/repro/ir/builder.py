@@ -1,0 +1,223 @@
+"""Convenience constructors for building IR expressions.
+
+These helpers insert broadcasts when mixing scalar and vector operands and
+wrap raw python ints into typed constants, so workload code can be written
+close to how Halide algorithms read::
+
+    a = load("input", -1, 128, U8)
+    b = load("input", 0, 128, U8)
+    e = u8_sat((widen(a) + widen(b) * 2) >> 1)
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeMismatchError
+from ..types import BOOL, I8, I16, I32, I64, U8, U16, U32, ScalarType, VectorType
+from .expr import (
+    GE,
+    GT,
+    LE,
+    LT,
+    Absd,
+    Add,
+    Broadcast,
+    Cast,
+    Const,
+    Div,
+    EQ,
+    Expr,
+    Load,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    NE,
+    SaturatingCast,
+    ScalarVar,
+    Select,
+    Shl,
+    Shr,
+    Sub,
+    elem_of,
+    lanes_of,
+)
+
+
+def const(value: int, dtype: ScalarType) -> Const:
+    """A typed scalar constant; ``value`` is wrapped into range first."""
+    return Const(dtype.wrap(value), dtype)
+
+
+def var(name: str, dtype: ScalarType) -> ScalarVar:
+    return ScalarVar(name, dtype)
+
+
+def load(
+    buffer: str, offset: int, lanes: int, elem: ScalarType, stride: int = 1
+) -> Load:
+    return Load(buffer, offset, lanes, elem, stride)
+
+
+def broadcast(value: Expr | int, lanes: int, dtype: ScalarType | None = None) -> Expr:
+    """Broadcast a scalar expression or python int across ``lanes`` lanes."""
+    if isinstance(value, int):
+        if dtype is None:
+            raise TypeMismatchError("broadcasting a python int requires a dtype")
+        value = const(value, dtype)
+    if lanes == 1:
+        return value
+    return Broadcast(value, lanes)
+
+
+def wrap_operand(value, like: Expr) -> Expr:
+    """Coerce ``value`` to an Expr compatible with ``like`` for a binary op.
+
+    Python ints become constants of ``like``'s element type, broadcast to
+    ``like``'s lane count.  Scalar expressions are broadcast when ``like``
+    is a vector.  Everything else is returned unchanged.
+    """
+    if isinstance(value, int):
+        value = const(value, elem_of(like.type))
+    if not isinstance(value, Expr):
+        raise TypeMismatchError(f"cannot use {value!r} as an IR operand")
+    lanes = lanes_of(like.type)
+    if lanes > 1 and not isinstance(value.type, VectorType):
+        value = Broadcast(value, lanes)
+    return value
+
+
+def _binary(cls, a: Expr, b) -> Expr:
+    return cls(a, wrap_operand(b, a))
+
+
+def add(a: Expr, b) -> Expr:
+    return _binary(Add, a, b)
+
+
+def sub(a: Expr, b) -> Expr:
+    return _binary(Sub, a, b)
+
+
+def mul(a: Expr, b) -> Expr:
+    return _binary(Mul, a, b)
+
+
+def div(a: Expr, b) -> Expr:
+    return _binary(Div, a, b)
+
+
+def mod(a: Expr, b) -> Expr:
+    return _binary(Mod, a, b)
+
+
+def minimum(a: Expr, b) -> Expr:
+    return _binary(Min, a, b)
+
+
+def maximum(a: Expr, b) -> Expr:
+    return _binary(Max, a, b)
+
+
+def shl(a: Expr, b) -> Expr:
+    return _binary(Shl, a, b)
+
+
+def shr(a: Expr, b) -> Expr:
+    return _binary(Shr, a, b)
+
+
+def lt(a: Expr, b) -> Expr:
+    return _binary(LT, a, b)
+
+
+def le(a: Expr, b) -> Expr:
+    return _binary(LE, a, b)
+
+
+def eq(a: Expr, b) -> Expr:
+    return _binary(EQ, a, b)
+
+
+def ne(a: Expr, b) -> Expr:
+    return _binary(NE, a, b)
+
+
+def gt(a: Expr, b) -> Expr:
+    return _binary(GT, a, b)
+
+
+def ge(a: Expr, b) -> Expr:
+    return _binary(GE, a, b)
+
+
+def absd(a: Expr, b) -> Expr:
+    return Absd(a, wrap_operand(b, a))
+
+
+def select(cond: Expr, t: Expr, f) -> Select:
+    return Select(cond, t, wrap_operand(f, t))
+
+
+def cast(target: ScalarType, value: Expr) -> Expr:
+    if elem_of(value.type) == target:
+        return value
+    return Cast(target, value)
+
+
+def sat_cast(target: ScalarType, value: Expr) -> Expr:
+    return SaturatingCast(target, value)
+
+
+def clamp(value: Expr, lo, hi) -> Expr:
+    """``min(max(value, lo), hi)`` with int operands auto-broadcast."""
+    return minimum(maximum(value, lo), hi)
+
+
+def widen(value: Expr) -> Expr:
+    """Cast to the element type of double the width, same signedness."""
+    return cast(elem_of(value.type).widened(), value)
+
+
+def narrow(value: Expr) -> Expr:
+    """Cast to the element type of half the width, same signedness."""
+    return cast(elem_of(value.type).narrowed(), value)
+
+
+def u8_sat(value: Expr) -> Expr:
+    return sat_cast(U8, value)
+
+
+def i8_sat(value: Expr) -> Expr:
+    return sat_cast(I8, value)
+
+
+def u16_sat(value: Expr) -> Expr:
+    return sat_cast(U16, value)
+
+
+def i16_sat(value: Expr) -> Expr:
+    return sat_cast(I16, value)
+
+
+def u32_sat(value: Expr) -> Expr:
+    return sat_cast(U32, value)
+
+
+def i32_sat(value: Expr) -> Expr:
+    return sat_cast(I32, value)
+
+
+def rounding_shift_right(value: Expr, n: int) -> Expr:
+    """``(value + (1 << (n-1))) >> n`` — the rounding halving shift."""
+    if n <= 0:
+        raise TypeMismatchError("rounding shift amount must be positive")
+    return shr(add(value, 1 << (n - 1)), n)
+
+
+def avg(a: Expr, b) -> Expr:
+    """Rounding average in a widened intermediate: ``(a + b + 1) >> 1``."""
+    wide = add(add(widen(a), widen(wrap_operand(b, a))), 1)
+    return cast(elem_of(a.type), shr(wide, 1))
+
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,69 @@
+"""Pretty-printers for IR expressions.
+
+Two formats are provided: a compact infix form used in error messages and
+test output, and an indented multi-line form that mirrors how the paper
+renders lowered Halide expressions (Figure 3).
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+
+
+def to_string(node: E.Expr) -> str:
+    """Compact single-line rendering of an expression."""
+    if isinstance(node, E.Const):
+        return str(node.value)
+    if isinstance(node, E.ScalarVar):
+        return node.name
+    if isinstance(node, E.Load):
+        if node.lanes == 1:
+            return f"{node.buffer}[{node.offset}]"
+        last = node.offset + (node.lanes - 1) * node.stride
+        step = f":{node.stride}" if node.stride != 1 else ""
+        return f"{node.buffer}[{node.offset}..{last}{step}]"
+    if isinstance(node, E.Broadcast):
+        return f"x{node.lanes}({to_string(node.value)})"
+    if isinstance(node, E.Cast):
+        return f"{node.type}({to_string(node.value)})"
+    if isinstance(node, E.SaturatingCast):
+        return f"{node.type}_sat({to_string(node.value)})"
+    if isinstance(node, E.Absd):
+        return f"absd({to_string(node.a)}, {to_string(node.b)})"
+    if isinstance(node, (E.Min, E.Max)):
+        return f"{node.op_name}({to_string(node.a)}, {to_string(node.b)})"
+    if isinstance(node, (E._Binary, E._Compare)):
+        return f"({to_string(node.a)} {node.op_name} {to_string(node.b)})"
+    if isinstance(node, E.Select):
+        parts = ", ".join(to_string(c) for c in node.children)
+        return f"select({parts})"
+    return repr(node)
+
+
+def to_pretty(node: E.Expr, indent: int = 0, width: int = 60) -> str:
+    """Indented multi-line rendering for large expressions."""
+    flat = to_string(node)
+    pad = "  " * indent
+    if len(flat) <= width or not node.children:
+        return pad + flat
+
+    if isinstance(node, (E.Min, E.Max, E.Absd, E.Select)):
+        name = getattr(node, "op_name", type(node).__name__.lower())
+        if isinstance(node, E.Absd):
+            name = "absd"
+        if isinstance(node, E.Select):
+            name = "select"
+        inner = ",\n".join(to_pretty(c, indent + 1, width) for c in node.children)
+        return f"{pad}{name}(\n{inner})"
+    if isinstance(node, (E.Cast, E.SaturatingCast)):
+        suffix = "_sat" if isinstance(node, E.SaturatingCast) else ""
+        inner = to_pretty(node.value, indent + 1, width)
+        return f"{pad}{node.type}{suffix}(\n{inner})"
+    if isinstance(node, E.Broadcast):
+        inner = to_pretty(node.value, indent + 1, width)
+        return f"{pad}x{node.lanes}(\n{inner})"
+    if isinstance(node, (E._Binary, E._Compare)):
+        a = to_pretty(node.a, indent + 1, width)
+        b = to_pretty(node.b, indent + 1, width)
+        return f"{pad}(\n{a}\n{pad}{node.op_name}\n{b})"
+    return pad + flat

@@ -1,0 +1,133 @@
+"""Algebraic simplifier for the IR.
+
+The frontend's lowering produces expressions with literal arithmetic left
+over from inlining (e.g. ``x * 1`` or casts of constants); the simplifier
+folds those away so both instruction selectors see clean input, mirroring
+Halide's own simplify pass.
+"""
+
+from __future__ import annotations
+
+from . import expr as E
+from .builder import const
+from .traversal import transform
+
+
+def _fold_const(node: E.Expr) -> E.Expr | None:
+    """Evaluate operations whose operands are all constants."""
+    kids = node.children
+    if not kids or not all(isinstance(c, E.Const) for c in kids):
+        return None
+    elem = E.elem_of(node.type)
+    vals = [c.value for c in kids]
+    if isinstance(node, E.Cast):
+        return const(elem.wrap(vals[0]), elem)
+    if isinstance(node, E.SaturatingCast):
+        return const(elem.saturate(vals[0]), elem)
+    if isinstance(node, E.Absd):
+        return const(abs(vals[0] - vals[1]), elem)
+    if isinstance(node, E._Compare):
+        op = {
+            E.LT: lambda a, b: a < b,
+            E.LE: lambda a, b: a <= b,
+            E.EQ: lambda a, b: a == b,
+            E.NE: lambda a, b: a != b,
+            E.GT: lambda a, b: a > b,
+            E.GE: lambda a, b: a >= b,
+        }[type(node)]
+        return const(int(op(*vals)), elem)
+    if isinstance(node, E._Binary):
+        bits = elem.bits
+        op = {
+            E.Add: lambda a, b: a + b,
+            E.Sub: lambda a, b: a - b,
+            E.Mul: lambda a, b: a * b,
+            E.Div: lambda a, b: 0 if b == 0 else a // b,
+            E.Mod: lambda a, b: 0 if b == 0 else a % b,
+            E.Min: min,
+            E.Max: max,
+            E.Shl: lambda a, b: a << (b & (bits - 1)),
+            E.Shr: lambda a, b: a >> (b & (bits - 1)),
+        }[type(node)]
+        return const(elem.wrap(op(*vals)), elem)
+    return None
+
+
+def _is_const_value(node: E.Expr, value: int) -> bool:
+    if isinstance(node, E.Const):
+        return node.value == value
+    if isinstance(node, E.Broadcast):
+        return _is_const_value(node.value, value)
+    return False
+
+
+def _identity_rules(node: E.Expr) -> E.Expr | None:
+    """Strength-neutral identities: x+0, x*1, x*0, min/max with self, etc."""
+    if isinstance(node, E.Add):
+        if _is_const_value(node.b, 0):
+            return node.a
+        if _is_const_value(node.a, 0):
+            return node.b
+    if isinstance(node, E.Sub) and _is_const_value(node.b, 0):
+        return node.a
+    if isinstance(node, E.Mul):
+        if _is_const_value(node.b, 1):
+            return node.a
+        if _is_const_value(node.a, 1):
+            return node.b
+        if _is_const_value(node.b, 0):
+            return node.b
+        if _is_const_value(node.a, 0):
+            return node.a
+    if isinstance(node, (E.Shl, E.Shr)) and _is_const_value(node.b, 0):
+        return node.a
+    if isinstance(node, (E.Min, E.Max)) and node.a == node.b:
+        return node.a
+    if isinstance(node, E.Select):
+        if node.t == node.f:
+            return node.t
+        if _is_const_value(node.cond, 1):
+            return node.t
+        if _is_const_value(node.cond, 0):
+            return node.f
+    if isinstance(node, (E.Cast, E.SaturatingCast)):
+        inner = node.value
+        if E.elem_of(inner.type) == E.elem_of(node.type):
+            # A no-op conversion; saturating cast to the same type is also
+            # the identity because the value is already in range.
+            return inner
+    return None
+
+
+def _broadcast_rules(node: E.Expr) -> E.Expr | None:
+    """Sink broadcasts: op(bcast(a), bcast(b)) -> bcast(op(a, b))."""
+    kids = node.children
+    if not kids or not all(isinstance(c, E.Broadcast) for c in kids):
+        return None
+    if isinstance(node, (E._Binary, E._Compare, E.Absd)):
+        lanes = kids[0].lanes
+        scalar = node.with_children([c.value for c in kids])
+        return E.Broadcast(scalar, lanes)
+    if isinstance(node, (E.Cast, E.SaturatingCast)):
+        inner = kids[0]
+        scalar = node.with_children([inner.value])
+        return E.Broadcast(scalar, inner.lanes)
+    return None
+
+
+def simplify(node: E.Expr) -> E.Expr:
+    """Apply constant folding and algebraic identities to a fixpoint."""
+
+    def rules(n: E.Expr) -> E.Expr | None:
+        for rule in (_fold_const, _identity_rules, _broadcast_rules):
+            result = rule(n)
+            if result is not None:
+                return result
+        return None
+
+    previous = None
+    current = node
+    while previous != current:
+        previous = current
+        current = transform(current, rules)
+    return current

@@ -1,0 +1,88 @@
+"""Generic traversal, substitution and collection helpers for IR trees."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from . import expr as E
+
+
+def post_order(node: E.Expr) -> Iterator[E.Expr]:
+    """Yield every node of the tree, children before parents."""
+    for child in node.children:
+        yield from post_order(child)
+    yield node
+
+
+def transform(node: E.Expr, f: Callable[[E.Expr], E.Expr | None]) -> E.Expr:
+    """Bottom-up rewrite: apply ``f`` after rewriting children.
+
+    ``f`` returns a replacement node or ``None`` to keep the node unchanged.
+    """
+    new_children = [transform(c, f) for c in node.children]
+    if any(nc is not oc for nc, oc in zip(new_children, node.children)):
+        node = node.with_children(new_children)
+    replacement = f(node)
+    return node if replacement is None else replacement
+
+
+def substitute(node: E.Expr, mapping: dict[E.Expr, E.Expr]) -> E.Expr:
+    """Replace occurrences of keys of ``mapping`` (by equality) in the tree."""
+
+    def rule(n: E.Expr) -> E.Expr | None:
+        return mapping.get(n)
+
+    return transform(node, rule)
+
+
+def collect(node: E.Expr, predicate: Callable[[E.Expr], bool]) -> list[E.Expr]:
+    """All nodes (pre-order) satisfying ``predicate``."""
+    return [n for n in node if predicate(n)]
+
+
+def loads_of(node: E.Expr) -> list[E.Load]:
+    """All Load nodes in the tree, in pre-order."""
+    return [n for n in node if isinstance(n, E.Load)]
+
+
+def buffers_read(node: E.Expr) -> set[str]:
+    """Names of all buffers the expression reads."""
+    return {ld.buffer for ld in loads_of(node)}
+
+
+def scalar_vars_of(node: E.Expr) -> list[E.ScalarVar]:
+    """All free scalar variables in the tree (deduplicated, stable order)."""
+    seen: dict[str, E.ScalarVar] = {}
+    for n in node:
+        if isinstance(n, E.ScalarVar) and n.name not in seen:
+            seen[n.name] = n
+    return list(seen.values())
+
+
+def node_count(node: E.Expr) -> int:
+    """Total number of nodes in the tree."""
+    return sum(1 for _ in node)
+
+
+def depth(node: E.Expr) -> int:
+    """Height of the tree (a leaf has depth 1)."""
+    if not node.children:
+        return 1
+    return 1 + max(depth(c) for c in node.children)
+
+
+def live_data(node: E.Expr) -> dict[str, tuple[int, int]]:
+    """Per-buffer element range ``(lo, hi)`` read by the expression.
+
+    ``hi`` is exclusive.  This is the "live data" set of Section 4: the set
+    of memory values any correct implementation may consume.
+    """
+    ranges: dict[str, tuple[int, int]] = {}
+    for ld in loads_of(node):
+        lo, hi = ld.offset, ld.offset + ld.extent
+        if ld.buffer in ranges:
+            cur_lo, cur_hi = ranges[ld.buffer]
+            ranges[ld.buffer] = (min(lo, cur_lo), max(hi, cur_hi))
+        else:
+            ranges[ld.buffer] = (lo, hi)
+    return ranges

@@ -1,0 +1,38 @@
+"""Preliminary ARM Neon port of Rake (paper Section 6).
+
+The uber-instructions derived for HVX are reused without modification;
+this package supplies the two target-specific pieces the paper identifies:
+an interpreter for the Neon intrinsics (:mod:`repro.neon.semantics`) and
+lowering grammars (:mod:`repro.neon.grammar`).
+
+Usage::
+
+    from repro.neon import select_instructions_neon
+    result = select_instructions_neon(expr)   # expr at 16-byte Q width
+"""
+
+from __future__ import annotations
+
+from ..ir import expr as ir_expr
+from ..synthesis import LoweringOptions, RakeSelector, SelectionResult
+from .grammar import NEON_VBYTES, sketches
+
+
+def neon_selector(options: LoweringOptions | None = None) -> RakeSelector:
+    """A Rake selector retargeted to ARM Neon (128-bit Q registers)."""
+    return RakeSelector(
+        vbytes=NEON_VBYTES,
+        options=options or LoweringOptions(),
+        sketches_fn=sketches,
+    )
+
+
+def select_instructions_neon(
+    expr: ir_expr.Expr, options: LoweringOptions | None = None
+) -> SelectionResult:
+    """Run the Neon-targeted Rake on one vector expression.
+
+    Expression widths must fit Neon's 16-byte registers: e.g. u8x16
+    vectors widening to u16x16 pairs.
+    """
+    return neon_selector(options).select(expr)

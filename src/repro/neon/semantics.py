@@ -1,0 +1,379 @@
+"""ARM Neon instruction families (the paper's Section 6 retargeting story).
+
+The paper reports a preliminary ARM Neon port of Rake: the HVX-derived
+uber-instructions carry over nearly unchanged because both ISAs target the
+same fixed-point compute patterns; only the intrinsic interpreter and the
+lowering grammars are new.  This module is that interpreter: ~20 Neon
+instruction families registered in the shared ISA registry under a
+``neon.`` prefix.
+
+Machine model: 128-bit Q registers (``vbytes = 16``).  A widened result
+occupies a register *pair* — and unlike HVX, Neon's widening instructions
+produce **in-order** pairs (vmull writes consecutive lanes), so the
+deinterleave/interleave machinery that dominates HVX swizzle synthesis is
+simply unused here, matching the paper's remark that simpler ISAs may not
+need the intermediate-layout step.
+"""
+
+from __future__ import annotations
+
+from ..hvx.isa import HvxType, define, pair, vec
+from ..hvx.semantics.common import (
+    binary_lanewise,
+    bits_compatible,
+    make_result,
+    require,
+    same_bits_2,
+    same_shape_2,
+)
+from ..hvx.values import Vec, VecPair
+from ..types import ScalarType
+
+#: Neon Q registers are 16 bytes wide
+NEON_VBYTES = 16
+
+
+def _kind(v) -> str:
+    return "pair" if isinstance(v, VecPair) else "vec"
+
+
+# -- widening moves ----------------------------------------------------------
+
+
+def _vmovl_type(signed: bool):
+    def type_fn(ts, _imms):
+        (a,) = ts
+        require(a.is_vec, "vmovl widens a single vector")
+        require(a.elem.bits <= 16, "vmovl exists for 8/16-bit lanes")
+        require(a.elem.signed == signed, "vmovl signedness mismatch")
+        return pair(a.elem.widened(), a.lanes)
+
+    return type_fn
+
+
+def _vmovl_sem(args, _imms):
+    (a,) = args
+    return VecPair(a.elem.widened(), a.values)
+
+
+define("neon.vmovl_u", 1, "permute", _vmovl_type(False), _vmovl_sem,
+       groups=("widen",),
+       doc="Zero-extend lanes into an in-order register pair (VMOVL).")
+define("neon.vmovl_s", 1, "permute", _vmovl_type(True), _vmovl_sem,
+       groups=("widen",),
+       doc="Sign-extend lanes into an in-order register pair (VMOVL).")
+
+
+# -- arithmetic ----------------------------------------------------------------
+
+
+define("neon.vadd", 2, "alu", same_bits_2,
+       binary_lanewise(lambda x, y, e: e.wrap(x + y)),
+       groups=("add",), doc="Wrapping add (VADD).")
+define("neon.vsub", 2, "alu", same_bits_2,
+       binary_lanewise(lambda x, y, e: e.wrap(x - y)),
+       groups=("sub",), doc="Wrapping subtract (VSUB).")
+define("neon.vqadd", 2, "alu", same_shape_2,
+       binary_lanewise(lambda x, y, e: e.saturate(x + y)),
+       groups=("add", "sat"), doc="Saturating add (VQADD).")
+define("neon.vqsub", 2, "alu", same_shape_2,
+       binary_lanewise(lambda x, y, e: e.saturate(x - y)),
+       groups=("sub", "sat"), doc="Saturating subtract (VQSUB).")
+define("neon.vmax", 2, "alu", same_shape_2,
+       binary_lanewise(lambda x, y, e: max(x, y)),
+       groups=("minmax",), doc="Elementwise maximum (VMAX).")
+define("neon.vmin", 2, "alu", same_shape_2,
+       binary_lanewise(lambda x, y, e: min(x, y)),
+       groups=("minmax",), doc="Elementwise minimum (VMIN).")
+define("neon.vhadd", 2, "alu", same_shape_2,
+       binary_lanewise(lambda x, y, e: (x + y) >> 1),
+       groups=("avg",), doc="Halving add (VHADD).")
+define("neon.vrhadd", 2, "alu", same_shape_2,
+       binary_lanewise(lambda x, y, e: (x + y + 1) >> 1),
+       groups=("avg",), doc="Rounding halving add (VRHADD).")
+
+
+def _vabd_type(ts, _imms):
+    a = same_shape_2(ts)
+    return HvxType(a.kind, ScalarType(a.elem.bits, False), a.lanes)
+
+
+def _vabd_sem(args, _imms):
+    a, b = args
+    elem = ScalarType(a.elem.bits, False)
+    out = tuple(abs(x - y) for x, y in zip(a.values, b.values))
+    return make_result(_kind(a), elem, out)
+
+
+define("neon.vabd", 2, "alu", _vabd_type, _vabd_sem,
+       groups=("absd",), doc="Absolute difference (VABD).")
+
+
+def _vabal_type(ts, _imms):
+    acc, a, b = ts
+    require(a == b and a.is_vec, "vabal needs matching vectors")
+    widened = pair(ScalarType(a.elem.bits * 2, False), a.lanes)
+    require(bits_compatible(acc, widened), "vabal accumulator mismatch")
+    return acc
+
+
+def _vabal_sem(args, _imms):
+    acc, a, b = args
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(c + abs(x - y))
+        for c, x, y in zip(acc.values, a.values, b.values)
+    )
+    return VecPair(elem, out)
+
+
+define("neon.vabal", 3, "alu", _vabal_type, _vabal_sem,
+       groups=("absd", "acc"),
+       doc="Widening absolute-difference accumulate (VABAL).")
+
+
+# -- multiplies ------------------------------------------------------------------
+
+
+def _vmull_type(ts, _imms):
+    a, b = ts
+    require(a.is_vec and b.is_vec and a.lanes == b.lanes,
+            "vmull needs two matching vectors")
+    require(a.elem.bits == b.elem.bits <= 16, "vmull widens 8/16-bit lanes")
+    signed = a.elem.signed or b.elem.signed
+    return pair(ScalarType(a.elem.bits * 2, signed), a.lanes)
+
+
+def _vmull_sem(args, _imms):
+    a, b = args
+    signed = a.elem.signed or b.elem.signed
+    elem = ScalarType(a.elem.bits * 2, signed)
+    return VecPair(elem, tuple(x * y for x, y in zip(a.values, b.values)))
+
+
+define("neon.vmull", 2, "mpy", _vmull_type, _vmull_sem,
+       groups=("mpy", "widening"),
+       doc="Widening multiply; the result pair is IN ORDER (VMULL).")
+
+
+def _vmlal_type(ts, _imms):
+    acc, a, b = ts
+    prod = _vmull_type((a, b), ())
+    require(bits_compatible(acc, prod), "vmlal accumulator mismatch")
+    return acc
+
+
+def _vmlal_sem(args, _imms):
+    acc, a, b = args
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(c + x * y)
+        for c, x, y in zip(acc.values, a.values, b.values)
+    )
+    return VecPair(elem, out)
+
+
+define("neon.vmlal", 3, "mpy", _vmlal_type, _vmlal_sem,
+       groups=("mpy", "widening", "acc"),
+       doc="Widening multiply-accumulate (VMLAL).")
+
+
+def _vmul_type(ts, _imms):
+    a, b = ts
+    require(bits_compatible(a, b), "vmul operands must match")
+    return a
+
+
+define("neon.vmul", 2, "mpy", _vmul_type,
+       binary_lanewise(lambda x, y, e: e.wrap(x * y)),
+       groups=("mpy",), doc="Non-widening multiply (VMUL).")
+
+
+def _vmla_type(ts, _imms):
+    acc, a, b = ts
+    require(bits_compatible(a, b) and bits_compatible(acc, a),
+            "vmla operands must match")
+    return acc
+
+
+def _vmla_sem(args, _imms):
+    acc, a, b = args
+    elem = acc.elem
+    out = tuple(
+        elem.wrap(c + x * y)
+        for c, x, y in zip(acc.values, a.values, b.values)
+    )
+    return make_result(_kind(acc), elem, out)
+
+
+define("neon.vmla", 3, "mpy", _vmla_type, _vmla_sem,
+       groups=("mpy", "acc"), doc="Non-widening multiply-accumulate (VMLA).")
+
+
+def _vaddw_type(ts, _imms):
+    acc, a = ts
+    require(acc.is_pair and a.is_vec, "vaddw: pair accumulator + vector")
+    require(acc.elem.bits == a.elem.bits * 2, "vaddw widens the vector")
+    require(acc.lanes == a.lanes, "vaddw lane mismatch")
+    return acc
+
+
+def _vaddw_sem(args, _imms):
+    acc, a = args
+    elem = acc.elem
+    # widen by value: unsigned lanes contribute their magnitude, signed
+    # lanes their signed value — matching VADDW.U8 / VADDW.S8
+    out = tuple(elem.wrap(c + x) for c, x in zip(acc.values, a.values))
+    return VecPair(elem, out)
+
+
+define("neon.vaddw", 2, "alu", _vaddw_type, _vaddw_sem,
+       groups=("add", "widening"),
+       doc="Wide add: pair += widen(vector) in one instruction (VADDW).")
+
+
+# -- shifts ------------------------------------------------------------------------
+
+
+def _shift_type(ts, imms):
+    (a,) = ts
+    require(a.kind in ("vec", "pair"), "shift needs a vector operand")
+    require(0 <= imms[0] < a.elem.bits, "shift amount out of range")
+    return a
+
+
+def _shift_sem(f):
+    def sem(args, imms):
+        (a,) = args
+        n = imms[0]
+        out = tuple(a.elem.wrap(f(x, n)) for x in a.values)
+        return make_result(_kind(a), a.elem, out)
+
+    return sem
+
+
+define("neon.vshl_n", 1, "shift", _shift_type,
+       _shift_sem(lambda x, n: x << n), n_imms=1,
+       groups=("shift",), doc="Shift left by immediate (VSHL).")
+define("neon.vshr_n", 1, "shift", _shift_type,
+       _shift_sem(lambda x, n: x >> n), n_imms=1,
+       groups=("shift",), doc="Shift right by immediate (VSHR).")
+define("neon.vrshr_n", 1, "shift", _shift_type,
+       _shift_sem(lambda x, n: (x + (1 << (n - 1)) if n else x) >> n),
+       n_imms=1, groups=("shift",),
+       doc="Rounding shift right by immediate (VRSHR).")
+
+
+# -- narrows -----------------------------------------------------------------------
+
+
+def _narrow_type(signed_out):
+    def type_fn(ts, imms):
+        (p,) = ts
+        require(p.is_pair, "narrowing consumes a register pair")
+        require(p.elem.bits >= 16, "cannot narrow byte lanes")
+        if imms:
+            require(0 <= imms[0] < p.elem.bits, "shift amount out of range")
+        signed = p.elem.signed if signed_out is None else signed_out
+        return vec(ScalarType(p.elem.bits // 2, signed), p.lanes)
+
+    return type_fn
+
+
+def _narrow_sem(round_: bool, saturate: bool, signed_out, shifted: bool):
+    def sem(args, imms):
+        (p,) = args
+        n = imms[0] if shifted else 0
+        signed = p.elem.signed if signed_out is None else signed_out
+        elem = ScalarType(p.elem.bits // 2, signed)
+        out = []
+        for x in p.values:
+            if round_ and n:
+                x += 1 << (n - 1)
+            x >>= n
+            out.append(elem.saturate(x) if saturate else elem.wrap(x))
+        return Vec(elem, tuple(out))
+
+    return sem
+
+
+define("neon.vmovn", 1, "permute", _narrow_type(None),
+       _narrow_sem(False, False, None, shifted=False),
+       groups=("narrow",), doc="Truncating narrow (VMOVN), in order.")
+define("neon.vqmovn", 1, "permute", _narrow_type(True),
+       _narrow_sem(False, True, True, shifted=False),
+       groups=("narrow", "sat"), doc="Saturating narrow, signed (VQMOVN).")
+define("neon.vqmovun", 1, "permute", _narrow_type(False),
+       _narrow_sem(False, True, False, shifted=False),
+       groups=("narrow", "sat"), doc="Saturating narrow, unsigned (VQMOVUN).")
+define("neon.vshrn_n", 1, "shift", _narrow_type(None),
+       _narrow_sem(False, False, None, shifted=True), n_imms=1,
+       groups=("narrow", "shift"), doc="Narrowing shift right (VSHRN).")
+define("neon.vrshrn_n", 1, "shift", _narrow_type(None),
+       _narrow_sem(True, False, None, shifted=True), n_imms=1,
+       groups=("narrow", "shift"),
+       doc="Rounding narrowing shift right (VRSHRN).")
+define("neon.vqrshrun_n", 1, "shift", _narrow_type(False),
+       _narrow_sem(True, True, False, shifted=True), n_imms=1,
+       groups=("narrow", "shift", "sat"),
+       doc="Rounding saturating narrowing shift right, unsigned "
+           "(VQRSHRUN) — Neon's counterpart of HVX's vasr-rnd-sat.")
+define("neon.vqrshrn_n", 1, "shift", _narrow_type(True),
+       _narrow_sem(True, True, True, shifted=True), n_imms=1,
+       groups=("narrow", "shift", "sat"),
+       doc="Rounding saturating narrowing shift right, signed (VQRSHRN).")
+
+
+# -- permutes ----------------------------------------------------------------------
+
+
+def _vext_type(ts, imms):
+    a, b = ts
+    require(a.is_vec and b.is_vec and a == b, "vext needs matching vectors")
+    require(0 <= imms[0] < a.lanes, "vext offset out of range")
+    return a
+
+
+def _vext_sem(args, imms):
+    a, b = args
+    n = imms[0]
+    merged = a.values + b.values
+    return Vec(a.elem, merged[n:n + a.lanes])
+
+
+define("neon.vext", 2, "permute", _vext_type, _vext_sem, n_imms=1,
+       groups=("swizzle", "align"),
+       doc="Extract a lane window from two concatenated vectors (VEXT).")
+
+
+def _vpair_type(ts, _imms):
+    lo, hi = ts
+    require(lo.is_vec and hi.is_vec and lo == hi,
+            "register pair needs matching vectors")
+    return pair(lo.elem, lo.lanes * 2)
+
+
+define("neon.vpair", 2, "none", _vpair_type,
+       lambda args, _imms: VecPair(args[0].elem,
+                                   args[0].values + args[1].values),
+       latency=0, groups=("pairing",),
+       doc="Adjacent-register pair formation (free register allocation).")
+
+
+def _uzp_type(ts, _imms):
+    (p,) = ts
+    require(p.is_pair, "vuzp/vzip operate on a register pair")
+    return p
+
+
+define("neon.vuzp", 1, "permute", _uzp_type,
+       lambda args, _imms: VecPair(
+           args[0].elem, args[0].values[0::2] + args[0].values[1::2]),
+       groups=("swizzle",), doc="Deinterleave a register pair (VUZP).")
+define("neon.vzip", 1, "permute", _uzp_type,
+       lambda args, _imms: VecPair(
+           args[0].elem,
+           tuple(v for xy in zip(
+               args[0].values[:args[0].lanes // 2],
+               args[0].values[args[0].lanes // 2:]) for v in xy)),
+       groups=("swizzle",), doc="Interleave a register pair (VZIP).")

@@ -1,0 +1,120 @@
+"""End-to-end compilation driver (the paper's Figure 1).
+
+``compile_pipeline`` lowers a scheduled mini-Halide pipeline to vector IR,
+runs the chosen instruction selector on every qualifying vector expression
+(Rake's synthesis, or the baseline pattern matcher), verifies each selected
+program against the IR interpreter, and packages the result for the cycle
+simulator.
+
+Rake falls back to the baseline for expressions it does not handle — the
+paper's Rake likewise leaves trivial expressions to LLVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .baseline import HalideOptimizer
+from .errors import ReproError, SynthesisError, UnsupportedExpressionError
+from .frontend import Func, LoweredPipeline, Stage, lower_pipeline
+from .hvx import isa as H
+from .ir import expr as E
+from .synthesis import LoweringOptions, RakeSelector
+from .synthesis.oracle import Oracle
+from .synthesis.stats import SynthesisStats
+
+BACKEND_RAKE = "rake"
+BACKEND_BASELINE = "baseline"
+
+
+@dataclass
+class CompiledExpr:
+    """One vector expression with its selected HVX program."""
+
+    source: E.Expr
+    program: H.HvxExpr
+    selector: str  # "rake" | "baseline" | "trivial"
+    extent: int = 1  # reduction trip count (1 for pure definitions)
+
+
+@dataclass
+class CompiledStage:
+    """A materialized Func with programs for its definition and updates."""
+
+    stage: Stage
+    exprs: list = field(default_factory=list)  # list[CompiledExpr]
+
+    @property
+    def name(self) -> str:
+        return self.stage.name
+
+
+@dataclass
+class CompiledPipeline:
+    """A fully compiled pipeline, ready for the cycle simulator."""
+
+    backend: str
+    lowered: LoweredPipeline
+    stages: list = field(default_factory=list)  # list[CompiledStage]
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+    fallbacks: int = 0
+
+    @property
+    def optimized_exprs(self) -> int:
+        return sum(
+            1 for cs in self.stages for ce in cs.exprs
+            if ce.selector == BACKEND_RAKE
+        )
+
+
+def _is_trivial(e: E.Expr) -> bool:
+    """Expressions the paper leaves to LLVM: single variables, plain loads,
+    scalar broadcasts."""
+    return isinstance(e, (E.Load, E.Broadcast, E.Const, E.ScalarVar))
+
+
+def compile_pipeline(
+    output: Func,
+    backend: str = BACKEND_RAKE,
+    lanes: int = 128,
+    vbytes: int = 128,
+    options: LoweringOptions | None = None,
+    verify: bool = True,
+    selector: RakeSelector | None = None,
+) -> CompiledPipeline:
+    """Compile a scheduled pipeline with the chosen instruction selector."""
+    if backend not in (BACKEND_RAKE, BACKEND_BASELINE):
+        raise ReproError(f"unknown backend: {backend}")
+    lowered = lower_pipeline(output, lanes=lanes)
+    baseline = HalideOptimizer(vbytes=vbytes)
+    rake = selector or RakeSelector(
+        vbytes=vbytes, options=options or LoweringOptions()
+    )
+    verifier = Oracle() if verify else None
+
+    compiled = CompiledPipeline(backend=backend, lowered=lowered,
+                                stats=rake.stats)
+    for stage in lowered.stages:
+        cstage = CompiledStage(stage=stage)
+        extents = [1] + list(stage.func.update_extents)
+        for expr, extent in zip(stage.exprs, extents):
+            used = "trivial" if _is_trivial(expr) else backend
+            program = None
+            if used == BACKEND_RAKE:
+                try:
+                    program = rake.select(expr).program
+                except (SynthesisError, UnsupportedExpressionError):
+                    compiled.fallbacks += 1
+                    used = BACKEND_BASELINE
+            if program is None:
+                program = baseline.optimize(expr)
+            if verifier is not None and not verifier.equivalent(expr, program):
+                raise ReproError(
+                    f"selected program is not equivalent to the IR for "
+                    f"stage {stage.name} ({used})"
+                )
+            cstage.exprs.append(CompiledExpr(
+                source=expr, program=program, selector=used, extent=extent
+            ))
+        compiled.stages.append(cstage)
+    return compiled

@@ -1,0 +1,123 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmark harness uses these to print Figure 11 (speedup bars) and
+Table 1 (compilation statistics) in a shape directly comparable to the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SpeedupRow:
+    """One benchmark's measurement for the Figure 11 reproduction."""
+
+    name: str
+    rake_cycles: int
+    baseline_cycles: int
+    paper_speedup: float | None = None
+    paper_band: str = ""
+
+    @property
+    def speedup(self) -> float:
+        if self.rake_cycles <= 0:
+            return 0.0
+        return self.baseline_cycles / self.rake_cycles
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def speedup_figure(rows, width: int = 40) -> str:
+    """Render Figure 11: one bar per benchmark, normalized to 1.0x."""
+    out = []
+    out.append("Speedup of Rake over the baseline Halide HVX backend")
+    out.append("(bar scale: '|' marks 1.0x)")
+    out.append("")
+    scale = width / 2.0  # bar width of a 2.0x speedup
+    for row in rows:
+        bar = "#" * max(1, int(round(row.speedup * scale / 2)))
+        paper = (
+            f" paper={row.paper_speedup:.2f}x" if row.paper_speedup else
+            (f" paper: {row.paper_band}" if row.paper_band else "")
+        )
+        out.append(
+            f"{row.name:>16} {row.speedup:5.2f}x {bar:<{width}}{paper}"
+        )
+    mean = geomean([r.speedup for r in rows])
+    out.append("")
+    out.append(f"{'geomean':>16} {mean:5.2f}x   (paper reports 1.18x average)")
+    return "\n".join(out)
+
+
+def compilation_table(rows) -> str:
+    """Render Table 1: per-benchmark synthesis statistics.
+
+    ``rows`` is a list of dicts with keys: name, exprs, lifting_queries,
+    sketching_queries, swizzling_queries, lifting_time_s, sketching_time_s,
+    swizzling_time_s.
+    """
+    header = (
+        f"{'Benchmark':>16} {'Exprs':>6} {'LiftQ':>7} {'SketchQ':>8} "
+        f"{'SwizQ':>7} {'Lift(s)':>8} {'Sketch(s)':>9} {'Swiz(s)':>8} "
+        f"{'Total(s)':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    totals = {k: 0.0 for k in (
+        "exprs", "lifting_queries", "sketching_queries", "swizzling_queries",
+        "lifting_time_s", "sketching_time_s", "swizzling_time_s",
+    )}
+    for r in rows:
+        total_t = (
+            r["lifting_time_s"] + r["sketching_time_s"] + r["swizzling_time_s"]
+        )
+        lines.append(
+            f"{r['name']:>16} {r['exprs']:>6} {r['lifting_queries']:>7} "
+            f"{r['sketching_queries']:>8} {r['swizzling_queries']:>7} "
+            f"{r['lifting_time_s']:>8.2f} {r['sketching_time_s']:>9.2f} "
+            f"{r['swizzling_time_s']:>8.2f} {total_t:>9.2f}"
+        )
+        for k in totals:
+            totals[k] += r[k if k != "exprs" else "exprs"]
+    lines.append("-" * len(header))
+    total_time = (
+        totals["lifting_time_s"] + totals["sketching_time_s"]
+        + totals["swizzling_time_s"]
+    )
+    if total_time > 0:
+        lines.append(
+            "time split: lifting {:.0%}, sketching {:.0%}, swizzling {:.0%} "
+            "(paper: 9% / 21% / 70%)".format(
+                totals["lifting_time_s"] / total_time,
+                totals["sketching_time_s"] / total_time,
+                totals["swizzling_time_s"] / total_time,
+            )
+        )
+    return "\n".join(lines)
+
+
+def codegen_comparison(title: str, source: str, baseline: str, rake: str) -> str:
+    """Render a Figure 4 / Figure 12 style three-column comparison."""
+    out = [f"=== {title} ===", "", "-- Halide IR --", source, "",
+           "-- Halide codegen (baseline) --", baseline, "",
+           "-- Rake codegen --", rake, ""]
+    return "\n".join(out)
+
+
+def lifting_trace(steps) -> str:
+    """Render a Figure 9 style lifting trace."""
+    out = []
+    for i, step in enumerate(steps, 1):
+        out.append(f"Step {i} [{step.rule}]")
+        out.append(f"  Halide: {step.source}")
+        out.append(f"  Lifted: {step.result}")
+    return "\n".join(out)

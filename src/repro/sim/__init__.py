@@ -1,0 +1,18 @@
+"""Cycle simulator and functional executor for compiled pipelines."""
+
+from .execute import HALO_X, HALO_Y, Image, execute, reference_execute
+from .machine import DEFAULT_MACHINE, MachineConfig
+from .packets import (
+    PacketSchedule,
+    initiation_interval,
+    resource_counts,
+    schedule_packets,
+)
+from .runner import (
+    PipelineCycles,
+    StageCycles,
+    latency_report,
+    load_bytes,
+    measure,
+    stage_cycles,
+)

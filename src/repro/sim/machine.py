@@ -1,0 +1,50 @@
+"""Machine model for the cycle simulator (stands in for Qualcomm's
+Hexagon Simulator v8.3.07 — DESIGN.md substitution 3).
+
+The model captures the two properties that drive the paper's numbers:
+
+* **VLIW resource constraints** — an HVX packet issues up to ``slots``
+  instructions per cycle, at most ``caps[r]`` per functional unit ``r``.
+  In steady state a vectorized loop is limited by its resource-constrained
+  initiation interval (the paper's cost model: per-resource instruction
+  counts, maximum over resources).
+* **A memory roofline** — the L2/vector interface moves at most
+  ``bytes_per_cycle``; element-wise kernels are bandwidth-bound, which is
+  why half the paper's benchmarks show identical performance for both
+  selectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_caps() -> dict:
+    # Per-packet functional-unit capacities, HVX-like: two multiply pipes,
+    # two shift/permute-capable slots, ALU ops on any slot, two memory
+    # slots of which one may store.
+    return {
+        "mpy": 2,
+        "shift": 2,
+        "permute": 2,
+        "alu": 4,
+        "load": 2,
+        "store": 1,
+    }
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of the simulated HVX core."""
+
+    vbytes: int = 128  # vector register width in bytes
+    slots: int = 4  # instructions per VLIW packet
+    caps: dict = field(default_factory=_default_caps)
+    bytes_per_cycle: int = 128  # memory roofline (read + write)
+    unaligned_load_cost: int = 1  # v66+ HVX issues vmemu as one slot
+
+    def cap(self, resource: str) -> int:
+        return self.caps.get(resource, self.slots)
+
+
+DEFAULT_MACHINE = MachineConfig()

@@ -1,0 +1,187 @@
+"""VLIW packet scheduling of HVX programs.
+
+Two views of a program's cost:
+
+* :func:`schedule_packets` — a latency-accurate greedy list schedule of the
+  expression DAG into packets (how long ONE evaluation takes),
+* :func:`initiation_interval` — the steady-state throughput of the
+  surrounding loop assuming software pipelining: the resource-constrained
+  initiation interval, ``max_r ceil(count_r / cap_r)``.  This is the
+  quantity loop performance is governed by, and it is exactly the paper's
+  cost model (per-resource counts, maximum over resources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from ..hvx import isa as H
+from .machine import DEFAULT_MACHINE, MachineConfig
+
+
+def _unique_nodes(program: H.HvxExpr) -> list[H.HvxExpr]:
+    seen: set = set()
+    order: list[H.HvxExpr] = []
+
+    def walk(node: H.HvxExpr) -> None:
+        if node in seen:
+            return
+        seen.add(node)
+        for child in node.children:
+            walk(child)
+        order.append(node)
+
+    walk(program)
+    return order
+
+
+def _resource_of(node: H.HvxExpr) -> str | None:
+    """Functional unit a node occupies, or None for free nodes."""
+    if isinstance(node, H.HvxLoad):
+        return "load"
+    if isinstance(node, H.HvxSplat):
+        return None  # hoisted out of the loop by LLVM
+    if isinstance(node, H.HvxInstr):
+        resource = node.descriptor.resource
+        return None if resource == "none" else resource
+    return None
+
+
+def _occupancy(node: H.HvxExpr, machine: MachineConfig) -> int:
+    if isinstance(node, H.HvxLoad) and not node.aligned:
+        return machine.unaligned_load_cost
+    return 1
+
+
+def _latency_of(node: H.HvxExpr, machine: MachineConfig) -> int:
+    if isinstance(node, H.HvxLoad):
+        return 1 if node.aligned else machine.unaligned_load_cost
+    if isinstance(node, H.HvxInstr):
+        return node.descriptor.latency
+    return 0
+
+
+@dataclass
+class PacketSchedule:
+    """Result of scheduling one program evaluation."""
+
+    cycles: int
+    packets: list = field(default_factory=list)  # list[list[node]]
+    resource_counts: dict = field(default_factory=dict)
+
+    @property
+    def instructions(self) -> int:
+        return sum(len(p) for p in self.packets)
+
+
+def resource_counts(
+    program: H.HvxExpr, machine: MachineConfig = DEFAULT_MACHINE,
+    store_bytes: int = 0, register_buffer: str | None = None,
+) -> dict:
+    """Per-unit occupancy counts of one loop iteration (shared subtrees
+    counted once).  ``store_bytes > 0`` adds the output store(s).
+
+    ``register_buffer`` names a buffer whose loads are free: the
+    reduction accumulator, which a vectorized loop carries in registers
+    rather than reloading each iteration.
+    """
+    counts: dict[str, int] = {}
+    for node in _unique_nodes(program):
+        if isinstance(node, H.HvxLoad) and node.buffer == register_buffer:
+            continue
+        resource = _resource_of(node)
+        if resource is None:
+            continue
+        counts[resource] = counts.get(resource, 0) + _occupancy(node, machine)
+    if store_bytes:
+        stores = max(1, ceil(store_bytes / machine.vbytes))
+        counts["store"] = counts.get("store", 0) + stores
+    return counts
+
+
+def initiation_interval(
+    program: H.HvxExpr, machine: MachineConfig = DEFAULT_MACHINE,
+    store_bytes: int = 0, register_buffer: str | None = None,
+) -> int:
+    """Steady-state cycles per loop iteration (resource-constrained II)."""
+    counts = resource_counts(program, machine, store_bytes, register_buffer)
+    total = sum(counts.values())
+    by_resource = max(
+        (ceil(c / machine.cap(r)) for r, c in counts.items()), default=0
+    )
+    by_slots = ceil(total / machine.slots)
+    return max(1, by_resource, by_slots)
+
+
+def schedule_packets(
+    program: H.HvxExpr, machine: MachineConfig = DEFAULT_MACHINE
+) -> PacketSchedule:
+    """Greedy latency-aware list schedule of one program evaluation."""
+    nodes = _unique_nodes(program)
+    issued: dict[H.HvxExpr, int] = {}  # node -> completion cycle
+    pending = [n for n in nodes if _resource_of(n) is not None]
+    free_nodes = [n for n in nodes if _resource_of(n) is None]
+
+    # Height priority: schedule deep (critical-path) nodes first.
+    height: dict[H.HvxExpr, int] = {}
+    for node in nodes:
+        height[node] = _latency_of(node, machine) + max(
+            (height[c] for c in node.children), default=0
+        )
+
+    def ready_cycle(node: H.HvxExpr) -> int:
+        cycle = 0
+        stack = list(node.children)
+        while stack:
+            child = stack.pop()
+            if _resource_of(child) is None:
+                stack.extend(child.children)
+                if child in issued:
+                    cycle = max(cycle, issued[child])
+                continue
+            if child not in issued:
+                return -1  # not ready yet
+            cycle = max(cycle, issued[child])
+        return cycle
+
+    packets: list[list] = []
+    usage: list[dict] = []
+    cycle = 0
+    remaining = sorted(pending, key=lambda n: -height[n])
+    guard = 0
+    while remaining and guard < 10000:
+        guard += 1
+        placed_any = False
+        if len(packets) <= cycle:
+            packets.append([])
+            usage.append({})
+        for node in list(remaining):
+            ready = ready_cycle(node)
+            if ready < 0 or ready > cycle:
+                continue
+            resource = _resource_of(node)
+            occ = _occupancy(node, machine)
+            used = usage[cycle].get(resource, 0)
+            slots_used = sum(usage[cycle].values())
+            if used + occ > machine.cap(resource):
+                continue
+            if slots_used + 1 > machine.slots:
+                break
+            usage[cycle][resource] = used + occ
+            packets[cycle].append(node)
+            issued[node] = cycle + _latency_of(node, machine)
+            remaining.remove(node)
+            placed_any = True
+        cycle += 1
+        del placed_any
+    for node in free_nodes:
+        issued.setdefault(node, 0)
+
+    total_cycles = max(issued.values(), default=1)
+    counts = resource_counts(program, machine)
+    return PacketSchedule(
+        cycles=max(1, total_cycles),
+        packets=[p for p in packets if p],
+        resource_counts=counts,
+    )

@@ -1,0 +1,101 @@
+"""Rake's synthesis-based instruction selector.
+
+The three stages of the paper:
+
+1. :mod:`repro.synthesis.lifting` — Halide IR -> Uber-Instruction IR
+2. :mod:`repro.synthesis.grammar` + :mod:`repro.synthesis.lowering` —
+   swizzle-free sketch synthesis (Algorithm 2)
+3. :mod:`repro.synthesis.swizzle_synth` — data-movement synthesis
+
+:func:`select_instructions` runs the full pipeline for one vector
+expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hvx import isa as H
+from ..ir import expr as ir_expr
+from .lifting import Lifter, LiftStep, lift
+from .lowering import Lowerer, LoweringOptions, lower
+from .oracle import LAYOUT_DEINTERLEAVED, LAYOUT_INORDER, Oracle, denote
+from .stats import SynthesisStats
+from .swizzle_synth import synthesize_swizzles
+
+
+@dataclass
+class SelectionResult:
+    """Output of a full Rake run on one expression."""
+
+    source: ir_expr.Expr
+    lifted: object  # UberExpr
+    program: H.HvxExpr
+    trace: list  # LiftSteps, for Figure 9-style reporting
+
+
+@dataclass
+class RakeSelector:
+    """End-to-end synthesis-based instruction selection (Figure 1's Rake box).
+
+    Reusable across expressions; accumulates statistics for Table 1.
+    ``sketches_fn`` retargets the lowering grammars (default: HVX).
+    """
+
+    vbytes: int = 128
+    options: LoweringOptions = field(default_factory=LoweringOptions)
+    oracle: Oracle = field(default_factory=Oracle)
+    sketches_fn: object = None
+
+    @property
+    def stats(self) -> SynthesisStats:
+        return self.oracle.stats
+
+    #: how many alternative lifted forms to try when lowering rejects one
+    max_lift_retries: int = 4
+
+    def select(self, expr: ir_expr.Expr) -> SelectionResult:
+        """Lift, sketch and swizzle-synthesize one vector expression.
+
+        Greedy lifting occasionally commits to a form the target grammar
+        cannot realize; when lowering fails, the lifted form is banned and
+        lifting re-runs to surface the next equivalent candidate (at most
+        ``max_lift_retries`` times).
+        """
+        from ..errors import SynthesisError
+
+        banned: set = set()
+        last_error: Exception | None = None
+        for _attempt in range(self.max_lift_retries):
+            lifter = Lifter(self.oracle)
+            lifted = lifter.lift(expr, frozenset(banned))
+            lowerer = Lowerer(self.oracle, vbytes=self.vbytes,
+                              options=self.options,
+                              sketches_fn=self.sketches_fn)
+            try:
+                program = lowerer.lower(lifted)
+            except SynthesisError as err:
+                banned.add(lifted)
+                last_error = err
+                continue
+            self.stats.expressions += 1
+            return SelectionResult(
+                source=expr, lifted=lifted, program=program,
+                trace=lifter.trace,
+            )
+        raise last_error
+
+
+def select_instructions(
+    expr: ir_expr.Expr,
+    vbytes: int = 128,
+    options: LoweringOptions | None = None,
+    oracle: Oracle | None = None,
+) -> SelectionResult:
+    """Run Rake on a single Halide IR vector expression."""
+    selector = RakeSelector(
+        vbytes=vbytes,
+        options=options or LoweringOptions(),
+        oracle=oracle or Oracle(),
+    )
+    return selector.select(expr)

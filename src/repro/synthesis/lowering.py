@@ -1,0 +1,139 @@
+"""Stage 2 + 3 driver — Algorithm 2 of the paper.
+
+``Lower(e, layout)`` recursively lowers each sub-expression (memoized per
+requested layout), enumerates swizzle-free sketches from the specialized
+grammar, validates each sketch (lane-0 pruning first, Section 4.1), then
+asks the swizzle synthesizer to concretize data movement under the cost
+upper bound β.  Each successful implementation tightens β and — when
+backtracking is enabled — the search continues until no better sketch
+remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SynthesisError, UnsupportedExpressionError
+from ..hvx import isa as H
+from ..hvx.cost import Cost, INFINITE_COST, cost_of
+from ..uber import instructions as U
+from . import grammar
+from .oracle import LAYOUT_DEINTERLEAVED, LAYOUT_INORDER, Oracle
+from .sketch import AbstractSwizzle, SWIZZLE_DEINTERLEAVE, SWIZZLE_INTERLEAVE
+from .swizzle_synth import synthesize_swizzles
+
+
+@dataclass(frozen=True)
+class LoweringOptions:
+    """Knobs exposed for the paper's design-choice ablations."""
+
+    backtracking: bool = True  # §5.1: keep tightening β after a success
+    lane0_pruning: bool = True  # §4.1: cheap first-lane check before full
+    layout_search: bool = True  # §5.1: try deinterleaved intermediates
+    max_sketches: int = 24  # sketches examined per uber-instruction
+
+
+@dataclass
+class Lowerer:
+    """Runs Algorithm 2 over one lifted expression.
+
+    ``sketches_fn`` supplies the per-uber-instruction grammars and thereby
+    selects the target ISA; the default is the HVX grammar.  Retargeting
+    (paper Section 6) means providing a different grammar — see
+    :mod:`repro.neon` for the preliminary ARM Neon port.
+    """
+
+    oracle: Oracle
+    vbytes: int = 128
+    options: LoweringOptions = field(default_factory=LoweringOptions)
+    sketches_fn: object = None
+    _memo: dict = field(default_factory=dict)
+
+    # -- public API ---------------------------------------------------------
+
+    def lower(self, e: U.UberExpr) -> H.HvxExpr:
+        """Lower a lifted expression to a concrete in-order HVX program."""
+        impl = self._lower(e, LAYOUT_INORDER)
+        if impl is None:
+            raise SynthesisError(
+                f"no HVX implementation found for {U.uber_name(e)} expression"
+            )
+        return impl
+
+    # -- Algorithm 2 ---------------------------------------------------------
+
+    def _lower(self, e: U.UberExpr, layout: str) -> H.HvxExpr | None:
+        key = (e, layout)
+        if key in self._memo:
+            return self._memo[key]
+        if layout == LAYOUT_DEINTERLEAVED and not self.options.layout_search:
+            self._memo[key] = None
+            return None
+        # Recursion guard: a child query that re-enters the same node (the
+        # grammar asking for the other layout) must not loop.
+        self._memo[key] = None
+
+        best: H.HvxExpr | None = None
+        beta = INFINITE_COST
+        examined = 0
+        sketches = self.sketches_fn or grammar.sketches
+        try:
+            sketch_iter = sketches(e, self._child, self.vbytes)
+        except UnsupportedExpressionError:
+            return None
+
+        for sketch in sketch_iter:
+            if examined >= self.options.max_sketches:
+                break
+            examined += 1
+            adapted = self._adapt_layout(sketch, layout)
+            if adapted is None:
+                continue
+            with self.oracle.stats.stage("sketching"):
+                if self.options.lane0_pruning and not self.oracle.equivalent_lane0(
+                    e, adapted, layout
+                ):
+                    continue
+                if not self.oracle.equivalent(e, adapted, layout):
+                    continue
+            with self.oracle.stats.stage("swizzling"):
+                result = synthesize_swizzles(
+                    e, adapted, layout, self.oracle, beta
+                )
+            if result is None:
+                continue
+            impl, impl_cost = result
+            best = impl
+            beta = impl_cost
+            if not self.options.backtracking:
+                break
+        self._memo[key] = best
+        return best
+
+    def _adapt_layout(self, sketch: grammar.Sketch, requested: str):
+        """Bridge a sketch's natural layout to the requested one."""
+        if sketch.layout == requested:
+            return sketch.expr
+        if not sketch.expr.type.is_pair:
+            return None
+        mode = (
+            SWIZZLE_INTERLEAVE
+            if requested == LAYOUT_INORDER
+            else SWIZZLE_DEINTERLEAVE
+        )
+        return AbstractSwizzle(sketch.expr, mode)
+
+    def _child(self, e: U.UberExpr, layout: str) -> H.HvxExpr | None:
+        return self._lower(e, layout)
+
+
+def lower(
+    e: U.UberExpr,
+    oracle: Oracle,
+    vbytes: int = 128,
+    options: LoweringOptions | None = None,
+) -> H.HvxExpr:
+    """Convenience wrapper: lower one lifted expression."""
+    return Lowerer(
+        oracle, vbytes=vbytes, options=options or LoweringOptions()
+    ).lower(e)

@@ -1,0 +1,158 @@
+"""Equivalence oracle: the verification back-end of every synthesis stage.
+
+The paper discharges equivalence queries with an SMT solver (Rosette/z3);
+this environment has no solver, so the oracle implements the same
+*inductive synthesis* loop with concrete testing (DESIGN.md substitution 1):
+
+1. Candidates are first checked against cached counterexamples — inputs
+   that refuted earlier candidates (the CEGIS example set).
+2. Survivors run against the structured valuation bank (ramps, boundary
+   values, randoms).
+3. A configurable number of extra randomized rounds serves as the
+   "verification" step; a failure there is recorded as a new counterexample
+   and immediately refutes future look-alikes.
+
+The oracle is generic over expression kinds: IR, uber and HVX expressions
+are all evaluated to logical lane tuples through :func:`denote`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EvaluationError
+from ..hvx import interp as hvx_interp
+from ..hvx import isa as hvx_isa
+from ..hvx import values as hvx_values
+from ..ir import expr as ir_expr
+from ..ir import interp as ir_interp
+from ..uber import instructions as uber_instr
+from ..uber import interp as uber_interp
+from . import valuation
+from .stats import SynthesisStats
+
+#: result layouts a lowered implementation may produce (Section 5.1)
+LAYOUT_INORDER = "in-order"
+LAYOUT_DEINTERLEAVED = "deinterleaved"
+LAYOUTS = (LAYOUT_INORDER, LAYOUT_DEINTERLEAVED)
+
+
+def _mask_lanes(values: tuple, bits: int) -> tuple:
+    """Normalize lanes to unsigned bit patterns.
+
+    Equivalence is *bit-pattern* equality at matching lane widths: an i16
+    result is interchangeable with a u16 result holding the same bits, which
+    is how reinterpret-style instruction selections (vmpa producing signed
+    halfwords for an unsigned sum) remain admissible — exactly as on real
+    hardware, where registers carry bits, not signs.
+    """
+    mask = (1 << bits) - 1
+    return tuple(v & mask for v in values)
+
+
+def denote(expr, env: ir_interp.Environment, layout: str = LAYOUT_INORDER) -> tuple:
+    """Evaluate any expression kind to a *logical-order* lane-bits tuple.
+
+    For HVX expressions, ``layout`` declares how the register-order result
+    should be read back: an implementation that produces a deinterleaved
+    pair is logically correct iff interleaving its halves yields the spec.
+    """
+    if isinstance(expr, ir_expr.Expr):
+        values = ir_interp.evaluate_vector(expr, env)
+        return _mask_lanes(values, ir_expr.elem_of(expr.type).bits)
+    if isinstance(expr, uber_instr.UberExpr):
+        values = uber_interp.evaluate(expr, env)
+        return _mask_lanes(values, expr.type.elem.bits)
+    if isinstance(expr, hvx_isa.HvxExpr):
+        value = hvx_interp.evaluate(expr, env)
+        if layout == LAYOUT_DEINTERLEAVED:
+            if not isinstance(value, hvx_values.VecPair):
+                raise EvaluationError(
+                    "deinterleaved layout only applies to pair results"
+                )
+            return _mask_lanes(
+                hvx_values.as_lanes(hvx_values.interleave(value)),
+                value.elem.bits,
+            )
+        if isinstance(value, hvx_values.PredVec):
+            return tuple(int(v) for v in value.values)
+        return _mask_lanes(hvx_values.as_lanes(value), value.elem.bits)
+    raise EvaluationError(f"cannot denote {type(expr).__name__}")
+
+
+@dataclass
+class Oracle:
+    """Counterexample-caching differential equivalence checker."""
+
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+    extra_random_rounds: int = 4
+    seed: int = 0
+    _counterexamples: dict = field(default_factory=dict)
+    _bank_cache: dict = field(default_factory=dict)
+    _spec_cache: dict = field(default_factory=dict)
+
+    def bank_for(self, spec) -> list:
+        key = spec
+        if key not in self._bank_cache:
+            self._bank_cache[key] = valuation.environment_bank(
+                spec, n_random_extra=self.extra_random_rounds, seed=self.seed
+            )
+        return self._bank_cache[key]
+
+    def _spec_lanes(self, spec, env_index: int, env) -> tuple:
+        key = (spec, env_index)
+        if key not in self._spec_cache:
+            self._spec_cache[key] = denote(spec, env)
+        return self._spec_cache[key]
+
+    def equivalent(self, spec, candidate, layout: str = LAYOUT_INORDER) -> bool:
+        """One synthesis query: is ``candidate`` equivalent to ``spec``?
+
+        ``spec`` is an IR or uber expression (logical denotation);
+        ``candidate`` may be any expression kind, with ``layout`` applied
+        when it is an HVX expression.
+        """
+        self.stats.count_query()
+
+        # Phase 1: replay counterexamples recorded for THIS spec — the
+        # inputs that refuted earlier candidates reject look-alikes fast.
+        replay = self._counterexamples.setdefault(spec, [])
+        for index, env in replay:
+            try:
+                got = denote(candidate, env, layout)
+            except EvaluationError:
+                return False
+            if got != self._spec_lanes(spec, index, env):
+                return False
+
+        # Phase 2 + 3: the structured bank, then randomized verification.
+        bank = self.bank_for(spec)
+        for index, env in enumerate(bank):
+            try:
+                got = denote(candidate, env, layout)
+            except EvaluationError:
+                return False
+            want = self._spec_lanes(spec, index, env)
+            if got != want:
+                replay.append((index, env))
+                if len(replay) > 8:
+                    replay.pop(0)
+                return False
+        return True
+
+    def equivalent_lane0(self, spec, candidate, layout: str = LAYOUT_INORDER) -> bool:
+        """The cheap first-lane pruning check of Section 4.1.
+
+        Uses a single valuation and compares only the first lane.  A failure
+        proves the candidate wrong; a pass just promotes it to the full
+        check.
+        """
+        self.stats.count_query()
+        bank = self.bank_for(spec)
+        env = bank[0]
+        try:
+            got = denote(candidate, env, layout)
+        except EvaluationError:
+            return False
+        want = self._spec_lanes(spec, 0, env)
+        return bool(got) and got[0] == want[0]

@@ -1,0 +1,244 @@
+"""Abstract data movement for swizzle-free sketches (paper Section 4).
+
+A swizzle-free sketch implements the computation with concrete HVX
+intrinsics while deferring data movement behind placeholder terms.  The
+paper encodes placeholders as Rosette symbolic vectors; with no SMT solver
+available, this reproduction replaces them by an enumerable family of
+*access patterns* (DESIGN.md substitution 2) that covers the movement DSP
+kernels use:
+
+* :class:`AbstractWindow` — ``??load`` of a (possibly strided, possibly
+  unaligned) element window of a buffer,
+* :class:`AbstractPairWindow` — ``??load [vec-pair? #t]``: a contiguous
+  double-width window (the input shape of sliding instructions),
+* :class:`AbstractRows` — a pair built from two independent windows (the
+  input shape of vmpa's two rows),
+* :class:`AbstractSwizzle` — ``??swizzle``: a deferred re-layout
+  (interleave / deinterleave) of a computed sub-expression.
+
+During sketch verification the placeholders evaluate *optimistically*
+(reading memory directly), proving that a correct data arrangement exists.
+Stage 3 (:mod:`repro.synthesis.swizzle_synth`) then replaces each
+placeholder with real load/shuffle instruction sequences, cheapest first.
+
+Placeholders subclass :class:`~repro.hvx.isa.HvxExpr` and plug into the HVX
+interpreter through the ``evaluate_sketch`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import EvaluationError
+from ..hvx import isa as H
+from ..hvx import values as V
+from ..ir import interp as ir_interp
+from ..types import ScalarType
+
+SWIZZLE_IDENTITY = "identity"
+SWIZZLE_INTERLEAVE = "interleave"
+SWIZZLE_DEINTERLEAVE = "deinterleave"
+
+
+def _window_realizations(
+    buffer: str, offset: int, lanes: int, elem: ScalarType
+) -> Iterator[H.HvxExpr]:
+    """Concrete single-vector loads of a dense element window.
+
+    Yields cheapest-first: an aligned ``vmem``, an unaligned ``vmemu``
+    (double load-unit occupancy), or ``valign`` of the two surrounding
+    aligned vectors (one permute, two cheap loads).
+    """
+    if offset % lanes == 0:
+        yield H.HvxLoad(buffer, offset, lanes, elem)
+        return
+    yield H.HvxLoad(buffer, offset, lanes, elem)  # vmemu
+    base = (offset // lanes) * lanes
+    shift = offset - base
+    yield H.HvxInstr(
+        "valign",
+        (
+            H.HvxLoad(buffer, base, lanes, elem),
+            H.HvxLoad(buffer, base + lanes, lanes, elem),
+        ),
+        (shift,),
+    )
+
+
+@dataclass(frozen=True)
+class AbstractWindow(H.HvxExpr):
+    """``??load``: lane ``i`` holds ``buffer[offset + i * stride]``."""
+
+    buffer: str
+    offset: int
+    lanes: int
+    elem: ScalarType
+    stride: int = 1
+
+    @property
+    def type(self) -> H.HvxType:
+        return H.vec(self.elem, self.lanes)
+
+    def evaluate_sketch(self, env: ir_interp.Environment) -> V.Vec:
+        values = env.buffer(self.buffer).read(self.offset, self.lanes, self.stride)
+        return V.Vec(self.elem, values)
+
+    def realizations(self) -> Iterator[H.HvxExpr]:
+        if self.stride == 1:
+            yield from _window_realizations(
+                self.buffer, self.offset, self.lanes, self.elem
+            )
+            return
+        if self.stride == 2:
+            # Load the dense 2N window as a pair, deinterleave, take the
+            # half that carries the requested parity.
+            dense = self.offset if self.offset % 2 == 0 else self.offset - 1
+            half = "lo" if self.offset % 2 == 0 else "hi"
+            for w0 in _window_realizations(
+                self.buffer, dense, self.lanes, self.elem
+            ):
+                for w1 in _window_realizations(
+                    self.buffer, dense + self.lanes, self.lanes, self.elem
+                ):
+                    combined = H.HvxInstr("vcombine", (w0, w1))
+                    dealt = H.HvxInstr("vdealvdd", (combined,))
+                    yield H.HvxInstr(half, (dealt,))
+            return
+        if self.stride == 4:
+            # stride-4 = the even lanes of two adjacent stride-2 windows.
+            a = AbstractWindow(self.buffer, self.offset, self.lanes, self.elem, 2)
+            b = AbstractWindow(
+                self.buffer, self.offset + 2 * self.lanes, self.lanes,
+                self.elem, 2,
+            )
+            for ra in a.realizations():
+                for rb in b.realizations():
+                    combined = H.HvxInstr("vcombine", (ra, rb))
+                    dealt = H.HvxInstr("vdealvdd", (combined,))
+                    yield H.HvxInstr("lo", (dealt,))
+            return
+        raise EvaluationError(f"unsupported load stride: {self.stride}")
+
+
+@dataclass(frozen=True)
+class AbstractPairWindow(H.HvxExpr):
+    """``??load [vec-pair? #t]``: a contiguous window of ``lanes`` elements
+    returned as a pair (lanes = 2 x vector lanes)."""
+
+    buffer: str
+    offset: int
+    lanes: int
+    elem: ScalarType
+
+    @property
+    def type(self) -> H.HvxType:
+        return H.pair(self.elem, self.lanes)
+
+    def evaluate_sketch(self, env: ir_interp.Environment) -> V.VecPair:
+        values = env.buffer(self.buffer).read(self.offset, self.lanes, 1)
+        return V.VecPair(self.elem, values)
+
+    def realizations(self) -> Iterator[H.HvxExpr]:
+        half = self.lanes // 2
+        for w0 in _window_realizations(self.buffer, self.offset, half, self.elem):
+            for w1 in _window_realizations(
+                self.buffer, self.offset + half, half, self.elem
+            ):
+                yield H.HvxInstr("vcombine", (w0, w1))
+
+
+@dataclass(frozen=True)
+class AbstractRows(H.HvxExpr):
+    """``??load`` of two independent windows presented as a pair.
+
+    This is the operand shape of ``vmpa``: ``lo`` holds one row of a
+    stencil, ``hi`` another.
+    """
+
+    buffer0: str
+    offset0: int
+    buffer1: str
+    offset1: int
+    lanes: int  # per row
+    elem: ScalarType
+    stride: int = 1
+
+    @property
+    def type(self) -> H.HvxType:
+        return H.pair(self.elem, self.lanes * 2)
+
+    def evaluate_sketch(self, env: ir_interp.Environment) -> V.VecPair:
+        row0 = env.buffer(self.buffer0).read(self.offset0, self.lanes, self.stride)
+        row1 = env.buffer(self.buffer1).read(self.offset1, self.lanes, self.stride)
+        return V.VecPair(self.elem, row0 + row1)
+
+    def realizations(self) -> Iterator[H.HvxExpr]:
+        w0 = AbstractWindow(self.buffer0, self.offset0, self.lanes, self.elem,
+                            self.stride)
+        w1 = AbstractWindow(self.buffer1, self.offset1, self.lanes, self.elem,
+                            self.stride)
+        for r0 in w0.realizations():
+            for r1 in w1.realizations():
+                yield H.HvxInstr("vcombine", (r0, r1))
+
+
+@dataclass(frozen=True)
+class AbstractSwizzle(H.HvxExpr):
+    """``??swizzle``: a deferred re-layout of a computed pair."""
+
+    value: H.HvxExpr
+    mode: str  # one of the SWIZZLE_* constants
+
+    def __post_init__(self) -> None:
+        if self.mode not in (
+            SWIZZLE_IDENTITY, SWIZZLE_INTERLEAVE, SWIZZLE_DEINTERLEAVE
+        ):
+            raise EvaluationError(f"bad swizzle mode: {self.mode}")
+
+    @property
+    def type(self) -> H.HvxType:
+        return self.value.type
+
+    @property
+    def children(self) -> tuple[H.HvxExpr, ...]:
+        return (self.value,)
+
+    def with_children(self, children):
+        (value,) = children
+        return AbstractSwizzle(value, self.mode)
+
+    def evaluate_sketch(self, env: ir_interp.Environment):
+        from ..hvx import interp as hvx_interp
+
+        value = hvx_interp.evaluate(self.value, env)
+        if self.mode == SWIZZLE_IDENTITY:
+            return value
+        if not isinstance(value, V.VecPair):
+            raise EvaluationError("swizzle re-layout applies to pairs")
+        if self.mode == SWIZZLE_INTERLEAVE:
+            return V.interleave(value)
+        return V.deinterleave(value)
+
+    def realizations(self) -> Iterator[H.HvxExpr]:
+        if self.mode == SWIZZLE_IDENTITY:
+            yield self.value
+        elif self.mode == SWIZZLE_INTERLEAVE:
+            yield H.HvxInstr("vshuffvdd", (self.value,))
+        else:
+            yield H.HvxInstr("vdealvdd", (self.value,))
+
+
+def placeholders_of(expr: H.HvxExpr) -> list[H.HvxExpr]:
+    """All abstract placeholders in a sketch, outermost first."""
+    kinds = (AbstractWindow, AbstractPairWindow, AbstractRows, AbstractSwizzle)
+    out = []
+    for node in expr:
+        if isinstance(node, kinds):
+            out.append(node)
+    return out
+
+
+def is_concrete(expr: H.HvxExpr) -> bool:
+    """True when the expression contains no abstract placeholders."""
+    return not placeholders_of(expr)

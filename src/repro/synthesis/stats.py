@@ -1,0 +1,83 @@
+"""Per-stage instrumentation for Table 1 of the paper.
+
+Every synthesis query (one candidate equivalence check) is counted against
+the active stage — ``lifting``, ``sketching`` or ``swizzling`` — together
+with wall-clock time, so the benchmark harness can reproduce the paper's
+compilation-statistics table.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+STAGES = ("lifting", "sketching", "swizzling")
+
+
+@dataclass
+class StageStats:
+    queries: int = 0
+    time_s: float = 0.0
+
+
+@dataclass
+class SynthesisStats:
+    """Query counts and times per synthesis stage."""
+
+    stages: dict = field(
+        default_factory=lambda: {name: StageStats() for name in STAGES}
+    )
+    expressions: int = 0
+    _active: list = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Attribute queries and time inside the block to ``name``."""
+        if name not in self.stages:
+            raise ValueError(f"unknown synthesis stage: {name}")
+        self._active.append(name)
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.stages[name].time_s += time.perf_counter() - start
+            self._active.pop()
+
+    def count_query(self) -> None:
+        """Record one synthesis query against the innermost active stage."""
+        if self._active:
+            self.stages[self._active[-1]].queries += 1
+
+    @property
+    def total_queries(self) -> int:
+        return sum(s.queries for s in self.stages.values())
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(s.time_s for s in self.stages.values())
+
+    def merged_with(self, other: "SynthesisStats") -> "SynthesisStats":
+        out = SynthesisStats()
+        for name in STAGES:
+            out.stages[name].queries = (
+                self.stages[name].queries + other.stages[name].queries
+            )
+            out.stages[name].time_s = (
+                self.stages[name].time_s + other.stages[name].time_s
+            )
+        out.expressions = self.expressions + other.expressions
+        return out
+
+    def summary(self) -> dict:
+        return {
+            "expressions": self.expressions,
+            **{
+                f"{name}_queries": self.stages[name].queries
+                for name in STAGES
+            },
+            **{
+                f"{name}_time_s": round(self.stages[name].time_s, 3)
+                for name in STAGES
+            },
+        }

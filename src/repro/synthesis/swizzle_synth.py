@@ -1,0 +1,97 @@
+"""Stage 3 — synthesizing data movement (paper Section 5).
+
+Once a swizzle-free sketch is validated, every ``??load``/``??swizzle``
+placeholder is replaced by a concrete sequence of load and shuffle
+instructions.  Realizations are enumerated cheapest-first per placeholder
+and combined under the backtracking cost bound β from Algorithm 2; each
+complete candidate is re-verified end to end (the paper's point that Rake
+verifies all its transformations).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+from ..hvx import isa as H
+from ..hvx.cost import Cost, cost_of
+from .oracle import Oracle
+from .sketch import is_concrete, placeholders_of
+
+#: cap on realization combinations tried per sketch
+MAX_COMBOS = 64
+
+
+def substitute(expr: H.HvxExpr, target: H.HvxExpr,
+               replacement: H.HvxExpr) -> H.HvxExpr:
+    """Replace every occurrence of ``target`` (by equality) in ``expr``."""
+    if expr == target:
+        return replacement
+    children = expr.children
+    if not children:
+        return expr
+    new_children = tuple(substitute(c, target, replacement) for c in children)
+    if new_children == children:
+        return expr
+    return expr.with_children(new_children)
+
+
+def _ranked_realizations(placeholder) -> list[H.HvxExpr]:
+    """Concrete options for one placeholder, cheapest first."""
+    options = list(placeholder.realizations())
+    options.sort(key=lambda impl: cost_of(impl).key)
+    return options
+
+
+def synthesize_swizzles(
+    spec,
+    sketch_expr: H.HvxExpr,
+    layout: str,
+    oracle: Oracle,
+    budget: Cost,
+) -> tuple[H.HvxExpr, Cost] | None:
+    """Concretize all placeholders in ``sketch_expr`` under ``budget``.
+
+    Returns the cheapest verified concrete implementation, or ``None`` when
+    no realization fits the budget (the query Algorithm 2 treats as *unsat*,
+    which triggers backtracking to the next sketch).
+    """
+    placeholders = []
+    for ph in placeholders_of(sketch_expr):
+        if ph not in placeholders:
+            placeholders.append(ph)
+    if not placeholders:
+        impl_cost = cost_of(sketch_expr)
+        if impl_cost.key < budget.key and oracle.equivalent(
+            spec, sketch_expr, layout
+        ):
+            return sketch_expr, impl_cost
+        return None
+
+    option_lists = [_ranked_realizations(ph) for ph in placeholders]
+    combos = list(product(*option_lists))[:MAX_COMBOS]
+
+    scored = []
+    for combo in combos:
+        expr = sketch_expr
+        for ph, impl in zip(placeholders, combo):
+            expr = substitute(expr, ph, impl)
+        if not is_concrete(expr):
+            # Nested placeholders (a swizzle wrapping a window): resolve
+            # the remaining ones recursively with the same budget.
+            nested = synthesize_swizzles(spec, expr, layout, oracle, budget)
+            if nested is not None:
+                scored.append((nested[1].key, nested[0], nested[1]))
+            continue
+        scored.append((cost_of(expr).key, expr, cost_of(expr)))
+
+    scored.sort(key=lambda item: item[0])
+    for _key, expr, impl_cost in scored:
+        if impl_cost.key >= budget.key:
+            # Every later combo is at least as expensive; Algorithm 2's
+            # "cannot be implemented within budget" outcome.
+            oracle.stats.count_query()
+            return None
+        if oracle.equivalent(spec, expr, layout):
+            return expr, impl_cost
+    return None

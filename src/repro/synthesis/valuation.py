@@ -1,0 +1,177 @@
+"""Test-input generation for the equivalence oracle.
+
+The oracle replaces Rosette/z3 verification with differential testing over
+a bank of valuations (see DESIGN.md, substitution 1).  A valuation binds
+every buffer and scalar variable an expression reads.  The bank mixes:
+
+* boundary values that trigger wrap-around and saturation (0, 1, type
+  min/max, alternating extremes),
+* structured ramps that expose lane permutation mistakes (every lane value
+  distinct — a swizzle error cannot cancel out), and
+* seeded pseudo-random values.
+
+Buffers are padded generously around the live range so candidate
+implementations may read data the specification does not (e.g. a vtmpy
+window or an aligned-load pair spanning the neighbourhood).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..ir import expr as ir_expr
+from ..ir import traversal
+from ..ir.interp import BufferView, Environment
+from ..types import ScalarType
+
+#: extra elements materialized on each side of the live range
+PAD_ELEMENTS = 512
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """Shape of one buffer a specification reads."""
+
+    name: str
+    elem: ScalarType
+    lo: int  # inclusive, elements relative to the tile origin
+    hi: int  # exclusive
+
+
+def buffer_specs_of(spec: ir_expr.Expr) -> list[BufferSpec]:
+    """Buffer shapes read by an IR expression."""
+    out: dict[str, BufferSpec] = {}
+    for ld in traversal.loads_of(spec):
+        cur = out.get(ld.buffer)
+        lo, hi = ld.offset, ld.offset + ld.extent
+        if cur is None:
+            out[ld.buffer] = BufferSpec(ld.buffer, ld.elem, lo, hi)
+        else:
+            out[ld.buffer] = BufferSpec(
+                ld.buffer, cur.elem, min(cur.lo, lo), max(cur.hi, hi)
+            )
+    return sorted(out.values(), key=lambda b: b.name)
+
+
+def uber_buffer_specs(spec) -> list[BufferSpec]:
+    """Buffer shapes read by an uber expression.
+
+    Includes scalar loads hidden inside broadcast operands (a reduction's
+    loop-invariant factor, e.g. ``x64(i32(A[k]))``).
+    """
+    from ..uber import instructions as U
+
+    out: dict[str, BufferSpec] = {}
+
+    def add(buffer: str, elem: ScalarType, lo: int, hi: int) -> None:
+        cur = out.get(buffer)
+        if cur is None:
+            out[buffer] = BufferSpec(buffer, elem, lo, hi)
+        else:
+            out[buffer] = BufferSpec(
+                buffer, cur.elem, min(cur.lo, lo), max(cur.hi, hi)
+            )
+
+    for node in spec:
+        if isinstance(node, U.LoadData):
+            add(node.buffer, node.elem, node.offset, node.offset + node.extent)
+        elif isinstance(node, U.BroadcastScalar):
+            for sub in node.scalar:
+                if isinstance(sub, ir_expr.Load):
+                    add(sub.buffer, sub.elem, sub.offset,
+                        sub.offset + sub.extent)
+    return sorted(out.values(), key=lambda b: b.name)
+
+
+def scalar_names_of(spec) -> list[tuple[str, ScalarType]]:
+    """Free scalar variables of an IR or uber expression (incl. broadcasts)."""
+    from ..uber import instructions as U
+
+    seen: dict[str, ScalarType] = {}
+    for node in spec:
+        scalar = None
+        if isinstance(node, ir_expr.ScalarVar):
+            scalar = node
+        elif isinstance(node, (U.BroadcastScalar,)) or (
+            hasattr(node, "scalar") and isinstance(
+                getattr(node, "scalar", None), ir_expr.Expr)
+        ):
+            for sub in getattr(node, "scalar"):
+                if isinstance(sub, ir_expr.ScalarVar):
+                    seen.setdefault(sub.name, sub.dtype)
+            continue
+        if scalar is not None:
+            seen.setdefault(scalar.name, scalar.dtype)
+    return sorted(seen.items())
+
+
+def _fill(elem: ScalarType, n: int, style: str, rng: random.Random) -> list[int]:
+    lo, hi = elem.min_value, elem.max_value
+    if style == "ramp":
+        # Distinct small values per lane; offset keeps signed types happy.
+        return [elem.wrap(i * 3 + 1) for i in range(n)]
+    if style == "zeros":
+        return [0] * n
+    if style == "ones":
+        return [1] * n
+    if style == "max":
+        return [hi] * n
+    if style == "min":
+        return [lo] * n
+    if style == "alternate":
+        return [hi if i % 2 else lo for i in range(n)]
+    if style == "small_random":
+        return [rng.randint(0, min(15, hi)) for _ in range(n)]
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+#: bank order: the ramp goes first because it catches swizzle errors fastest
+BASE_STYLES = ("ramp", "random", "alternate", "max", "small_random", "random")
+
+
+def make_environment(
+    buffers: list[BufferSpec],
+    scalars: list[tuple[str, ScalarType]],
+    style: str,
+    seed: int,
+) -> Environment:
+    """Build one valuation for the given buffer and scalar shapes."""
+    rng = random.Random((hash(style) ^ seed) & 0x7FFFFFFF)
+    views: dict[str, BufferView] = {}
+    for spec in buffers:
+        length = (spec.hi - spec.lo) + 2 * PAD_ELEMENTS
+        data = _fill(spec.elem, length, style, rng)
+        views[spec.name] = BufferView(
+            data=data, elem=spec.elem, origin=PAD_ELEMENTS - spec.lo
+        )
+    scalar_vals = {}
+    for name, dtype in scalars:
+        if style in ("max", "min"):
+            scalar_vals[name] = dtype.max_value if style == "max" else dtype.min_value
+        elif style in ("zeros",):
+            scalar_vals[name] = 0
+        elif style in ("ones",):
+            scalar_vals[name] = 1
+        else:
+            scalar_vals[name] = rng.randint(dtype.min_value, dtype.max_value)
+    return Environment(buffers=views, scalars=scalar_vals)
+
+
+def environment_bank(spec, n_random_extra: int = 2, seed: int = 0) -> list[Environment]:
+    """The standard valuation bank for a specification expression.
+
+    Works for both IR and uber expressions.
+    """
+    if isinstance(spec, ir_expr.Expr):
+        buffers = buffer_specs_of(spec)
+    else:
+        buffers = uber_buffer_specs(spec)
+    scalars = scalar_names_of(spec)
+    envs = [
+        make_environment(buffers, scalars, style, seed + i)
+        for i, style in enumerate(BASE_STYLES)
+    ]
+    for i in range(n_random_extra):
+        envs.append(make_environment(buffers, scalars, "random", seed + 100 + i))
+    return envs

@@ -1,0 +1,21 @@
+"""Uber-Instruction IR: the target-specific abstraction layer of Rake."""
+
+from .instructions import (
+    AbsDiff,
+    Average,
+    BroadcastScalar,
+    LoadData,
+    Maximum,
+    Minimum,
+    Mux,
+    Narrow,
+    ShiftRight,
+    UBER_INSTRUCTION_NAMES,
+    UberExpr,
+    VsMpyAdd,
+    VvMpyAdd,
+    Widen,
+    uber_name,
+)
+from .interp import evaluate
+from .printer import to_pretty, to_string

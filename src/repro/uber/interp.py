@@ -1,0 +1,84 @@
+"""Interpreter for the Uber-Instruction IR.
+
+Uber expressions denote logical lane tuples (always in order).  Arithmetic
+inside an uber-instruction is exact; results are wrapped or saturated to the
+instruction's output element type, matching the pseudo-code of Figure 6.
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+from ..ir import interp as ir_interp
+from . import instructions as U
+
+
+def evaluate(node: U.UberExpr, env: ir_interp.Environment) -> tuple:
+    """Evaluate an uber expression to a tuple of logical lane values."""
+    if isinstance(node, U.LoadData):
+        return env.buffer(node.buffer).read(node.offset, node.lanes, node.stride)
+    if isinstance(node, U.BroadcastScalar):
+        scalar = ir_interp.evaluate(node.scalar, env)
+        if isinstance(scalar, tuple):
+            raise EvaluationError("broadcast operand evaluated to a vector")
+        return (node.elem.wrap(scalar),) * node.lanes
+    if isinstance(node, U.Widen):
+        values = evaluate(node.value, env)
+        return tuple(node.out_elem.wrap(v) for v in values)
+    if isinstance(node, U.VsMpyAdd):
+        rows = [evaluate(r, env) for r in node.reads]
+        reduce = node.out_elem.saturate if node.saturate else node.out_elem.wrap
+        return tuple(
+            reduce(sum(w * row[i] for w, row in zip(node.weights, rows)))
+            for i in range(node.type.lanes)
+        )
+    if isinstance(node, U.VvMpyAdd):
+        pairs = [(evaluate(a, env), evaluate(b, env)) for a, b in node.pairs]
+        acc = evaluate(node.acc, env) if node.acc is not None else None
+        reduce = node.out_elem.saturate if node.saturate else node.out_elem.wrap
+        out = []
+        for i in range(node.type.lanes):
+            total = acc[i] if acc is not None else 0
+            total += sum(a[i] * b[i] for a, b in pairs)
+            out.append(reduce(total))
+        return tuple(out)
+    if isinstance(node, U.Narrow):
+        values = evaluate(node.value, env)
+        bias = (1 << (node.shift - 1)) if (node.round and node.shift) else 0
+        conv = node.out_elem.saturate if node.saturate else node.out_elem.wrap
+        return tuple(conv((v + bias) >> node.shift) for v in values)
+    if isinstance(node, U.AbsDiff):
+        a = evaluate(node.a, env)
+        b = evaluate(node.b, env)
+        return tuple(abs(x - y) for x, y in zip(a, b))
+    if isinstance(node, U.Minimum):
+        a = evaluate(node.a, env)
+        b = evaluate(node.b, env)
+        return tuple(min(x, y) for x, y in zip(a, b))
+    if isinstance(node, U.Maximum):
+        a = evaluate(node.a, env)
+        b = evaluate(node.b, env)
+        return tuple(max(x, y) for x, y in zip(a, b))
+    if isinstance(node, U.Average):
+        a = evaluate(node.a, env)
+        b = evaluate(node.b, env)
+        bias = 1 if node.round else 0
+        return tuple((x + y + bias) >> 1 for x, y in zip(a, b))
+    if isinstance(node, U.ShiftRight):
+        values = evaluate(node.value, env)
+        bias = (1 << (node.shift - 1)) if (node.round and node.shift) else 0
+        elem = node.type.elem
+        return tuple(elem.wrap((v + bias) >> node.shift) for v in values)
+    if isinstance(node, U.Mux):
+        a = evaluate(node.a, env)
+        b = evaluate(node.b, env)
+        t = evaluate(node.t, env)
+        f = evaluate(node.f, env)
+        cmp = {
+            "gt": lambda x, y: x > y,
+            "eq": lambda x, y: x == y,
+            "lt": lambda x, y: x < y,
+        }[node.op]
+        return tuple(
+            tv if cmp(x, y) else fv for x, y, tv, fv in zip(a, b, t, f)
+        )
+    raise EvaluationError(f"cannot evaluate uber node {type(node).__name__}")

@@ -1,0 +1,71 @@
+"""S-expression style printer for the Uber-Instruction IR (Figure 5 style)."""
+
+from __future__ import annotations
+
+from ..ir import printer as ir_printer
+from . import instructions as U
+
+
+def to_string(node: U.UberExpr) -> str:
+    """Single-line s-expression rendering of an uber expression."""
+    if isinstance(node, U.LoadData):
+        step = f":{node.stride}" if node.stride != 1 else ""
+        return f"(load-data {node.buffer}[{node.offset}:{node.lanes}{step}])"
+    if isinstance(node, U.BroadcastScalar):
+        return f"(broadcast {ir_printer.to_string(node.scalar)})"
+    if isinstance(node, U.Widen):
+        return f"(widen {to_string(node.value)} {node.out_elem})"
+    if isinstance(node, U.VsMpyAdd):
+        reads = " ".join(to_string(r) for r in node.reads)
+        weights = " ".join(str(w) for w in node.weights)
+        return (
+            f"(vs-mpy-add [{reads}] [kernel: '({weights})] "
+            f"[saturating: {'#t' if node.saturate else '#f'}] "
+            f"[output-type: {node.out_elem}])"
+        )
+    if isinstance(node, U.VvMpyAdd):
+        pairs = " ".join(
+            f"({to_string(a)} . {to_string(b)})" for a, b in node.pairs
+        )
+        acc = f" [acc: {to_string(node.acc)}]" if node.acc is not None else ""
+        return (
+            f"(vv-mpy-add [{pairs}]{acc} "
+            f"[saturating: {'#t' if node.saturate else '#f'}] "
+            f"[output-type: {node.out_elem}])"
+        )
+    if isinstance(node, U.Narrow):
+        flags = []
+        if node.shift:
+            flags.append(f"[shift: {node.shift}]")
+        flags.append(f"[round?: {'#t' if node.round else '#f'}]")
+        flags.append(f"[saturate?: {'#t' if node.saturate else '#f'}]")
+        return f"(narrow {to_string(node.value)} {' '.join(flags)} {node.out_elem})"
+    if isinstance(node, U.AbsDiff):
+        return f"(abs-diff {to_string(node.a)} {to_string(node.b)})"
+    if isinstance(node, U.Minimum):
+        return f"(minimum {to_string(node.a)} {to_string(node.b)})"
+    if isinstance(node, U.Maximum):
+        return f"(maximum {to_string(node.a)} {to_string(node.b)})"
+    if isinstance(node, U.Average):
+        rnd = "#t" if node.round else "#f"
+        return f"(average {to_string(node.a)} {to_string(node.b)} [round?: {rnd}])"
+    if isinstance(node, U.ShiftRight):
+        rnd = "#t" if node.round else "#f"
+        return (
+            f"(shift-right {to_string(node.value)} {node.shift} [round?: {rnd}])"
+        )
+    if isinstance(node, U.Mux):
+        parts = " ".join(to_string(c) for c in node.children)
+        return f"(mux {node.op} {parts})"
+    return repr(node)
+
+
+def to_pretty(node: U.UberExpr, indent: int = 0, width: int = 70) -> str:
+    """Indented rendering for large lifted expressions."""
+    flat = to_string(node)
+    pad = "  " * indent
+    if len(flat) <= width or not node.children:
+        return pad + flat
+    name = U.uber_name(node)
+    inner = "\n".join(to_pretty(c, indent + 1, width) for c in node.children)
+    return f"{pad}({name}\n{inner})"

@@ -1,0 +1,4 @@
+"""The paper's 21-benchmark suite, exposed through a registry."""
+
+from . import camera, imaging, ml  # noqa: F401 - populate the registry
+from .base import InputSpec, Workload, all_workloads, get, names

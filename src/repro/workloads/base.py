@@ -1,0 +1,64 @@
+"""Workload registry shared by tests, benchmarks and examples.
+
+Each workload packages a scheduled mini-Halide pipeline with everything the
+harness needs: input buffer shapes, scalar parameter defaults, the image
+size the cycle model uses, and the paper's reported behaviour for the
+benchmark (exact speedup where the text states one, otherwise the
+improved / tied / regressed band visible in Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..frontend import Func
+from ..types import ScalarType
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Shape of one input buffer."""
+
+    name: str
+    elem: ScalarType
+    dims: int = 2
+
+
+@dataclass
+class Workload:
+    """One paper benchmark."""
+
+    name: str
+    category: str  # "image" | "ml" | "camera" | "linear-algebra"
+    build: Callable[[], Func]  # constructs the scheduled pipeline
+    inputs: tuple = ()
+    scalars: dict = field(default_factory=dict)
+    width: int = 256
+    height: int = 64
+    paper_speedup: float | None = None  # exact value when the text gives one
+    paper_band: str = "tied"  # "improved" | "tied" | "regressed"
+    notes: str = ""
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    return _REGISTRY[name]
+
+
+def all_workloads() -> list[Workload]:
+    """Every registered workload, in registration (paper-table) order."""
+    return list(_REGISTRY.values())
+
+
+def names() -> list[str]:
+    return list(_REGISTRY)

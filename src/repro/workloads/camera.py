@@ -1,0 +1,62 @@
+"""The camera pipeline benchmark (Frankencamera-derived, paper Section 7).
+
+A condensed version of the paper's camera_pipe: hot-pixel suppression on
+the raw sensor data, a demosaic-style neighbour average over interleaved
+samples, a color-correction multiply-add, and the tone/pack stage whose
+redundant-clamp pattern is Figure 12's camera_pipe row.  The full
+Frankencamera has more channels and a curve LUT; EXPERIMENTS.md records
+the reduction.
+"""
+
+from __future__ import annotations
+
+from ..frontend import Func, ImageParam, Var, fcast, fclamp, fmax, fmin, fsat_cast
+from ..types import I16, I32, U16, U32, U8
+from .base import InputSpec, Workload, register
+
+
+def _camera_pipe() -> Func:
+    x, y = Var("x"), Var("y")
+    raw = ImageParam("raw", U16, 2)
+
+    # Hot-pixel suppression: clamp each sample to its neighbourhood.
+    denoised = Func("cp_denoised", U16)
+    lo = fmin(fmin(raw(x - 2, y), raw(x + 2, y)),
+              fmin(raw(x, y - 2), raw(x, y + 2)))
+    hi = fmax(fmax(raw(x - 2, y), raw(x + 2, y)),
+              fmax(raw(x, y - 2), raw(x, y + 2)))
+    denoised[x, y] = fmin(fmax(raw(x, y), lo), hi)
+    denoised.compute_root().vectorize(64)
+
+    # Demosaic-style average of the two interleaved samples of each site.
+    green = Func("cp_green", U16)
+    green[x, y] = fcast(
+        U16,
+        (fcast(U32, denoised(2 * x, y)) + fcast(U32, denoised(2 * x + 1, y)) + 1)
+        >> 1,
+    )
+    green.compute_root().vectorize(64)
+
+    # Color correction: fixed-point matrix row applied to the channel.
+    corrected = Func("cp_corrected", U16)
+    cc = 3 * fcast(I32, green(x, y)) + fcast(I32, green(x, y + 1))
+    corrected[x, y] = fsat_cast(U16, cc >> 2)
+    corrected.compute_root().vectorize(64)
+
+    # Tone mapping + pack: the Figure 12 camera_pipe pattern —
+    # uint8(max(min(wild_i16x, 255), 0)).
+    out = Func("camera_pipe", U8)
+    t = fcast(I16, corrected(x, y) >> 8)
+    out[x, y] = fcast(U8, fmax(fmin(t, 255), 0))
+    return out.hexagon().tile(128, 4).vectorize(128)
+
+
+register(Workload(
+    name="camera_pipe",
+    category="camera",
+    build=_camera_pipe,
+    inputs=(InputSpec("raw", U16),),
+    paper_band="improved",
+    notes="Four materialized stages; Figure 12's redundant-clamp removal "
+          "fires in the tone/pack stage.",
+))

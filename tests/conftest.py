@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.interp import BufferView, Environment
+from repro.types import U8, U16
+
+
+def env_with(name="in", data=None, elem=U8, origin=8, extra=None):
+    """A small environment with one (or more) buffers for interp tests."""
+    data = data if data is not None else list(range(64))
+    buffers = {name: BufferView(data, elem, origin)}
+    for other_name, (other_data, other_elem, other_origin) in (extra or {}).items():
+        buffers[other_name] = BufferView(other_data, other_elem, other_origin)
+    return Environment(buffers=buffers)
+
+
+@pytest.fixture
+def small_env():
+    return env_with()
+
+
+@pytest.fixture
+def oracle():
+    from repro.synthesis.oracle import Oracle
+
+    return Oracle()

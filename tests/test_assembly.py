@@ -1,0 +1,116 @@
+"""Tests for the register-allocating assembly emitter."""
+
+import pytest
+
+import repro.workloads  # noqa: F401
+from repro.hvx import isa as H
+from repro.hvx.assembly import emit, to_assembly
+from repro.ir import builder as B
+from repro.pipeline import compile_pipeline
+from repro.synthesis import select_instructions
+from repro.types import U16, U8
+from repro.workloads.base import get
+
+
+def load(offset=0, lanes=128):
+    return H.HvxLoad("in", offset, lanes, U8)
+
+
+class TestEmit:
+    def test_simple_load(self):
+        asm = emit(load())
+        assert len(asm.instructions) == 1
+        assert asm.instructions[0].mnemonic == "vmem"
+        assert asm.result == "v0"
+
+    def test_unaligned_marked(self):
+        asm = emit(load(3))
+        assert asm.instructions[0].mnemonic == "vmemu"
+
+    def test_dag_sharing_emits_once(self):
+        shared = H.HvxInstr("vadd", (load(0), load(128)))
+        program = H.HvxInstr("vadd", (shared, shared))
+        asm = emit(program)
+        mnemonics = [i.mnemonic for i in asm.instructions]
+        assert mnemonics.count("vadd") == 2  # shared + outer, not three
+
+    def test_pair_registers_named_as_pairs(self):
+        z = H.HvxInstr("vzxt", (load(),))
+        asm = emit(z)
+        assert ":" in asm.result
+
+    def test_lo_hi_are_free_aliases(self):
+        z = H.HvxInstr("vzxt", (load(),))
+        program = H.HvxInstr("vadd", (H.HvxInstr("lo", (z,)),
+                                      H.HvxInstr("hi", (z,))))
+        asm = emit(program)
+        mnemonics = [i.mnemonic for i in asm.instructions]
+        assert "lo" not in mnemonics and "hi" not in mnemonics
+        # the vadd consumes the two halves of the vzxt pair
+        final = asm.instructions[-1]
+        assert final.mnemonic == "vadd"
+        assert set(final.operands) == {"v0", "v1"} or len(final.operands) == 2
+
+    def test_retype_is_free(self):
+        r = H.HvxInstr("retype_i", (load(),))
+        program = H.HvxInstr("vasr", (r,), (2,))
+        asm = emit(program)
+        assert [i.mnemonic for i in asm.instructions] == ["vmem", "vasr"]
+
+    def test_registers_are_reused(self):
+        # a long dependent chain should not grow the register file
+        e = load(0)
+        for k in range(1, 10):
+            e = H.HvxInstr("vadd", (e, load(k * 128)))
+        asm = emit(e)
+        assert asm.max_registers <= 4
+
+    def test_splat_renders_scalar(self):
+        s = H.HvxSplat(B.const(7, U8), U8, 128)
+        asm = emit(H.HvxInstr("vadd", (load(), s)))
+        assert any("vsplat" == i.mnemonic for i in asm.instructions)
+
+    def test_render_contains_summary(self):
+        text = to_assembly(load())
+        assert "// result in" in text
+
+
+class TestRealPrograms:
+    @pytest.mark.parametrize("name", ["sobel", "gaussian3x3", "average_pool"])
+    def test_fits_hvx_register_file(self, name):
+        wl = get(name)
+        compiled = compile_pipeline(wl.build(), backend="rake")
+        for cs in compiled.stages:
+            for ce in cs.exprs:
+                asm = emit(ce.program)
+                assert asm.max_registers <= 32, (
+                    f"{name}/{cs.name} needs {asm.max_registers} registers"
+                )
+                assert asm.instructions
+
+    def test_every_operand_defined_before_use(self):
+        e = B.cast(U8, (B.widen(B.load("input", -1, 128, U8))
+                        + B.widen(B.load("input", 0, 128, U8)) * 2
+                        + B.widen(B.load("input", 1, 128, U8)) + 8) >> 4)
+        program = select_instructions(e).program
+        asm = emit(program)
+        defined: set[str] = set()
+        import re
+
+        def regs_in(text):
+            # v3:2 defines/uses v2 and v3
+            for m in re.finditer(r"v(\d+):(\d+)|v(\d+)", text):
+                if m.group(3) is not None:
+                    yield int(m.group(3))
+                else:
+                    yield int(m.group(1))
+                    yield int(m.group(2))
+
+        for instr in asm.instructions:
+            for op in instr.operands:
+                for r in regs_in(op):
+                    assert r in defined, (
+                        f"{instr.render()} uses undefined v{r}"
+                    )
+            for r in regs_in(instr.dest.split(".")[0]):
+                defined.add(r)

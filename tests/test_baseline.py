@@ -1,0 +1,127 @@
+"""Tests for the baseline Halide-style optimizer: correctness everywhere,
+plus the specific pattern strengths and documented gaps."""
+
+import pytest
+
+from repro.baseline import HalideOptimizer, optimize
+from repro.errors import UnsupportedExpressionError
+from repro.hvx import isa as H
+from repro.ir import builder as B
+from repro.synthesis.oracle import Oracle
+from repro.types import I16, I32, U16, U8
+
+
+def u8v(offset=0, lanes=128):
+    return B.load("in", offset, lanes, U8)
+
+
+def ops_of(program):
+    return [n.op for n in program if isinstance(n, H.HvxInstr)]
+
+
+class TestPatterns:
+    def test_widening_cast(self):
+        assert "vzxt" in ops_of(optimize(B.widen(u8v())))
+
+    def test_vmpa_for_two_term_kernel(self):
+        e = B.widen(u8v(0)) + B.widen(u8v(1)) * 2
+        assert "vmpa" in ops_of(optimize(e))
+
+    def test_three_term_kernel_is_vmpa_plus_vadd(self):
+        e = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        ops = ops_of(optimize(e))
+        assert "vmpa" in ops and "vadd" in ops and "vzxt" in ops
+
+    def test_no_vtmpy_ever(self):
+        e = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        assert "vtmpy" not in ops_of(optimize(e))
+
+    def test_no_accumulating_multiplies(self):
+        e = B.load("acc", 0, 128, U16) + B.widen(u8v())
+        ops = ops_of(optimize(e))
+        assert not any(op.endswith("_acc") for op in ops)
+
+    def test_narrowing_cast_is_vpacke(self):
+        e = B.cast(U8, B.widen(u8v()) + B.widen(u8v(1)))
+        assert "vpacke" in ops_of(optimize(e))
+
+    def test_no_fused_narrowing_shift(self):
+        row = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        e = B.cast(U8, (row + 8) >> 4)
+        ops = ops_of(optimize(e))
+        assert not any(op.startswith("vasrn") for op in ops)
+        assert "vasr" in ops and "vpacke" in ops
+
+    def test_redundant_clamp_kept(self):
+        # Figure 12, camera_pipe: vpackub saturates, yet the min/max clamp
+        # is still emitted.
+        e = B.cast(U8, B.clamp(B.widen(u8v()) + B.widen(u8v(1)), 0, 255))
+        ops = ops_of(optimize(e))
+        assert "vpackub" in ops
+        assert "vmin" in ops and "vmax" in ops
+
+    def test_sat_cast_uses_vpackub(self):
+        e = B.sat_cast(U8, B.widen(u8v()) + B.widen(u8v(1)))
+        assert "vpackub" in ops_of(optimize(e))
+
+    def test_word_by_half_uses_vmpyio_pair(self):
+        h = B.cast(I16, B.shr(B.load("in", 0, 64, U16), 1))
+        e = B.broadcast(B.var("inv", I32), 64) * B.cast(I32, h)
+        ops = ops_of(optimize(e))
+        assert ops.count("vmpyio") == 2
+        assert "vmpyie" not in ops
+        assert "vror" in ops  # the extra data movement Rake avoids
+
+    def test_rounding_halving_add_not_fused(self):
+        # No vavg pattern for the general shape — the widened add is used.
+        e = B.cast(U8, (B.widen(u8v(0)) + B.widen(u8v(1)) + 1) >> 1)
+        ops = ops_of(optimize(e))
+        assert "vavg_rnd" not in ops
+
+    def test_select_lowering(self):
+        e = B.select(B.gt(u8v(0), u8v(1)), u8v(0), u8v(1))
+        ops = ops_of(optimize(e))
+        assert "vcmp_gt" in ops and "vmux" in ops
+
+    def test_div_pow2(self):
+        e = B.load("in", 0, 128, U16) // 8
+        assert "vlsr" in ops_of(optimize(e))
+
+    def test_strided_load_deinterleaves(self):
+        e = B.load("in", 0, 128, U8, stride=2)
+        assert "vdealvdd" in ops_of(optimize(e))
+
+    def test_non_const_shift_rejected(self):
+        e = B.shl(u8v(), u8v(1))
+        with pytest.raises(UnsupportedExpressionError):
+            optimize(e)
+
+
+class TestCorrectness:
+    EXPRS = [
+        B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1)),
+        B.cast(U8, (B.widen(u8v(-1)) + B.widen(u8v(0)) * 2
+                    + B.widen(u8v(1)) + 8) >> 4),
+        B.cast(U8, B.clamp(B.widen(u8v()) + B.widen(u8v(1)), 0, 255)),
+        B.sat_cast(U8, B.widen(u8v()) * 3),
+        B.absd(u8v(0), u8v(1)) + B.absd(u8v(2), u8v(3)),
+        B.minimum(B.maximum(u8v(0), u8v(1)), u8v(2)),
+        B.select(B.le(u8v(0), u8v(1)), u8v(2), u8v(3)),
+        B.widen(B.load("in", 0, 128, U8, stride=2))
+        + B.widen(B.load("in", 1, 128, U8, stride=2)),
+        B.load("acc", 0, 128, U16) + B.widen(u8v()),
+        (B.cast(I16, u8v()) << 5) + B.broadcast(B.const(-3, I16), 128),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(EXPRS)))
+    def test_equivalent_to_ir(self, index):
+        e = self.EXPRS[index]
+        program = optimize(e)
+        assert Oracle().equivalent(e, program)
+
+    def test_signedness_coercion(self):
+        # u16 >> then interpreted as i16 must shift arithmetically after
+        # the retype.
+        e = B.shr(B.cast(I16, B.load("in", 0, 128, U16)), 2)
+        program = optimize(e)
+        assert Oracle().equivalent(e, program)

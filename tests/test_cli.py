@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "sobel"])
+        assert args.backend == "both"
+        assert not args.show_programs
+
+    def test_isa_filters(self):
+        args = build_parser().parse_args(
+            ["isa", "--target", "neon", "--group", "narrow"])
+        assert args.target == "neon"
+        assert args.group == "narrow"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sobel" in out and "depthwise_conv" in out
+        assert out.count("\n") >= 22
+
+    def test_isa_all(self, capsys):
+        assert main(["isa"]) == 0
+        out = capsys.readouterr().out
+        assert "vtmpy" in out and "neon.vmlal" in out
+
+    def test_isa_neon_only(self, capsys):
+        assert main(["isa", "--target", "neon"]) == 0
+        out = capsys.readouterr().out
+        assert "neon.vmull" in out
+        assert "\nvtmpy" not in out
+
+    def test_isa_group_filter(self, capsys):
+        assert main(["isa", "--target", "hvx", "--group", "sliding"]) == 0
+        out = capsys.readouterr().out
+        assert "vtmpy" in out
+        assert "vadd " not in out
+
+    def test_compile_unknown_workload(self, capsys):
+        assert main(["compile", "nonexistent"]) == 2
+
+    def test_compile_baseline_only(self, capsys):
+        assert main(["compile", "mul", "--backend", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_compile_both_reports_speedup(self, capsys):
+        assert main(["compile", "mul", "--backend", "both",
+                     "--show-programs"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out
+        assert "vmpy" in out  # a program listing was printed
+
+    def test_speedups_single(self, capsys):
+        assert main(["speedups", "--only", "dilate3x3"]) == 0
+        out = capsys.readouterr().out
+        assert "dilate3x3" in out and "geomean" in out

@@ -1,0 +1,166 @@
+"""Unit tests for the sketch grammar's building blocks (stage 2 internals)."""
+
+import pytest
+
+from repro.errors import UnsupportedExpressionError
+from repro.hvx import isa as H
+from repro.ir import builder as B
+from repro.synthesis import grammar
+from repro.synthesis.lowering import Lowerer
+from repro.synthesis.oracle import (
+    LAYOUT_DEINTERLEAVED,
+    LAYOUT_INORDER,
+    Oracle,
+)
+from repro.types import I16, U16, U8, VectorType
+from repro.uber import (
+    Average,
+    BroadcastScalar,
+    LoadData,
+    Minimum,
+    Mux,
+    Narrow,
+    ShiftRight,
+    VsMpyAdd,
+    Widen,
+)
+
+
+def child_of(oracle=None):
+    return Lowerer(oracle or Oracle())._child
+
+
+def ld(offset=0, lanes=128, elem=U8, stride=1):
+    return LoadData("in", offset, lanes, elem, stride)
+
+
+def sketches_for(e):
+    return list(grammar.sketches(e, child_of(), 128))
+
+
+class TestSafeInstr:
+    def test_valid(self):
+        out = grammar.safe_instr("vadd", (H.HvxLoad("a", 0, 128, U8),
+                                          H.HvxLoad("b", 0, 128, U8)))
+        assert out is not None
+
+    def test_ill_typed_returns_none(self):
+        assert grammar.safe_instr("vadd", (H.HvxLoad("a", 0, 128, U8),
+                                           H.HvxLoad("b", 0, 64, U16))) is None
+
+    def test_none_arg_returns_none(self):
+        assert grammar.safe_instr("vadd",
+                                  (None, H.HvxLoad("b", 0, 128, U8))) is None
+
+
+class TestLoadSketches:
+    def test_vec_load_is_window(self):
+        (sk,) = sketches_for(ld())
+        from repro.synthesis.sketch import AbstractWindow
+
+        assert isinstance(sk.expr, AbstractWindow)
+        assert sk.layout == LAYOUT_INORDER
+
+    def test_pair_load_is_pair_window(self):
+        (sk,) = sketches_for(ld(elem=U16))
+        from repro.synthesis.sketch import AbstractPairWindow
+
+        assert isinstance(sk.expr, AbstractPairWindow)
+
+    def test_unsupported_width_raises(self):
+        with pytest.raises(UnsupportedExpressionError):
+            sketches_for(ld(lanes=32))
+
+
+class TestChainBuilder:
+    def test_contiguous_triple_offers_vtmpy_first(self):
+        e = VsMpyAdd((ld(-1), ld(0), ld(1)), (1, 2, 1), False, I16)
+        ops = [n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)]
+        assert "vtmpy" in ops
+
+    def test_trailing_weight_must_be_one_for_vtmpy(self):
+        e = VsMpyAdd((ld(-1), ld(0), ld(1)), (2, 4, 2), False, I16)
+        first = sketches_for(e)[0]
+        ops = [n.op for n in first.expr if isinstance(n, H.HvxInstr)]
+        assert "vtmpy" not in ops
+
+    def test_deinterleaved_layout_reported(self):
+        e = VsMpyAdd((ld(-1), ld(0), ld(1)), (1, 2, 1), False, I16)
+        layouts = {sk.layout for sk in sketches_for(e)}
+        assert LAYOUT_DEINTERLEAVED in layouts
+
+    def test_four_byte_dot_offers_vrmpy(self):
+        e = VsMpyAdd(tuple(ld(k, lanes=32) for k in range(4)),
+                     (1, 2, 3, 4), False,
+                     VectorType(U8, 32).elem.widened().widened())
+        # out elem i32 at 32 lanes = one vector
+        from repro.types import I32
+
+        e = VsMpyAdd(tuple(ld(k, lanes=32) for k in range(4)),
+                     (1, 2, 3, 4), False, I32)
+        ops = [n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)]
+        assert "vrmpy" in ops
+
+    def test_reads_in_any_order_are_sorted(self):
+        e = VsMpyAdd((ld(1), ld(-1), ld(0)), (1, 1, 2), False, I16)
+        ops = [n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)]
+        assert "vtmpy" in ops  # sorted offsets expose the contiguous window
+
+    def test_mixed_width_acc(self):
+        e = VsMpyAdd((LoadData("acc", 0, 128, U16), ld()), (1, 1), False, U16)
+        ops = [n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)]
+        assert "vmpy_acc" in ops
+
+
+class TestNarrowSketches:
+    def test_fused_variants_proposed(self):
+        e = Narrow(VsMpyAdd((ld(-1), ld(0), ld(1)), (1, 2, 1), False, U16),
+                   U8, shift=4, round=True, saturate=False)
+        ops = {n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)}
+        assert "vasrn_rnd_sat_u" in ops  # proposed; oracle decides soundness
+        assert "vasrn" in ops
+
+    def test_shift_zero_offers_packs(self):
+        e = Narrow(Widen(ld(), U16), U8, 0, False, True)
+        ops = {n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)}
+        assert {"vpackub", "vsat"} & ops
+
+
+class TestOtherGenerators:
+    def test_widen(self):
+        ops = {n.op for sk in sketches_for(Widen(ld(), U16))
+               for n in sk.expr if isinstance(n, H.HvxInstr)}
+        assert "vzxt" in ops and "vmpy" in ops
+
+    def test_minimum_layouts(self):
+        e = Minimum(Widen(ld(0), U16), Widen(ld(1), U16))
+        assert any(sk.layout == LAYOUT_INORDER for sk in sketches_for(e))
+
+    def test_average(self):
+        e = Average(ld(0), ld(1), round=True)
+        ops = {n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)}
+        assert "vavg_rnd" in ops
+
+    def test_shift_right(self):
+        e = ShiftRight(LoadData("in", 0, 128, U16), 3)
+        ops = {n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)}
+        assert "vasr" in ops
+
+    def test_mux_vec(self):
+        e = Mux("gt", ld(0), ld(1), ld(2), ld(3))
+        ops = {n.op for sk in sketches_for(e) for n in sk.expr
+               if isinstance(n, H.HvxInstr)}
+        assert {"vcmp_gt", "vmux"} <= ops
+
+    def test_broadcast(self):
+        e = BroadcastScalar(B.const(5, U8), U8, 128)
+        (sk,) = sketches_for(e)
+        assert isinstance(sk.expr, H.HvxSplat)

@@ -1,0 +1,302 @@
+"""Per-instruction semantics tests for the HVX machine model.
+
+Each test pins the behaviour of one instruction family against hand
+computed expectations — the ground truth the synthesis oracle relies on.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.hvx import isa as H
+from repro.hvx import all_instructions, lookup
+from repro.hvx.values import PredVec, Vec, VecPair
+from repro.types import I16, I32, I8, U16, U32, U8
+
+
+def run(op, args, imms=()):
+    return lookup(op).sem_fn(tuple(args), tuple(imms))
+
+
+def vec8(*vals, elem=U8):
+    return Vec(elem, vals)
+
+
+class TestRegistry:
+    def test_size(self):
+        # The HVX family model: dozens of polymorphic instruction families,
+        # each standing for several concrete intrinsics.
+        assert len(all_instructions()) >= 55
+
+    def test_every_instruction_has_doc_and_resource(self):
+        for name, instr in all_instructions().items():
+            assert instr.doc, f"{name} missing doc"
+            assert instr.resource in ("mpy", "shift", "permute", "alu",
+                                      "load", "store", "none")
+
+    def test_unknown_lookup(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            lookup("vbogus")
+
+
+class TestAlu:
+    def test_vadd_wraps(self):
+        out = run("vadd", [vec8(250, 1), vec8(10, 2)])
+        assert out.values == (4, 3)
+
+    def test_vadd_sat(self):
+        out = run("vadd_sat", [vec8(250, 1), vec8(10, 2)])
+        assert out.values == (255, 3)
+
+    def test_vadd_mixed_signedness_allowed(self):
+        a = Vec(U16, (65535,))
+        b = Vec(I16, (1,))
+        assert run("vadd", [a, b]).values == (0,)
+
+    def test_vadd_sat_requires_exact_type(self):
+        with pytest.raises(TypeMismatchError):
+            H.HvxInstr(
+                "vadd_sat",
+                (H.HvxLoad("a", 0, 4, U8),
+                 H.HvxInstr("retype_i", (H.HvxLoad("b", 0, 4, I8),))),
+            )
+
+    def test_vsub_sat_signed(self):
+        a = Vec(I8, (-120,))
+        b = Vec(I8, (100,))
+        assert run("vsub_sat", [a, b]).values == (-128,)
+
+    def test_vavg_variants(self):
+        a, b = vec8(5), vec8(6)
+        assert run("vavg", [a, b]).values == (5,)
+        assert run("vavg_rnd", [a, b]).values == (6,)
+
+    def test_vnavg(self):
+        assert run("vnavg", [vec8(9), vec8(5)]).values == (2,)
+
+    def test_vabsdiff_unsigned_result(self):
+        a = Vec(I16, (-5,))
+        b = Vec(I16, (10,))
+        out = run("vabsdiff", [a, b])
+        assert out.values == (15,)
+        assert out.elem == U16
+
+    def test_minmax(self):
+        assert run("vmax", [vec8(3), vec8(9)]).values == (9,)
+        assert run("vmin", [vec8(3), vec8(9)]).values == (3,)
+
+    def test_logic(self):
+        assert run("vand", [vec8(0b1100), vec8(0b1010)]).values == (0b1000,)
+        assert run("vor", [vec8(0b1100), vec8(0b1010)]).values == (0b1110,)
+        assert run("vxor", [vec8(0b1100), vec8(0b1010)]).values == (0b0110,)
+        assert run("vnot", [vec8(0)]).values == (255,)
+
+    def test_cmp_and_mux(self):
+        q = run("vcmp_gt", [vec8(5, 1), vec8(3, 3)])
+        assert isinstance(q, PredVec)
+        assert q.values == (True, False)
+        out = run("vmux", [q, vec8(10, 10), vec8(20, 20)])
+        assert out.values == (10, 20)
+
+    def test_vzxt_in_order(self):
+        out = run("vzxt", [vec8(1, 2, 3, 4)])
+        assert isinstance(out, VecPair)
+        assert out.elem == U16
+        assert out.values == (1, 2, 3, 4)
+
+    def test_vsxt_sign_extends(self):
+        out = run("vsxt", [Vec(I8, (-1, 2))])
+        assert out.elem == I16
+        assert out.values == (-1, 2)
+
+    def test_vzxt_rejects_signed(self):
+        with pytest.raises(TypeMismatchError):
+            H.HvxInstr("vzxt", (H.HvxLoad("a", 0, 4, I8),))
+
+
+class TestMultiply:
+    def test_vmpy_widening_in_order(self):
+        out = run("vmpy", [vec8(10, 20), vec8(3, 4)])
+        assert isinstance(out, VecPair)
+        assert out.elem == U16
+        assert out.values == (30, 80)
+
+    def test_vmpy_signed_product(self):
+        out = run("vmpy", [Vec(I8, (-3, 1)), Vec(I8, (5, 2))])
+        assert out.elem == I16
+        assert out.values == (-15, 2)
+
+    def test_vmpy_acc(self):
+        acc = VecPair(U16, (100, 100))
+        out = run("vmpy_acc", [acc, vec8(10, 1), vec8(2, 2)])
+        assert out.values == (120, 102)
+
+    def test_vmpyi_wraps(self):
+        a = Vec(U16, (60000,))
+        out = run("vmpyi", [a, Vec(U16, (2,))])
+        assert out.values == (U16.wrap(120000),)
+
+    def test_vmpa_two_rows(self):
+        rows = VecPair(U8, (1, 2, 10, 20))  # lo = row0, hi = row1
+        out = run("vmpa", [rows], imms=(2, 3))
+        assert out.values == (1 * 2 + 10 * 3, 2 * 2 + 20 * 3)
+        assert out.elem == I16
+
+    def test_vdmpy_pairwise(self):
+        v = Vec(U8, (1, 2, 3, 4))
+        out = run("vdmpy", [v], imms=(10, 1))
+        assert out.values == (12, 34)
+
+    def test_vtmpy_sliding_deinterleaved(self):
+        # window x = [1..8]; out[i] = x[i]*2 + x[i+1]*3 + x[i+2]
+        p = VecPair(U8, (1, 2, 3, 4, 5, 6, 7, 8))
+        out = run("vtmpy", [p], imms=(2, 3))
+        x = list(range(1, 9))
+        logical = [x[i] * 2 + x[i + 1] * 3 + x[i + 2] for i in range(4)]
+        # register order is deinterleaved: evens then odds
+        assert out.values == (logical[0], logical[2], logical[1], logical[3])
+
+    def test_vtmpy_acc_layout_matches(self):
+        p = VecPair(U8, (1, 2, 3, 4, 5, 6, 7, 8))
+        base = run("vtmpy", [p], imms=(1, 1))
+        out = run("vtmpy_acc", [base, p], imms=(1, 1))
+        assert out.values == tuple(2 * v for v in base.values)
+
+    def test_vrmpy(self):
+        v = Vec(U8, (1, 2, 3, 4, 5, 6, 7, 8))
+        out = run("vrmpy", [v], imms=(1, 1, 1, 1))
+        assert out.values == (10, 26)
+        assert out.elem.bits == 32
+
+    def test_vmpyio_odd_halfwords(self):
+        w = Vec(I32, (10, 100))
+        h = Vec(I16, (1, -2, 3, -4))
+        out = run("vmpyio", [w, h])
+        assert out.values == (-20, -400)
+
+    def test_vmpyie_treats_evens_unsigned(self):
+        w = Vec(I32, (10,))
+        h = Vec(I16, (-1, 7))  # -1 as u16 is 65535
+        out = run("vmpyie", [w, h])
+        assert out.values == (I32.wrap(10 * 65535),)
+
+
+class TestShift:
+    def test_vasl(self):
+        assert run("vasl", [vec8(3)], imms=(2,)).values == (12,)
+
+    def test_vasr_arithmetic(self):
+        assert run("vasr", [Vec(I8, (-8,))], imms=(2,)).values == (-2,)
+
+    def test_vlsr_logical(self):
+        assert run("vlsr", [Vec(I8, (-8,))], imms=(2,)).values == (62,)
+
+    def test_vasr_rnd(self):
+        assert run("vasr_rnd", [Vec(I16, (7,))], imms=(2,)).values == (2,)
+        assert run("vasr_rnd", [Vec(I16, (6,))], imms=(2,)).values == (2,)
+
+    def test_vasrn_narrowing_order(self):
+        hi = Vec(U16, (0x300, 0x400))
+        lo = Vec(U16, (0x100, 0x200))
+        out = run("vasrn", [hi, lo], imms=(4,))
+        assert out.values == (0x10, 0x20, 0x30, 0x40)
+        assert out.elem == U8
+
+    def test_vasrn_rnd_sat_u(self):
+        hi = Vec(I16, (-5, 10000))
+        lo = Vec(I16, (100, 50))
+        out = run("vasrn_rnd_sat_u", [hi, lo], imms=(4,))
+        assert out.values == (6, 3, 0, 255)
+
+    def test_vsat(self):
+        hi = Vec(I16, (300, -4))
+        lo = Vec(I16, (10, 20))
+        out = run("vsat", [hi, lo])
+        assert out.values == (10, 20, 255, 0)
+
+    def test_vsat_i(self):
+        hi = Vec(I16, (300, -300))
+        lo = Vec(I16, (5, -5))
+        out = run("vsat_i", [hi, lo])
+        assert out.values == (5, -5, 127, -128)
+
+
+class TestPermute:
+    def test_vcombine_lo_hi(self):
+        p = run("vcombine", [vec8(1, 2), vec8(3, 4)])
+        assert p.values == (1, 2, 3, 4)
+        assert run("lo", [p]).values == (1, 2)
+        assert run("hi", [p]).values == (3, 4)
+
+    def test_vshuffvdd_vdealvdd(self):
+        p = VecPair(U8, (0, 2, 1, 3))
+        assert run("vshuffvdd", [p]).values == (0, 1, 2, 3)
+        assert run("vdealvdd", [VecPair(U8, (0, 1, 2, 3))]).values == (0, 2, 1, 3)
+
+    def test_vpacke_truncates_in_order(self):
+        hi = Vec(U16, (0x1FF,))
+        lo = Vec(U16, (0x102,))
+        out = run("vpacke", [hi, lo])
+        assert out.values == (0x02, 0xFF)
+
+    def test_vpacko_takes_high_half(self):
+        hi = Vec(U16, (0x1FF,))
+        lo = Vec(U16, (0x0302,))
+        out = run("vpacko", [hi, lo])
+        assert out.values == (0x03, 0x01)
+
+    def test_vpackub_saturates(self):
+        hi = Vec(I16, (-7,))
+        lo = Vec(I16, (300,))
+        out = run("vpackub", [hi, lo])
+        assert out.values == (255, 0)
+
+    def test_vshuffeb_interleaves(self):
+        hi = Vec(U16, (1, 3))  # odd logical lanes
+        lo = Vec(U16, (0, 2))  # even logical lanes
+        out = run("vshuffeb", [hi, lo])
+        assert out.values == (0, 1, 2, 3)
+
+    def test_valign_window(self):
+        a = vec8(0, 1, 2, 3)
+        b = vec8(4, 5, 6, 7)
+        out = run("valign", [a, b], imms=(2,))
+        assert out.values == (2, 3, 4, 5)
+
+    def test_vror(self):
+        out = run("vror", [vec8(0, 1, 2, 3)], imms=(1,))
+        assert out.values == (1, 2, 3, 0)
+
+    def test_retype_preserves_bits(self):
+        out = run("retype_i", [Vec(U16, (65535,))])
+        assert out.elem == I16
+        assert out.values == (-1,)
+        back = run("retype_u", [out])
+        assert back.values == (65535,)
+
+
+@given(st.lists(st.integers(0, 255), min_size=4, max_size=4),
+       st.lists(st.integers(0, 255), min_size=4, max_size=4))
+def test_vmpa_equals_two_vmpy_sums(row0, row1):
+    rows = VecPair(U8, tuple(row0 + row1))
+    out = run("vmpa", [rows], imms=(3, 5))
+    expect = tuple(a * 3 + b * 5 for a, b in zip(row0, row1))
+    assert out.values == expect
+
+
+@given(st.lists(st.integers(0, 255), min_size=8, max_size=16).filter(
+    lambda v: len(v) % 4 == 0))
+def test_vtmpy_interleaved_equals_logical_window(window):
+    p = VecPair(U8, tuple(window))
+    out = run("vtmpy", [p], imms=(1, 2))
+    from repro.hvx.values import interleave
+
+    logical = interleave(out).values
+    n = len(window) // 2
+    expect = tuple(
+        I16.wrap(window[i] + 2 * window[i + 1] + window[i + 2])
+        for i in range(n)
+    )
+    assert logical == expect

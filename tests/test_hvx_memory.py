@@ -1,0 +1,63 @@
+"""Tests that every load-window realization reads exactly the window."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EvaluationError
+from repro.hvx import interp
+from repro.hvx.memory import load_pair, load_window, window_realizations
+from repro.ir.interp import BufferView, Environment
+from repro.types import U16, U8
+
+
+def env(n=512, origin=256):
+    return Environment(
+        buffers={"in": BufferView(list(range(n)), U16, origin)}
+    )
+
+
+def expect(offset, lanes, stride=1):
+    e = env()
+    return e.buffer("in").read(offset, lanes, stride)
+
+
+class TestWindowRealizations:
+    def test_aligned_has_single_option(self):
+        options = list(window_realizations("in", 0, 8, U8))
+        assert len(options) == 1
+
+    def test_unaligned_has_vmemu_and_valign(self):
+        options = list(window_realizations("in", 3, 8, U8))
+        assert len(options) == 2
+
+    @given(st.integers(-64, 64), st.sampled_from([4, 8, 16]))
+    def test_all_options_equivalent(self, offset, lanes):
+        for impl in window_realizations("in", offset, lanes, U16):
+            got = interp.evaluate(impl, env())
+            assert got.values == expect(offset, lanes)
+
+
+class TestLoadWindow:
+    @given(st.integers(-32, 32), st.sampled_from([1, 2, 4]))
+    def test_strided_window(self, offset, stride):
+        impl = load_window("in", offset, 8, U16, stride)
+        got = interp.evaluate(impl, env())
+        assert got.values == expect(offset, 8, stride)
+
+    def test_unsupported_stride(self):
+        with pytest.raises(EvaluationError):
+            load_window("in", 0, 8, U16, 3)
+
+
+class TestLoadPair:
+    @given(st.integers(-32, 32))
+    def test_pair_window(self, offset):
+        impl = load_pair("in", offset, 16, U16)
+        got = interp.evaluate(impl, env())
+        assert got.values == expect(offset, 16)
+
+    @given(st.integers(-32, 32), st.sampled_from([2]))
+    def test_strided_pair(self, offset, stride):
+        impl = load_pair("in", offset, 16, U16, stride)
+        got = interp.evaluate(impl, env())
+        assert got.values == expect(offset, 16, stride)

@@ -1,0 +1,76 @@
+"""Unit + property tests for HVX register values and lane shuffles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EvaluationError
+from repro.hvx.values import (
+    PredVec,
+    Vec,
+    VecPair,
+    combine,
+    deinterleave,
+    interleave,
+    logical_lanes,
+)
+from repro.types import I16, U8
+
+
+class TestVec:
+    def test_wraps_on_construction(self):
+        v = Vec(U8, (300, -1))
+        assert v.values == (44, 255)
+
+    def test_indexing(self):
+        v = Vec(U8, (1, 2, 3))
+        assert v[1] == 2
+        assert len(v) == 3
+
+
+class TestVecPair:
+    def test_lo_hi(self):
+        p = VecPair(U8, tuple(range(8)))
+        assert p.lo.values == (0, 1, 2, 3)
+        assert p.hi.values == (4, 5, 6, 7)
+
+    def test_odd_lanes_rejected(self):
+        with pytest.raises(EvaluationError):
+            VecPair(U8, (1, 2, 3))
+
+
+def test_combine():
+    p = combine(Vec(U8, (1, 2)), Vec(U8, (3, 4)))
+    assert p.values == (1, 2, 3, 4)
+
+
+def test_combine_mismatch():
+    with pytest.raises(EvaluationError):
+        combine(Vec(U8, (1, 2)), Vec(I16, (3, 4)))
+
+
+def test_interleave():
+    p = VecPair(U8, (0, 2, 4, 6, 1, 3, 5, 7))
+    assert interleave(p).values == tuple(range(8))
+
+
+def test_deinterleave():
+    p = VecPair(U8, tuple(range(8)))
+    assert deinterleave(p).values == (0, 2, 4, 6, 1, 3, 5, 7)
+
+
+def test_logical_lanes_of_deinterleaved():
+    p = VecPair(U8, (0, 2, 4, 6, 1, 3, 5, 7))
+    assert logical_lanes(p, deinterleaved=True) == tuple(range(8))
+
+
+def test_predvec_booleanizes():
+    q = PredVec((0, 3, -1))
+    assert q.values == (False, True, True)
+
+
+@given(st.lists(st.integers(0, 255), min_size=2, max_size=64).filter(
+    lambda v: len(v) % 2 == 0))
+def test_interleave_deinterleave_roundtrip(vals):
+    p = VecPair(U8, tuple(vals))
+    assert interleave(deinterleave(p)) == p
+    assert deinterleave(interleave(p)) == p

@@ -1,0 +1,101 @@
+"""Tests for interval analysis — the semantic-reasoning substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import builder as B
+from repro.ir import expr as E
+from repro.ir.analysis import (
+    Interval,
+    bounds_of,
+    is_provably_non_negative,
+    provably_fits,
+)
+from repro.ir.interp import evaluate_vector
+from repro.types import I16, I32, U16, U8
+
+from conftest import env_with
+
+
+def u8v(offset=0, lanes=4):
+    return B.load("in", offset, lanes, U8)
+
+
+class TestInterval:
+    def test_contains(self):
+        assert 3 in Interval(0, 5)
+        assert 6 not in Interval(0, 5)
+
+    def test_union(self):
+        assert Interval(0, 3).union(Interval(2, 9)) == Interval(0, 9)
+
+    def test_fits(self):
+        assert Interval(0, 255).fits(U8)
+        assert not Interval(0, 256).fits(U8)
+
+
+class TestBounds:
+    def test_load_full_range(self):
+        assert bounds_of(u8v()) == Interval(0, 255)
+
+    def test_const(self):
+        assert bounds_of(B.const(42, U8)) == Interval(42, 42)
+
+    def test_widening_sum(self):
+        e = B.widen(u8v()) + B.widen(u8v(1)) * 2 + B.widen(u8v(2))
+        assert bounds_of(e) == Interval(0, 255 * 4)
+
+    def test_overflowing_sum_falls_back(self):
+        e = u8v() + u8v(1)  # u8 + u8 can wrap
+        assert bounds_of(e) == Interval(0, 255)
+
+    def test_gaussian_narrow_is_provable(self):
+        # The Figure 12 gaussian3x3 proof: (3-tap sum + 8) >> 4 fits u8.
+        e = (B.widen(u8v()) + B.widen(u8v(1)) * 2 + B.widen(u8v(2)) + 8) >> 4
+        assert provably_fits(e, U8)
+
+    def test_clamp_bounds(self):
+        e = B.clamp(B.widen(u8v()) * 4, 0, 255)
+        assert bounds_of(e).fits(U8)
+
+    def test_absd_bounds(self):
+        e = B.absd(u8v(), u8v(1))
+        assert bounds_of(e) == Interval(0, 255)
+
+    def test_vmpyie_side_condition(self):
+        # i16 view of (u16 >> 1) is provably non-negative — licenses vmpyie.
+        load16 = B.load("in", 0, 4, U16)
+        e = B.cast(I16, B.shr(load16, 1))
+        assert is_provably_non_negative(e)
+
+    def test_plain_i16_not_non_negative(self):
+        assert not is_provably_non_negative(B.load("in", 0, 4, I16))
+
+    def test_select_union(self):
+        cond = B.lt(u8v(), u8v(1))
+        e = B.select(cond, B.broadcast(3, 4, U8), B.broadcast(9, 4, U8))
+        assert bounds_of(e) == Interval(3, 9)
+
+    def test_shift_right_bounds(self):
+        e = B.shr(B.widen(u8v()), 2)
+        assert bounds_of(e) == Interval(0, 63)
+
+    def test_sat_cast_bounds(self):
+        e = B.sat_cast(U8, B.widen(u8v()) * 4)
+        assert bounds_of(e).fits(U8)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(0, 255), min_size=16, max_size=16))
+def test_bounds_are_sound(data):
+    env = env_with(data=data, origin=4)
+    exprs = [
+        B.widen(u8v()) * 3 + B.widen(u8v(1)),
+        (B.widen(u8v()) + 8) >> 4,
+        B.absd(u8v(), u8v(1)),
+        B.clamp(B.widen(u8v()), 10, 20),
+        B.select(B.lt(u8v(), u8v(1)), u8v(2), u8v(3)),
+    ]
+    for e in exprs:
+        iv = bounds_of(e)
+        for lane in evaluate_vector(e, env):
+            assert lane in iv

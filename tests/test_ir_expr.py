@@ -1,0 +1,115 @@
+"""Unit tests for IR expression construction and typing."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.ir import builder as B
+from repro.ir import expr as E
+from repro.types import BOOL, I16, U16, U8, VectorType
+
+
+def v8(offset=0):
+    return B.load("in", offset, 8, U8)
+
+
+class TestConstruction:
+    def test_const_in_range(self):
+        c = B.const(300, U8)  # wraps
+        assert c.value == 44
+
+    def test_const_out_of_range_direct(self):
+        with pytest.raises(TypeMismatchError):
+            E.Const(300, U8)
+
+    def test_load_type(self):
+        assert v8().type == VectorType(U8, 8)
+        assert B.load("in", 0, 1, U8).type == U8
+
+    def test_load_stride_extent(self):
+        ld = B.load("in", 2, 8, U8, stride=2)
+        assert ld.extent == 15
+
+    def test_load_negative_stride_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            E.Load("in", 0, 8, U8, 0)
+
+    def test_broadcast(self):
+        b = B.broadcast(5, 8, U8)
+        assert b.type == VectorType(U8, 8)
+
+    def test_broadcast_of_vector_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            E.Broadcast(v8(), 8)
+
+    def test_binary_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            E.Add(v8(), B.load("in", 0, 8, U16))
+
+    def test_operator_overload_wraps_ints(self):
+        e = v8() + 3
+        assert isinstance(e, E.Add)
+        assert isinstance(e.b, E.Broadcast)
+        assert e.b.value == E.Const(3, U8)
+
+    def test_widen(self):
+        w = B.widen(v8())
+        assert isinstance(w, E.Cast)
+        assert w.type == VectorType(U16, 8)
+
+    def test_cast_noop_elided(self):
+        assert B.cast(U8, v8()) is not B.cast(U16, v8())
+        assert B.cast(U8, v8()) == v8()
+
+    def test_absd_result_unsigned(self):
+        a = B.load("in", 0, 8, I16)
+        b = B.load("in", 1, 8, I16)
+        assert E.Absd(a, b).type == VectorType(U16, 8)
+
+    def test_compare_type(self):
+        c = B.lt(v8(), v8())
+        assert c.type == VectorType(BOOL, 8)
+
+    def test_select_checks_arms(self):
+        c = B.lt(v8(), v8())
+        with pytest.raises(TypeMismatchError):
+            E.Select(c, v8(), B.load("in", 0, 8, U16))
+
+    def test_select_checks_cond(self):
+        with pytest.raises(TypeMismatchError):
+            E.Select(v8(), v8(), v8())
+
+    def test_clamp_builds_min_max(self):
+        e = B.clamp(v8(), 0, 255)
+        assert isinstance(e, E.Min)
+        assert isinstance(e.a, E.Max)
+
+    def test_rounding_shift_right(self):
+        e = B.rounding_shift_right(B.widen(v8()), 4)
+        assert isinstance(e, E.Shr)
+        assert isinstance(e.a, E.Add)
+
+    def test_rounding_shift_rejects_zero(self):
+        with pytest.raises(TypeMismatchError):
+            B.rounding_shift_right(v8(), 0)
+
+
+class TestStructure:
+    def test_children_and_rebuild(self):
+        e = v8() + v8(1)
+        a, b = e.children
+        rebuilt = e.with_children([b, a])
+        assert isinstance(rebuilt, E.Add)
+        assert rebuilt.children == (b, a)
+
+    def test_iteration_preorder(self):
+        e = v8() + v8(1)
+        nodes = list(e)
+        assert nodes[0] is e
+        assert len(nodes) == 3
+
+    def test_equality_is_structural(self):
+        assert (v8() + 1) == (v8() + 1)
+        assert (v8() + 1) != (v8() + 2)
+
+    def test_hashable(self):
+        assert len({v8() + 1, v8() + 1, v8() + 2}) == 2

@@ -1,0 +1,141 @@
+"""Unit and property tests for the IR interpreter's exact semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EvaluationError
+from repro.ir import builder as B
+from repro.ir import expr as E
+from repro.ir.interp import BufferView, Environment, evaluate, evaluate_vector
+from repro.types import I16, I8, U16, U8
+
+from conftest import env_with
+
+
+def u8v(offset=0, lanes=4):
+    return B.load("in", offset, lanes, U8)
+
+
+class TestBufferView:
+    def test_read_relative_to_origin(self):
+        view = BufferView([10, 11, 12, 13, 14], U8, origin=2)
+        assert view.read(-1, 3) == (11, 12, 13)
+
+    def test_read_strided(self):
+        view = BufferView(list(range(10)), U8, origin=0)
+        assert view.read(1, 3, stride=2) == (1, 3, 5)
+
+    def test_out_of_range(self):
+        view = BufferView([1, 2, 3], U8, origin=0)
+        with pytest.raises(EvaluationError):
+            view.read(2, 4)
+
+    def test_values_wrapped_to_elem(self):
+        view = BufferView([300, -1], U8, origin=0)
+        assert view.read(0, 2) == (44, 255)
+
+
+class TestEvaluate:
+    def test_load(self, small_env):
+        assert evaluate(u8v(0), small_env) == (8, 9, 10, 11)
+
+    def test_scalar_load(self, small_env):
+        assert evaluate(B.load("in", 0, 1, U8), small_env) == 8
+
+    def test_unbound_buffer(self):
+        with pytest.raises(EvaluationError):
+            evaluate(u8v(), Environment())
+
+    def test_broadcast(self, small_env):
+        assert evaluate(B.broadcast(7, 4, U8), small_env) == (7, 7, 7, 7)
+
+    def test_scalar_var(self):
+        env = Environment(scalars={"k": 300})
+        assert evaluate(E.ScalarVar("k", U8), env) == 44
+
+    def test_add_wraps(self):
+        env = env_with(data=[250, 250, 250, 250], origin=0)
+        e = u8v() + 10
+        assert evaluate(e, env) == (4, 4, 4, 4)
+
+    def test_mul_wraps_signed(self):
+        env = env_with(data=[100] * 4, elem=I8, origin=0)
+        e = B.load("in", 0, 4, I8) * 3
+        assert evaluate(e, env) == (I8.wrap(300),) * 4
+
+    def test_div_by_zero_is_zero(self):
+        env = env_with(data=[10] * 4, origin=0)
+        e = u8v() // 0
+        assert evaluate(e, env) == (0, 0, 0, 0)
+
+    def test_div_floor_for_signed(self):
+        env = env_with(data=[-7] * 4, elem=I8, origin=0)
+        e = B.load("in", 0, 4, I8) // 2
+        assert evaluate(e, env) == (-4, -4, -4, -4)
+
+    def test_mod_euclidean_like(self):
+        env = env_with(data=[-7] * 4, elem=I8, origin=0)
+        e = B.load("in", 0, 4, I8) % 4
+        assert evaluate(e, env) == (1, 1, 1, 1)  # python floor-mod semantics
+
+    def test_min_max(self, small_env):
+        e = B.minimum(u8v(0), u8v(1))
+        assert evaluate(e, small_env) == (8, 9, 10, 11)
+        e = B.maximum(u8v(0), u8v(1))
+        assert evaluate(e, small_env) == (9, 10, 11, 12)
+
+    def test_absd(self):
+        env = env_with(data=[5, 200, 7, 9, 10, 10, 3, 250], origin=0)
+        e = B.absd(u8v(0), u8v(4))
+        assert evaluate(e, env) == (5, 190, 4, 241)
+
+    def test_shifts_mask_amount(self):
+        env = env_with(data=[1] * 4, origin=0)
+        # a shift of 8 on u8 masks to 0
+        e = B.shl(u8v(), 8)
+        assert evaluate(e, env) == (1, 1, 1, 1)
+
+    def test_shr_arithmetic_for_signed(self):
+        env = env_with(data=[-8] * 4, elem=I8, origin=0)
+        e = B.shr(B.load("in", 0, 4, I8), 1)
+        assert evaluate(e, env) == (-4, -4, -4, -4)
+
+    def test_cast_truncates(self):
+        env = env_with(data=[0x1FF] * 4, elem=U16, origin=0)
+        e = B.cast(U8, B.load("in", 0, 4, U16))
+        assert evaluate(e, env) == (255, 255, 255, 255)
+
+    def test_sat_cast_clamps(self):
+        env = env_with(data=[0x1FF] * 4, elem=U16, origin=0)
+        e = B.sat_cast(U8, B.load("in", 0, 4, U16))
+        assert evaluate(e, env) == (255,) * 4
+        env = env_with(data=[-5] * 4, elem=I16, origin=0)
+        e = B.sat_cast(U8, B.load("in", 0, 4, I16))
+        assert evaluate(e, env) == (0,) * 4
+
+    def test_select(self):
+        env = env_with(data=[1, 5, 3, 7, 4, 4, 4, 4], origin=0)
+        e = B.select(B.gt(u8v(0), u8v(4)), u8v(0), u8v(4))
+        assert evaluate(e, env) == (4, 5, 4, 7)
+
+    def test_evaluate_vector_normalizes_scalar(self, small_env):
+        assert evaluate_vector(B.const(3, U8), small_env) == (3,)
+
+
+@given(st.lists(st.integers(0, 255), min_size=4, max_size=4),
+       st.lists(st.integers(0, 255), min_size=4, max_size=4))
+def test_absd_equals_max_minus_min(a_vals, b_vals):
+    env = env_with(data=a_vals + b_vals, origin=0)
+    absd = evaluate(B.absd(u8v(0), u8v(4)), env)
+    mx = evaluate(B.maximum(u8v(0), u8v(4)), env)
+    mn = evaluate(B.minimum(u8v(0), u8v(4)), env)
+    assert absd == tuple(x - y for x, y in zip(mx, mn))
+
+
+@given(st.lists(st.integers(0, 255), min_size=4, max_size=4),
+       st.integers(0, 255))
+def test_add_commutes_with_broadcast(vals, k):
+    env = env_with(data=vals, origin=0)
+    left = evaluate(u8v() + k, env)
+    right = evaluate(k + u8v(), env)
+    assert left == right

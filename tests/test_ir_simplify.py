@@ -1,0 +1,91 @@
+"""Unit + property tests for the IR simplifier.
+
+The load-bearing invariant: simplification never changes the denotation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import builder as B
+from repro.ir import expr as E
+from repro.ir.interp import evaluate_vector
+from repro.ir.simplify import simplify
+from repro.types import I16, U16, U8
+
+from conftest import env_with
+
+
+def u8v(offset=0, lanes=4):
+    return B.load("in", offset, lanes, U8)
+
+
+class TestRules:
+    def test_add_zero(self):
+        assert simplify(u8v() + 0) == u8v()
+        assert simplify(0 + u8v()) == u8v()
+
+    def test_mul_one_and_zero(self):
+        assert simplify(u8v() * 1) == u8v()
+        zero = simplify(u8v() * 0)
+        assert isinstance(zero, E.Broadcast)
+
+    def test_sub_zero(self):
+        assert simplify(u8v() - 0) == u8v()
+
+    def test_shift_zero(self):
+        assert simplify(B.shl(u8v(), 0)) == u8v()
+        assert simplify(B.shr(u8v(), 0)) == u8v()
+
+    def test_min_self(self):
+        assert simplify(B.minimum(u8v(), u8v())) == u8v()
+
+    def test_const_fold_binary(self):
+        e = B.broadcast(3, 4, U8) + B.broadcast(4, 4, U8)
+        s = simplify(e)
+        assert isinstance(s, E.Broadcast)
+        assert s.value == E.Const(7, U8)
+
+    def test_const_fold_wraps(self):
+        e = B.broadcast(200, 4, U8) + B.broadcast(100, 4, U8)
+        s = simplify(e)
+        assert s.value == E.Const(44, U8)
+
+    def test_cast_of_const_broadcast(self):
+        e = B.cast(U16, B.broadcast(7, 4, U8))
+        s = simplify(e)
+        assert isinstance(s, E.Broadcast)
+        assert s.value == E.Const(7, U16)
+
+    def test_same_type_cast_elided(self):
+        e = E.Cast(U8, u8v())
+        assert simplify(e) == u8v()
+
+    def test_select_same_arms(self):
+        e = B.select(B.lt(u8v(), u8v(1)), u8v(2), u8v(2))
+        assert simplify(e) == u8v(2)
+
+    def test_broadcast_sinking(self):
+        e = E.Add(B.broadcast(3, 4, U8), B.broadcast(4, 4, U8))
+        s = simplify(e)
+        assert isinstance(s, E.Broadcast)
+
+    def test_nested_fixpoint(self):
+        e = (u8v() * 1 + 0) - 0
+        assert simplify(e) == u8v()
+
+
+_exprs = st.sampled_from([
+    u8v() + 0,
+    (u8v() * 1) + (u8v(1) * 0),
+    B.widen(u8v()) * 2 + B.widen(u8v(1)) * 1,
+    B.cast(U8, (B.widen(u8v()) + 8) >> 4),
+    B.sat_cast(U8, B.minimum(B.widen(u8v()), B.broadcast(255, 4, U16))),
+    B.select(B.lt(u8v(), u8v(1)), u8v() + 0, u8v(1) * 1),
+    B.absd(u8v() + 0, u8v(1)),
+])
+
+
+@settings(max_examples=60)
+@given(_exprs, st.lists(st.integers(0, 255), min_size=16, max_size=16))
+def test_simplify_preserves_semantics(expr, data):
+    env = env_with(data=data, origin=4)
+    assert evaluate_vector(simplify(expr), env) == evaluate_vector(expr, env)

@@ -1,0 +1,85 @@
+"""Tests for IR traversal, substitution and live-data helpers."""
+
+from repro.ir import builder as B
+from repro.ir import expr as E
+from repro.ir.traversal import (
+    buffers_read,
+    collect,
+    depth,
+    live_data,
+    loads_of,
+    node_count,
+    post_order,
+    scalar_vars_of,
+    substitute,
+    transform,
+)
+from repro.types import I32, U8
+
+
+def u8v(offset=0):
+    return B.load("in", offset, 8, U8)
+
+
+def test_post_order_children_first():
+    e = u8v() + u8v(1)
+    order = list(post_order(e))
+    assert order[-1] is e
+    assert order[0] == u8v()
+
+
+def test_transform_rewrites_bottom_up():
+    e = u8v() + u8v(1)
+
+    def bump(n):
+        if isinstance(n, E.Load):
+            return E.Load(n.buffer, n.offset + 10, n.lanes, n.elem)
+        return None
+
+    out = transform(e, bump)
+    assert loads_of(out)[0].offset == 10
+    assert loads_of(out)[1].offset == 11
+
+
+def test_transform_identity_shares_nodes():
+    e = u8v() + u8v(1)
+    assert transform(e, lambda n: None) is e
+
+
+def test_substitute():
+    e = u8v() + u8v(1)
+    out = substitute(e, {u8v(1): u8v(7)})
+    assert loads_of(out)[1].offset == 7
+
+
+def test_collect():
+    e = B.widen(u8v()) + B.widen(u8v(1))
+    casts = collect(e, lambda n: isinstance(n, E.Cast))
+    assert len(casts) == 2
+
+
+def test_buffers_read():
+    e = u8v() + B.load("other", 0, 8, U8)
+    assert buffers_read(e) == {"in", "other"}
+
+
+def test_scalar_vars_deduplicated():
+    k = E.ScalarVar("k", U8)
+    e = B.broadcast(k, 8) + B.broadcast(k, 8)
+    assert scalar_vars_of(e) == [k]
+
+
+def test_node_count_and_depth():
+    e = u8v() + u8v(1)
+    assert node_count(e) == 3
+    assert depth(e) == 2
+
+
+def test_live_data_merges_ranges():
+    e = u8v(-1) + u8v(1)
+    assert live_data(e) == {"in": (-1, 9)}
+
+
+def test_live_data_strided():
+    e = B.load("in", 0, 8, U8, stride=2)
+    assert live_data(e) == {"in": (0, 15)}

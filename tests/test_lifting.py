@@ -1,0 +1,233 @@
+"""Tests for stage 1 — lifting Halide IR to the Uber-Instruction IR."""
+
+import pytest
+
+from repro.errors import UnsupportedExpressionError
+from repro.ir import builder as B
+from repro.synthesis.lifting import Lifter
+from repro.synthesis.oracle import Oracle
+from repro.types import I16, I32, U16, U8
+from repro.uber import (
+    AbsDiff,
+    Average,
+    BroadcastScalar,
+    LoadData,
+    Maximum,
+    Minimum,
+    Mux,
+    Narrow,
+    ShiftRight,
+    VsMpyAdd,
+    VvMpyAdd,
+    Widen,
+)
+from repro.ir import expr as E
+
+
+def u8v(offset=0, lanes=128):
+    return B.load("in", offset, lanes, U8)
+
+
+def lift(e):
+    return Lifter(Oracle()).lift(e)
+
+
+class TestLeaves:
+    def test_load(self):
+        assert lift(u8v()) == LoadData("in", 0, 128, U8)
+
+    def test_strided_load(self):
+        e = B.load("in", 1, 128, U8, stride=2)
+        assert lift(e) == LoadData("in", 1, 128, U8, 2)
+
+    def test_broadcast(self):
+        lifted = lift(B.broadcast(9, 128, U8))
+        assert isinstance(lifted, BroadcastScalar)
+
+
+class TestKernelGrowth:
+    def test_three_point_kernel(self):
+        row = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        lifted = lift(row)
+        assert isinstance(lifted, VsMpyAdd)
+        assert sorted(lifted.weights) == [1, 1, 2]
+        assert len(lifted.reads) == 3
+        assert lifted.out_elem == U16
+
+    def test_subtraction_negates_weight(self):
+        e = B.widen(u8v(0)) - B.widen(u8v(1))
+        lifted = lift(e)
+        assert isinstance(lifted, VsMpyAdd)
+        assert sorted(lifted.weights) == [-1, 1]
+
+    def test_shift_left_becomes_weight(self):
+        e = B.shl(B.widen(u8v()), B.broadcast(3, 128, U16))
+        lifted = lift(e)
+        assert isinstance(lifted, VsMpyAdd)
+        assert lifted.weights == (8,)
+
+    def test_five_point_kernel(self):
+        taps = [(-2, 1), (-1, 4), (0, 6), (1, 4), (2, 1)]
+        e = None
+        for off, w in taps:
+            term = B.widen(u8v(off)) * w
+            e = term if e is None else e + term
+        lifted = lift(e)
+        assert isinstance(lifted, VsMpyAdd)
+        assert sorted(lifted.weights) == [1, 1, 4, 4, 6]
+
+    def test_widen_only(self):
+        lifted = lift(B.widen(u8v()))
+        assert isinstance(lifted, Widen)
+
+    def test_mixed_width_accumulate(self):
+        # Figure 12's average_pool shape: u16 vector + widened u8 vector.
+        acc = B.load("acc", 0, 128, U16)
+        e = acc + B.widen(u8v())
+        lifted = lift(e)
+        assert isinstance(lifted, VsMpyAdd)
+        widths = sorted(r.type.elem.bits for r in lifted.reads)
+        assert widths == [8, 16]
+
+
+class TestNarrowFusion:
+    def test_rounding_shift_narrow(self):
+        row = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        e = B.cast(U8, (row + 8) >> 4)
+        lifted = lift(e)
+        assert isinstance(lifted, Narrow)
+        assert lifted.shift == 4
+        assert lifted.round
+        assert isinstance(lifted.value, VsMpyAdd)
+
+    def test_clamp_becomes_saturation(self):
+        row = B.widen(u8v(0)) + B.widen(u8v(1))
+        e = B.cast(U8, B.clamp(row, 0, 255))
+        lifted = lift(e)
+        # Either fused form is a valid greedy outcome: a saturating narrow,
+        # or a saturating vs-mpy-add performed at the narrow width.
+        if isinstance(lifted, Narrow):
+            assert lifted.saturate
+        else:
+            assert isinstance(lifted, VsMpyAdd) and lifted.saturate
+        assert Oracle().equivalent(e, lifted)
+
+    def test_sat_cast(self):
+        e = B.sat_cast(U8, B.widen(u8v()) * 3)
+        lifted = lift(e)
+        assert isinstance(lifted, (Narrow, VsMpyAdd))
+        assert lifted.saturate
+        assert Oracle().equivalent(e, lifted)
+
+    def test_narrow_never_below_read_width(self):
+        # The vs-mpy-add must not adopt an out type narrower than its reads.
+        row = B.load("a", 0, 128, U16) + B.load("b", 0, 128, U16)
+        e = B.cast(U8, B.clamp(row, 0, 255))
+        lifted = lift(e)
+        assert isinstance(lifted, Narrow)
+
+    def test_same_width_reinterpret(self):
+        e = B.cast(I16, B.shr(B.load("in", 0, 128, U16), 1))
+        lifted = lift(e)
+        assert isinstance(lifted, Narrow)
+        assert lifted.shift == 1
+
+
+class TestOtherInstructions:
+    def test_absd(self):
+        lifted = lift(B.absd(u8v(0), u8v(1)))
+        assert isinstance(lifted, AbsDiff)
+
+    def test_min_max(self):
+        assert isinstance(lift(B.minimum(u8v(0), u8v(1))), Minimum)
+        assert isinstance(lift(B.maximum(u8v(0), u8v(1))), Maximum)
+
+    def test_average_detection(self):
+        e = B.cast(U8, (B.widen(u8v(0)) + B.widen(u8v(1)) + 1) >> 1)
+        lifted = lift(e)
+        assert isinstance(lifted, Average)
+        assert lifted.round
+        assert isinstance(lifted.a, LoadData)
+
+    def test_shift_right(self):
+        e = B.shr(B.load("in", 0, 128, U16), B.broadcast(2, 128, U16))
+        lifted = lift(e)
+        assert isinstance(lifted, ShiftRight)
+
+    def test_rounding_shift_right_same_width(self):
+        # The bias fold is only sound when the add provably cannot wrap, so
+        # bound the input with an inner shift first.
+        x = B.shr(B.load("in", 0, 128, U16), 2)
+        e = B.shr(x + 2, 2)
+        lifted = lift(e)
+        assert isinstance(lifted, ShiftRight)
+        assert lifted.round
+
+    def test_bias_fold_rejected_when_it_can_wrap(self):
+        # (x + 2) >> 2 on a full-range u16 is NOT a rounding shift: the
+        # add wraps first.  The oracle must refuse the fused form.
+        x = B.load("in", 0, 128, U16)
+        lifted = lift(B.shr(x + 2, 2))
+        assert Oracle().equivalent(B.shr(x + 2, 2), lifted)
+        if isinstance(lifted, ShiftRight):
+            assert not (lifted.round and isinstance(lifted.value, LoadData))
+
+    def test_div_pow2(self):
+        e = B.load("in", 0, 128, U16) // 4
+        lifted = lift(e)
+        assert isinstance(lifted, ShiftRight)
+        assert lifted.shift == 2
+
+    def test_select_becomes_mux(self):
+        e = B.select(B.lt(u8v(0), u8v(1)), u8v(2), u8v(3))
+        lifted = lift(e)
+        assert isinstance(lifted, Mux)
+        assert lifted.op == "lt"
+
+    def test_le_swaps_arms(self):
+        e = B.select(B.le(u8v(0), u8v(1)), u8v(2), u8v(3))
+        lifted = lift(e)
+        assert lifted.op == "gt"
+        assert lifted.t == LoadData("in", 3, 128, U8)
+
+    def test_vector_vector_multiply(self):
+        e = B.widen(u8v(0)) * B.widen(u8v(1))
+        lifted = lift(e)
+        assert isinstance(lifted, VvMpyAdd)
+
+    def test_vv_accumulator_attaches(self):
+        acc = B.load("acc", 0, 128, U16)
+        e = acc + B.widen(u8v(0)) * B.widen(u8v(1))
+        lifted = lift(e)
+        assert isinstance(lifted, VvMpyAdd)
+        assert lifted.acc == LoadData("acc", 0, 128, U16)
+
+
+class TestDriver:
+    def test_unsupported_raises(self):
+        e = B.mod(B.load("in", 0, 128, U16), B.load("m", 0, 128, U16))
+        with pytest.raises(UnsupportedExpressionError):
+            lift(e)
+
+    def test_trace_records_rules(self):
+        lifter = Lifter(Oracle())
+        row = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        lifter.lift(row)
+        rules = [s.rule for s in lifter.trace]
+        assert "extend" in rules  # leaf loads
+        assert "update" in rules  # kernel growth
+        assert "replace" in rules  # widen -> vs-mpy-add
+
+    def test_every_lift_is_verified(self):
+        oracle = Oracle()
+        lifter = Lifter(oracle)
+        row = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        lifted = lifter.lift(row)
+        # independent check with a fresh oracle
+        assert Oracle().equivalent(row, lifted)
+
+    def test_queries_attributed_to_lifting(self):
+        oracle = Oracle()
+        Lifter(oracle).lift(B.widen(u8v()) + B.widen(u8v(1)))
+        assert oracle.stats.stages["lifting"].queries > 0
+        assert oracle.stats.stages["sketching"].queries == 0

@@ -1,0 +1,144 @@
+"""Unit tests for smaller surfaces: errors, pipeline internals, frontend
+expression reprs, valuations, and interpreter error paths."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.frontend import FParam, Func, ImageParam, Var, fabsd, fcast, fselect
+from repro.frontend.fexpr import FBinary, FConst
+from repro.hvx import interp as hvx_interp
+from repro.hvx import isa as H
+from repro.ir import builder as B
+from repro.ir.interp import Environment
+from repro.pipeline import (
+    BACKEND_BASELINE,
+    BACKEND_RAKE,
+    _is_trivial,
+    compile_pipeline,
+)
+from repro.types import U16, U8
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for err in (
+            errors.TypeMismatchError, errors.EvaluationError,
+            errors.LoweringError, errors.SynthesisError,
+            errors.UnsupportedExpressionError, errors.PatternError,
+            errors.SimulationError, errors.ScheduleError,
+        ):
+            assert issubclass(err, errors.ReproError)
+
+    def test_unsupported_is_synthesis_error(self):
+        assert issubclass(errors.UnsupportedExpressionError,
+                          errors.SynthesisError)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names(self):
+        for name in ("compile_pipeline", "select_instructions",
+                     "RakeSelector", "LoweringOptions", "CompiledPipeline"):
+            assert hasattr(repro, name)
+
+
+class TestPipelineInternals:
+    def test_is_trivial(self):
+        assert _is_trivial(B.load("a", 0, 128, U8))
+        assert _is_trivial(B.broadcast(1, 128, U8))
+        assert not _is_trivial(B.load("a", 0, 128, U8) + 1)
+
+    def test_unknown_backend_rejected(self):
+        x, y = Var("x"), Var("y")
+        inp = ImageParam("input", U8, 2)
+        f = Func("f", U8)
+        f[x, y] = inp(x, y)
+        with pytest.raises(errors.ReproError):
+            compile_pipeline(f, backend="llvm")
+
+    def test_trivial_stage_uses_baseline(self):
+        x, y = Var("x"), Var("y")
+        inp = ImageParam("input", U8, 2)
+        f = Func("copyf", U8)
+        f[x, y] = inp(x, y)
+        compiled = compile_pipeline(f, backend=BACKEND_RAKE)
+        assert compiled.stages[0].exprs[0].selector == "trivial"
+        assert compiled.optimized_exprs == 0
+
+    def test_backend_constants(self):
+        assert BACKEND_RAKE == "rake"
+        assert BACKEND_BASELINE == "baseline"
+
+
+class TestFrontendExprs:
+    def test_reprs(self):
+        x = Var("x")
+        inp = ImageParam("img", U8, 1)
+        assert repr(x) == "x"
+        assert repr(FConst(3)) == "3"
+        assert "img(x)" in repr(inp(x))
+        assert repr(FParam("k", U8)) == "k"
+        e = fcast(U8, inp(x)) + 1
+        assert "+" in repr(e)
+        assert "u8(" in repr(e)
+        s = fselect(inp(x) > inp(x + 1), inp(x), 0)
+        assert repr(s).startswith("select(")
+        assert "absd" in repr(fabsd(inp(x), inp(x + 1)))
+
+    def test_int_coercion_in_operators(self):
+        x = Var("x")
+        inp = ImageParam("img", U8, 1)
+        e = 2 * inp(x) + 1
+        assert isinstance(e, FBinary)
+
+    def test_bad_operand_rejected(self):
+        x = Var("x")
+        inp = ImageParam("img", U8, 1)
+        with pytest.raises(errors.LoweringError):
+            inp(x) + "three"
+
+
+class TestHvxInterpErrors:
+    def test_unknown_node(self):
+        class Alien(H.HvxExpr):
+            @property
+            def type(self):
+                return H.vec(U8, 8)
+
+        with pytest.raises(errors.EvaluationError):
+            hvx_interp.evaluate(Alien(), Environment())
+
+    def test_splat_of_vector_rejected(self):
+        splat = H.HvxSplat(B.load("in", 0, 8, U8), U8, 8)
+        from conftest import env_with
+
+        with pytest.raises(errors.EvaluationError):
+            hvx_interp.evaluate(splat, env_with())
+
+    def test_arity_checked_at_construction(self):
+        with pytest.raises(errors.TypeMismatchError):
+            H.HvxInstr("vadd", (H.HvxLoad("in", 0, 8, U8),))
+
+    def test_imm_count_checked(self):
+        with pytest.raises(errors.TypeMismatchError):
+            H.HvxInstr("vasl", (H.HvxLoad("in", 0, 8, U8),), ())
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(errors.TypeMismatchError):
+            H.define("vadd", 2, "alu", lambda ts, i: ts[0],
+                     lambda a, i: a[0])
+
+
+class TestSelectionResultSurface:
+    def test_result_fields(self):
+        from repro import select_instructions
+
+        e = B.widen(B.load("in", 0, 128, U8))
+        result = select_instructions(e)
+        assert result.source == e
+        assert result.program is not None
+        assert result.lifted is not None
+        assert result.trace

@@ -1,0 +1,75 @@
+"""Property tests for the VLIW packet scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hvx import isa as H
+from repro.sim import DEFAULT_MACHINE, initiation_interval, schedule_packets
+from repro.types import U8
+
+
+@st.composite
+def programs(draw):
+    """Random add/mul DAGs over a handful of loads."""
+    loads = [H.HvxLoad("in", 128 * k, 128, U8) for k in range(4)]
+    nodes = list(loads)
+    for _ in range(draw(st.integers(1, 8))):
+        op = draw(st.sampled_from(["vadd", "vsub", "vmax", "vmin"]))
+        a = draw(st.sampled_from(nodes))
+        b = draw(st.sampled_from(nodes))
+        made = H.HvxInstr(op, (a, b))
+        nodes.append(made)
+    return nodes[-1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_every_instruction_scheduled_once(program):
+    sched = schedule_packets(program)
+    scheduled = [n for packet in sched.packets for n in packet]
+    assert len(scheduled) == len(set(scheduled))
+    expected = {
+        n for n in program
+        if isinstance(n, (H.HvxLoad, H.HvxInstr))
+        and not (isinstance(n, H.HvxInstr)
+                 and n.descriptor.resource == "none")
+    }
+    assert set(scheduled) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_cycles_at_least_initiation_interval(program):
+    sched = schedule_packets(program)
+    assert sched.cycles >= initiation_interval(program)
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_packets_respect_caps(program):
+    sched = schedule_packets(program)
+    for packet in sched.packets:
+        assert len(packet) <= DEFAULT_MACHINE.slots
+        by_resource: dict = {}
+        for node in packet:
+            resource = "load" if isinstance(node, H.HvxLoad) \
+                else node.descriptor.resource
+            by_resource[resource] = by_resource.get(resource, 0) + 1
+        for resource, count in by_resource.items():
+            assert count <= DEFAULT_MACHINE.cap(resource)
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_dependencies_respected(program):
+    sched = schedule_packets(program)
+    position = {}
+    for cycle, packet in enumerate(sched.packets):
+        for node in packet:
+            position[node] = cycle
+    for cycle, packet in enumerate(sched.packets):
+        for node in packet:
+            for child in getattr(node, "children", ()):
+                if child in position:
+                    # every modeled op has latency >= 1, so a consumer
+                    # must sit in a strictly later packet than its producer
+                    assert position[child] < cycle

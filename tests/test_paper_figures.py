@@ -1,0 +1,120 @@
+"""Integration tests pinning the paper's qualitative claims (Figures 4, 9
+and 12): for each documented optimization class, Rake discovers it and the
+baseline does not."""
+
+import pytest
+
+from repro.baseline import optimize as baseline_optimize
+from repro.hvx import display_latency, isa as H, load_count
+from repro.ir import builder as B
+from repro.synthesis import select_instructions
+from repro.synthesis.lifting import Lifter
+from repro.synthesis.oracle import Oracle
+from repro.types import I16, I32, U16, U8
+
+
+def u8v(offset=0, lanes=128):
+    return B.load("input", offset, lanes, U8)
+
+
+def ops_of(program):
+    return [n.op for n in program if isinstance(n, H.HvxInstr)]
+
+
+def rake(e):
+    return select_instructions(e).program
+
+
+class TestFigure4:
+    """The three Sobel instances of Figure 4."""
+
+    def row(self, dy, W=512):
+        base = dy * W
+        return (B.widen(u8v(base - 1)) + B.widen(u8v(base)) * 2
+                + B.widen(u8v(base + 1)))
+
+    def col(self, dx, W=512):
+        return (B.widen(u8v(dx - W)) + B.widen(u8v(dx)) * 2
+                + B.widen(u8v(dx + W)))
+
+    def test_a_sliding_window_becomes_vtmpy(self):
+        e = self.row(1)
+        r, b = rake(e), baseline_optimize(e)
+        assert "vtmpy" in ops_of(r)
+        assert "vtmpy" not in ops_of(b)
+        assert load_count(r) < load_count(b)  # 2 loads vs 3 (paper's point)
+
+    def test_b_accumulating_vmpa(self):
+        e = self.col(-1)
+        r, b = rake(e), baseline_optimize(e)
+        r_ops, b_ops = ops_of(r), ops_of(b)
+        assert any(op.endswith("_acc") for op in r_ops)
+        assert not any(op.endswith("_acc") for op in b_ops)
+        assert display_latency(r) < display_latency(b)
+
+    def test_c_saturate_replaces_clamp_chain(self):
+        sx = B.absd(self.row(-1), self.row(1))
+        sy = B.absd(self.col(-1), self.col(1))
+        e = B.cast(U8, B.clamp(sx + sy, 0, 255))
+        r, b = rake(e), baseline_optimize(e)
+        assert "vmin" not in ops_of(r) and "vmax" not in ops_of(r)
+        assert "vmin" in ops_of(b) and "vmax" in ops_of(b)
+        assert display_latency(r) < display_latency(b)
+
+
+class TestFigure12:
+    def test_average_pool_mixed_width_accumulate(self):
+        # wild_u16x + uint16x128(wild_u8x) -> one vmpy-acc
+        e = B.load("acc", 0, 128, U16) + B.widen(u8v())
+        r, b = rake(e), baseline_optimize(e)
+        assert "vmpy_acc" in ops_of(r)
+        assert display_latency(r) < display_latency(b)
+
+    def test_camera_pipe_redundant_clamp_removed(self):
+        e = B.cast(U8, B.maximum(
+            B.minimum(B.load("t", 0, 128, I16), B.broadcast(255, 128, I16)),
+            B.broadcast(0, 128, I16)))
+        r, b = rake(e), baseline_optimize(e)
+        assert "vmax" not in ops_of(r)
+        assert "vmax" in ops_of(b)
+        assert Oracle().equivalent(e, r)
+
+    def test_add_shift_folds_into_widening_multiply(self):
+        zp = B.var("zp", U8)
+        e = (B.shl(B.cast(I16, u8v()), B.broadcast(6, 128, I16))
+             + B.broadcast(B.mul(B.cast(I16, zp), B.const(-64, I16)), 128))
+        r, b = rake(e), baseline_optimize(e)
+        r_ops = ops_of(r)
+        assert "vmpy" in r_ops or "vmpy_acc" in r_ops
+        assert display_latency(r) <= display_latency(b)
+
+    def test_l2norm_vmpyie_via_range_proof(self):
+        h = B.cast(I16, B.shr(B.load("input", 0, 64, U16), 1))
+        e = B.broadcast(B.var("inv_norm", I32), 64) * B.cast(I32, h)
+        r, b = rake(e), baseline_optimize(e)
+        assert "vmpyie" in ops_of(r)
+        assert "vmpyie" not in ops_of(b)
+        assert display_latency(r) < display_latency(b)
+
+    def test_gaussian_fused_round_saturate_narrow(self):
+        row = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        e = B.cast(U8, (row + 8) >> 4)
+        r, b = rake(e), baseline_optimize(e)
+        assert any(op.startswith("vasrn") for op in ops_of(r)) \
+            or "vshuffeb" in ops_of(r)
+        assert display_latency(r) < display_latency(b)
+
+
+class TestFigure9:
+    def test_lifting_trace_shape(self):
+        oracle = Oracle()
+        lifter = Lifter(oracle)
+        row = B.widen(u8v(-1)) + B.widen(u8v(0)) * 2 + B.widen(u8v(1))
+        lifted = lifter.lift(row)
+        rules = [s.rule for s in lifter.trace]
+        # Figure 9's progression: extends for the leaves, a replace when
+        # widen becomes vs-mpy-add, updates as the kernel grows to (2 1 1).
+        assert rules.count("extend") >= 3
+        assert "replace" in rules
+        assert rules[-1] == "update"
+        assert "kernel: '(2 1 1)" in lifter.trace[-1].result

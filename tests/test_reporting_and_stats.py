@@ -1,0 +1,145 @@
+"""Tests for the reporting renderers and synthesis statistics."""
+
+import time
+
+import pytest
+
+from repro.reporting import (
+    SpeedupRow,
+    codegen_comparison,
+    compilation_table,
+    geomean,
+    lifting_trace,
+    speedup_figure,
+)
+from repro.synthesis.lifting import LiftStep
+from repro.synthesis.stats import STAGES, SynthesisStats
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2.0, 2.0]) == pytest.approx(2.0)
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 0.0]) == pytest.approx(2.0)
+
+
+class TestSpeedupFigure:
+    def rows(self):
+        return [
+            SpeedupRow("sobel", 768, 1024, paper_speedup=1.27),
+            SpeedupRow("dilate3x3", 640, 640, paper_band="tied"),
+        ]
+
+    def test_contains_bars_and_values(self):
+        text = speedup_figure(self.rows())
+        assert "sobel" in text
+        assert "1.33x" in text
+        assert "paper=1.27x" in text
+        assert "paper: tied" in text
+        assert "geomean" in text
+
+    def test_speedup_property(self):
+        row = SpeedupRow("x", 100, 150)
+        assert row.speedup == pytest.approx(1.5)
+        assert SpeedupRow("x", 0, 10).speedup == 0.0
+
+
+class TestCompilationTable:
+    def test_renders_rows_and_split(self):
+        rows = [{
+            "name": "sobel", "exprs": 1,
+            "lifting_queries": 10, "sketching_queries": 20,
+            "swizzling_queries": 30,
+            "lifting_time_s": 1.0, "sketching_time_s": 2.0,
+            "swizzling_time_s": 7.0,
+        }]
+        text = compilation_table(rows)
+        assert "sobel" in text
+        assert "time split" in text
+        assert "swizzling 70%" in text
+
+    def test_empty_total_time(self):
+        rows = [{
+            "name": "x", "exprs": 0,
+            "lifting_queries": 0, "sketching_queries": 0,
+            "swizzling_queries": 0,
+            "lifting_time_s": 0.0, "sketching_time_s": 0.0,
+            "swizzling_time_s": 0.0,
+        }]
+        assert "time split" not in compilation_table(rows)
+
+
+def test_codegen_comparison_sections():
+    text = codegen_comparison("t", "SRC", "BASE", "RAKE")
+    for token in ("SRC", "BASE", "RAKE", "Halide IR", "Rake codegen"):
+        assert token in text
+
+
+def test_lifting_trace_render():
+    steps = [LiftStep("extend", "a", "b"), LiftStep("update", "c", "d")]
+    text = lifting_trace(steps)
+    assert "Step 1 [extend]" in text
+    assert "Step 2 [update]" in text
+
+
+class TestSynthesisStats:
+    def test_stage_attribution(self):
+        stats = SynthesisStats()
+        with stats.stage("lifting"):
+            stats.count_query()
+            stats.count_query()
+        with stats.stage("swizzling"):
+            stats.count_query()
+        assert stats.stages["lifting"].queries == 2
+        assert stats.stages["swizzling"].queries == 1
+        assert stats.total_queries == 3
+
+    def test_nested_stages_attribute_innermost(self):
+        stats = SynthesisStats()
+        with stats.stage("sketching"):
+            with stats.stage("swizzling"):
+                stats.count_query()
+            stats.count_query()
+        assert stats.stages["swizzling"].queries == 1
+        assert stats.stages["sketching"].queries == 1
+
+    def test_unknown_stage_rejected(self):
+        stats = SynthesisStats()
+        with pytest.raises(ValueError):
+            with stats.stage("parsing"):
+                pass
+
+    def test_time_accumulates(self):
+        stats = SynthesisStats()
+        with stats.stage("lifting"):
+            time.sleep(0.01)
+        assert stats.stages["lifting"].time_s > 0
+        assert stats.total_time_s > 0
+
+    def test_queries_outside_stage_ignored(self):
+        stats = SynthesisStats()
+        stats.count_query()
+        assert stats.total_queries == 0
+
+    def test_merged_with(self):
+        a, b = SynthesisStats(), SynthesisStats()
+        with a.stage("lifting"):
+            a.count_query()
+        with b.stage("lifting"):
+            b.count_query()
+        b.expressions = 2
+        merged = a.merged_with(b)
+        assert merged.stages["lifting"].queries == 2
+        assert merged.expressions == 2
+
+    def test_summary_keys(self):
+        stats = SynthesisStats()
+        summary = stats.summary()
+        for stage in STAGES:
+            assert f"{stage}_queries" in summary
+            assert f"{stage}_time_s" in summary

@@ -1,0 +1,125 @@
+"""Tests for the cycle simulator: packet scheduling, the roofline model,
+and the functional executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.hvx import isa as H
+from repro.ir import builder as B
+from repro.sim import (
+    DEFAULT_MACHINE,
+    Image,
+    MachineConfig,
+    initiation_interval,
+    latency_report,
+    resource_counts,
+    schedule_packets,
+)
+from repro.sim.runner import load_bytes, traffic_bytes
+from repro.types import U16, U8
+
+
+def load(offset=0, lanes=128):
+    return H.HvxLoad("in", offset, lanes, U8)
+
+
+def chain(n):
+    """n dependent vadds."""
+    e = load(0)
+    for i in range(n):
+        e = H.HvxInstr("vadd", (e, load(128 * (i + 1))))
+    return e
+
+
+class TestInitiationInterval:
+    def test_counts_per_resource(self):
+        counts = resource_counts(chain(3))
+        assert counts["alu"] == 3
+        assert counts["load"] == 4
+
+    def test_store_bytes_add_stores(self):
+        counts = resource_counts(chain(1), store_bytes=128)
+        assert counts["store"] == 1
+
+    def test_ii_respects_caps(self):
+        machine = MachineConfig(caps={"alu": 1, "load": 8}, slots=16)
+        assert initiation_interval(chain(4), machine) == 4
+
+    def test_ii_respects_total_slots(self):
+        # 8 ALU ops at cap 8 still need 2 packets of 4 slots
+        machine = MachineConfig(caps={"alu": 8, "load": 8}, slots=4)
+        assert initiation_interval(chain(8), machine) >= 3
+
+    def test_shared_subtrees_counted_once(self):
+        c = chain(2)
+        doubled = H.HvxInstr("vadd", (c, c))
+        assert resource_counts(doubled)["alu"] == 3
+
+    def test_splats_free(self):
+        s = H.HvxSplat(B.const(1, U8), U8, 128)
+        e = H.HvxInstr("vadd", (load(), s))
+        assert "none" not in resource_counts(e)
+        assert resource_counts(e)["alu"] == 1
+
+
+class TestPacketScheduler:
+    def test_dependent_chain_takes_cycles(self):
+        sched = schedule_packets(chain(4))
+        assert sched.cycles >= 5  # load + 4 dependent adds
+
+    def test_all_instructions_scheduled(self):
+        sched = schedule_packets(chain(4))
+        assert sched.instructions == 9  # 5 loads + 4 adds
+
+    def test_respects_unit_caps(self):
+        sched = schedule_packets(chain(4))
+        for packet in sched.packets:
+            loads = [n for n in packet if isinstance(n, H.HvxLoad)]
+            assert len(loads) <= DEFAULT_MACHINE.cap("load")
+            assert len(packet) <= DEFAULT_MACHINE.slots
+
+    def test_latency_report(self):
+        rep = latency_report(chain(2))
+        assert rep["instructions"] == 5
+        assert rep["cycles"] >= 3
+
+
+class TestTraffic:
+    def test_load_bytes_dedup(self):
+        e = H.HvxInstr("vadd", (load(0), load(0)))
+        assert load_bytes(e) == 128
+
+    def test_traffic_uses_footprint(self):
+        # a 3-point stencil moves ~one vector of new data per iteration
+        e = H.HvxInstr(
+            "vadd", (H.HvxInstr("vadd", (load(-1), load(0))), load(1))
+        )
+        assert traffic_bytes(e) == 128
+        assert load_bytes(e) == 3 * 128
+
+    def test_traffic_sums_buffers(self):
+        other = H.HvxLoad("other", 0, 128, U8)
+        e = H.HvxInstr("vadd", (load(), other))
+        assert traffic_bytes(e) == 256
+
+
+class TestImage:
+    def test_shape_and_halo(self):
+        img = Image(U8, 128, 8)
+        img.set(0, 0, 300)
+        assert img.get(0, 0) == 44
+
+    def test_fill_random_deterministic(self):
+        a = Image(U8, 128, 4).fill_random(7)
+        b = Image(U8, 128, 4).fill_random(7)
+        assert a.pixels() == b.pixels()
+
+    def test_width_guard(self):
+        with pytest.raises(SimulationError):
+            Image(U8, 4096, 4)
+
+    def test_pixels_shape(self):
+        img = Image(U8, 128, 4)
+        px = img.pixels()
+        assert len(px) == 4 and len(px[0]) == 128

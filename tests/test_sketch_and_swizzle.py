@@ -1,0 +1,128 @@
+"""Tests for abstract data movement (Section 4) and swizzle synthesis
+(Section 5): every placeholder's realizations implement its optimistic
+semantics exactly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.hvx import interp as hvx_interp
+from repro.hvx import isa as H
+from repro.hvx.cost import INFINITE_COST, Cost, cost_of
+from repro.ir.interp import BufferView, Environment
+from repro.synthesis.oracle import LAYOUT_INORDER, Oracle
+from repro.synthesis.sketch import (
+    AbstractPairWindow,
+    AbstractRows,
+    AbstractSwizzle,
+    AbstractWindow,
+    SWIZZLE_DEINTERLEAVE,
+    SWIZZLE_IDENTITY,
+    SWIZZLE_INTERLEAVE,
+    is_concrete,
+    placeholders_of,
+)
+from repro.synthesis.swizzle_synth import substitute, synthesize_swizzles
+from repro.types import U16, U8
+
+
+def env(n=512, origin=256):
+    return Environment(buffers={"in": BufferView(list(range(n)), U8, origin)})
+
+
+class TestPlaceholders:
+    def test_window_optimistic_semantics(self):
+        w = AbstractWindow("in", -3, 8, U8)
+        got = hvx_interp.evaluate(w, env())
+        assert got.values == env().buffer("in").read(-3, 8)
+
+    @given(st.integers(-32, 32), st.sampled_from([1, 2, 4]))
+    @settings(max_examples=40)
+    def test_window_realizations_match(self, offset, stride):
+        w = AbstractWindow("in", offset, 8, U8, stride)
+        want = hvx_interp.evaluate(w, env()).values
+        realized = list(w.realizations())
+        assert realized
+        for impl in realized:
+            assert is_concrete(impl)
+            assert hvx_interp.evaluate(impl, env()).values == want
+
+    @given(st.integers(-32, 32))
+    @settings(max_examples=30)
+    def test_pair_window_realizations_match(self, offset):
+        w = AbstractPairWindow("in", offset, 16, U8)
+        want = hvx_interp.evaluate(w, env()).values
+        for impl in w.realizations():
+            assert hvx_interp.evaluate(impl, env()).values == want
+
+    def test_rows_realizations_match(self):
+        rows = AbstractRows("in", -1, "in", 9, 8, U8)
+        want = hvx_interp.evaluate(rows, env()).values
+        for impl in rows.realizations():
+            assert hvx_interp.evaluate(impl, env()).values == want
+
+    def test_swizzle_modes(self):
+        pair = H.HvxInstr("vcombine", (
+            H.HvxLoad("in", 0, 8, U8), H.HvxLoad("in", 8, 8, U8)))
+        ident = AbstractSwizzle(pair, SWIZZLE_IDENTITY)
+        assert hvx_interp.evaluate(ident, env()).values == \
+            hvx_interp.evaluate(pair, env()).values
+        inter = AbstractSwizzle(pair, SWIZZLE_INTERLEAVE)
+        (only,) = list(inter.realizations())
+        assert only.op == "vshuffvdd"
+        assert hvx_interp.evaluate(inter, env()).values == \
+            hvx_interp.evaluate(only, env()).values
+
+    def test_bad_swizzle_mode(self):
+        with pytest.raises(EvaluationError):
+            AbstractSwizzle(H.HvxLoad("in", 0, 8, U8), "transpose")
+
+    def test_placeholders_found(self):
+        w = AbstractWindow("in", 0, 8, U8)
+        expr = H.HvxInstr("vadd", (w, w))
+        assert placeholders_of(expr) == [w, w]
+        assert not is_concrete(expr)
+
+
+class TestSubstitute:
+    def test_replaces_all_occurrences(self):
+        w = AbstractWindow("in", 0, 8, U8)
+        expr = H.HvxInstr("vadd", (w, w))
+        load = H.HvxLoad("in", 0, 8, U8)
+        out = substitute(expr, w, load)
+        assert is_concrete(out)
+        assert out.args == (load, load)
+
+
+class TestSwizzleSynthesis:
+    def test_concretizes_and_verifies(self, oracle):
+        from repro.ir import builder as B
+
+        spec = B.load("in", -3, 8, U8)
+        sketch = AbstractWindow("in", -3, 8, U8)
+        result = synthesize_swizzles(spec, sketch, LAYOUT_INORDER, oracle,
+                                     INFINITE_COST)
+        assert result is not None
+        impl, cost = result
+        assert is_concrete(impl)
+        assert oracle.equivalent(spec, impl)
+
+    def test_budget_rejection(self, oracle):
+        from repro.ir import builder as B
+
+        spec = B.load("in", -3, 8, U8)
+        sketch = AbstractWindow("in", -3, 8, U8)
+        zero_budget = cost_of(H.HvxLoad("in", 0, 8, U8))  # 1 aligned load
+        result = synthesize_swizzles(spec, sketch, LAYOUT_INORDER, oracle,
+                                     zero_budget)
+        assert result is None
+
+    def test_picks_cheapest_first(self, oracle):
+        from repro.ir import builder as B
+
+        spec = B.load("in", 0, 8, U8)  # aligned
+        sketch = AbstractWindow("in", 0, 8, U8)
+        impl, cost = synthesize_swizzles(spec, sketch, LAYOUT_INORDER, oracle,
+                                         INFINITE_COST)
+        assert isinstance(impl, H.HvxLoad)
+        assert impl.aligned

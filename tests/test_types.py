@@ -1,0 +1,120 @@
+"""Unit and property tests for the fixed-point type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.types import (
+    BOOL,
+    I16,
+    I8,
+    SCALAR_TYPES,
+    ScalarType,
+    U16,
+    U8,
+    VectorType,
+    scalar_type,
+    vector_type,
+)
+
+
+class TestScalarType:
+    def test_names(self):
+        assert U8.name == "u8"
+        assert I16.name == "i16"
+        assert BOOL.name == "bool"
+
+    def test_ranges(self):
+        assert (U8.min_value, U8.max_value) == (0, 255)
+        assert (I8.min_value, I8.max_value) == (-128, 127)
+        assert (U16.max_value) == 65535
+
+    def test_lookup_by_name(self):
+        for t in SCALAR_TYPES:
+            assert scalar_type(t.name) == t
+
+    def test_lookup_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            scalar_type("f32")
+
+    def test_invalid_bits(self):
+        with pytest.raises(TypeMismatchError):
+            ScalarType(12, False)
+
+    def test_bool_cannot_be_signed(self):
+        with pytest.raises(TypeMismatchError):
+            ScalarType(1, True)
+
+    def test_widen_narrow_roundtrip(self):
+        assert U8.widened() == U16
+        assert U16.narrowed() == U8
+        assert I8.widened() == I16
+
+    def test_widen_64_fails(self):
+        with pytest.raises(TypeMismatchError):
+            ScalarType(64, True).widened()
+
+    def test_narrow_8_fails(self):
+        with pytest.raises(TypeMismatchError):
+            U8.narrowed()
+
+    def test_wrap_unsigned(self):
+        assert U8.wrap(256) == 0
+        assert U8.wrap(-1) == 255
+        assert U8.wrap(511) == 255
+
+    def test_wrap_signed(self):
+        assert I8.wrap(128) == -128
+        assert I8.wrap(-129) == 127
+        assert I8.wrap(255) == -1
+
+    def test_saturate(self):
+        assert U8.saturate(300) == 255
+        assert U8.saturate(-5) == 0
+        assert I8.saturate(200) == 127
+        assert I8.saturate(-200) == -128
+        assert I8.saturate(42) == 42
+
+    def test_can_represent(self):
+        assert U16.can_represent(U8)
+        assert I16.can_represent(U8)
+        assert not U16.can_represent(I8)
+        assert not I8.can_represent(U8)
+
+
+@given(st.sampled_from(SCALAR_TYPES), st.integers(-(2 ** 70), 2 ** 70))
+def test_wrap_is_idempotent_and_in_range(t, v):
+    w = t.wrap(v)
+    assert t.min_value <= w <= t.max_value
+    assert t.wrap(w) == w
+
+
+@given(st.sampled_from(SCALAR_TYPES), st.integers(-(2 ** 70), 2 ** 70))
+def test_wrap_is_congruent_mod_2n(t, v):
+    assert (t.wrap(v) - v) % (1 << t.bits) == 0
+
+
+@given(st.sampled_from(SCALAR_TYPES), st.integers(-(2 ** 70), 2 ** 70))
+def test_saturate_in_range_and_monotone_clamp(t, v):
+    s = t.saturate(v)
+    assert t.min_value <= s <= t.max_value
+    if t.contains(v):
+        assert s == v
+
+
+class TestVectorType:
+    def test_basic(self):
+        v = VectorType(U8, 128)
+        assert v.name == "u8x128"
+        assert v.bits == 1024
+        assert v.bytes == 128
+
+    def test_widen(self):
+        assert VectorType(U8, 64).widened() == VectorType(U16, 64)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(TypeMismatchError):
+            VectorType(U8, 0)
+
+    def test_vector_type_lookup(self):
+        assert vector_type("u16", 64) == VectorType(U16, 64)

@@ -1,0 +1,174 @@
+"""Tests for the Uber-Instruction IR: typing, interpretation, printing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.ir import builder as B
+from repro.ir.interp import BufferView, Environment
+from repro.types import I16, I32, U16, U8
+from repro.uber import (
+    AbsDiff,
+    Average,
+    BroadcastScalar,
+    LoadData,
+    Maximum,
+    Minimum,
+    Mux,
+    Narrow,
+    ShiftRight,
+    VsMpyAdd,
+    VvMpyAdd,
+    Widen,
+    evaluate,
+    to_string,
+    uber_name,
+)
+
+from conftest import env_with
+
+
+def ld(offset=0, lanes=4, elem=U8):
+    return LoadData("in", offset, lanes, elem)
+
+
+class TestTyping:
+    def test_load_data(self):
+        assert ld().type.elem == U8
+        assert ld().type.lanes == 4
+
+    def test_vs_mpy_add_requires_weight_per_read(self):
+        with pytest.raises(TypeMismatchError):
+            VsMpyAdd((ld(),), (1, 2), False, U16)
+
+    def test_vs_mpy_add_requires_reads(self):
+        with pytest.raises(TypeMismatchError):
+            VsMpyAdd((), (), False, U16)
+
+    def test_widen_cannot_shrink(self):
+        with pytest.raises(TypeMismatchError):
+            Widen(ld(elem=U16), U8)
+
+    def test_narrow_shift_range(self):
+        with pytest.raises(TypeMismatchError):
+            Narrow(ld(elem=U16), U8, shift=16)
+
+    def test_mux_op_validation(self):
+        with pytest.raises(TypeMismatchError):
+            Mux("ne", ld(), ld(), ld(), ld())
+
+    def test_children_rebuild(self):
+        e = VsMpyAdd((ld(), ld(1)), (2, 1), False, U16)
+        rebuilt = e.with_children([ld(5), ld(6)])
+        assert rebuilt.reads == (ld(5), ld(6))
+        assert rebuilt.weights == (2, 1)
+
+    def test_vv_children_roundtrip(self):
+        e = VvMpyAdd(((ld(), ld(1)),), ld(2, elem=U8), False, U16)
+        rebuilt = e.with_children(list(e.children))
+        assert rebuilt == e
+
+    def test_names(self):
+        assert uber_name(ld()) == "load-data"
+        assert uber_name(VsMpyAdd((ld(),), (1,), False, U16)) == "vs-mpy-add"
+
+
+class TestEvaluation:
+    def test_load_data(self, small_env):
+        assert evaluate(ld(), small_env) == (8, 9, 10, 11)
+
+    def test_strided_load_data(self, small_env):
+        assert evaluate(LoadData("in", 0, 4, U8, 2), small_env) == (8, 10, 12, 14)
+
+    def test_broadcast_scalar(self, small_env):
+        e = BroadcastScalar(B.const(7, U8), U8, 4)
+        assert evaluate(e, small_env) == (7, 7, 7, 7)
+
+    def test_widen_preserves_value(self):
+        env = env_with(data=[200] * 4, origin=0)
+        assert evaluate(Widen(ld(), U16), env) == (200,) * 4
+
+    def test_vs_mpy_add_weighted_sum(self):
+        env = env_with(data=[1, 2, 3, 4, 5, 6], origin=1)
+        e = VsMpyAdd((ld(-1), ld(0), ld(1)), (1, 2, 1), False, U16)
+        assert evaluate(e, env) == (1 + 4 + 3, 2 + 6 + 4, 3 + 8 + 5, 4 + 10 + 6)
+
+    def test_vs_mpy_add_saturating(self):
+        env = env_with(data=[255] * 4, origin=0)
+        e = VsMpyAdd((ld(), ld()), (200, 200), True, U16)
+        assert evaluate(e, env) == (65535,) * 4
+
+    def test_vs_mpy_add_wrapping(self):
+        env = env_with(data=[255] * 4, origin=0)
+        e = VsMpyAdd((ld(),), (300,), False, U16)
+        assert evaluate(e, env) == (U16.wrap(255 * 300),) * 4
+
+    def test_vv_mpy_add_with_acc(self):
+        env = env_with(data=[3] * 8, origin=0)
+        acc = LoadData("acc", 0, 4, U16)
+        e = VvMpyAdd(((ld(), ld()),), acc, False, U16)
+        env2 = Environment(buffers={
+            "in": env.buffers["in"],
+            "acc": BufferView([100] * 4, U16, 0),
+        })
+        assert evaluate(e, env2) == (109,) * 4
+
+    def test_narrow_fused(self):
+        env = env_with(data=[100] * 4, elem=U16, origin=0)
+        e = Narrow(ld(elem=U16), U8, shift=4, round=True, saturate=False)
+        assert evaluate(e, env) == ((100 + 8) >> 4,) * 4
+
+    def test_narrow_saturating(self):
+        env = env_with(data=[999] * 4, elem=U16, origin=0)
+        e = Narrow(ld(elem=U16), U8, shift=0, round=False, saturate=True)
+        assert evaluate(e, env) == (255,) * 4
+
+    def test_abs_diff(self):
+        env = env_with(data=[10, 1, 5, 9, 2, 8, 5, 3], origin=0)
+        e = AbsDiff(ld(0), ld(4))
+        assert evaluate(e, env) == (8, 7, 0, 6)
+
+    def test_min_max(self):
+        env = env_with(data=[10, 1, 5, 9, 2, 8, 5, 3], origin=0)
+        assert evaluate(Minimum(ld(0), ld(4)), env) == (2, 1, 5, 3)
+        assert evaluate(Maximum(ld(0), ld(4)), env) == (10, 8, 5, 9)
+
+    def test_average_round(self):
+        env = env_with(data=[5, 5, 5, 5, 6, 6, 6, 6], origin=0)
+        assert evaluate(Average(ld(0), ld(4), round=False), env) == (5,) * 4
+        assert evaluate(Average(ld(0), ld(4), round=True), env) == (6,) * 4
+
+    def test_shift_right(self):
+        env = env_with(data=[7] * 4, elem=U16, origin=0)
+        assert evaluate(ShiftRight(ld(elem=U16), 1), env) == (3,) * 4
+        assert evaluate(ShiftRight(ld(elem=U16), 1, round=True), env) == (4,) * 4
+
+    def test_mux(self):
+        env = env_with(data=[1, 9, 1, 9, 5, 5, 5, 5], origin=0)
+        e = Mux("gt", ld(0), ld(4), ld(0), ld(4))
+        assert evaluate(e, env) == (5, 9, 5, 9)
+
+
+class TestPrinter:
+    def test_vs_mpy_add_matches_paper_style(self):
+        e = VsMpyAdd((ld(),), (2,), False, I16)
+        s = to_string(e)
+        assert "[kernel: '(2)]" in s
+        assert "[saturating: #f]" in s
+        assert "[output-type: i16]" in s
+
+    def test_narrow_flags(self):
+        s = to_string(Narrow(ld(elem=U16), U8, 4, True, True))
+        assert "[shift: 4]" in s and "[round?: #t]" in s
+
+
+@given(st.lists(st.integers(0, 255), min_size=8, max_size=8),
+       st.integers(-4, 4), st.integers(-4, 4))
+def test_vs_mpy_add_matches_reference_sum(data, w0, w1):
+    env = env_with(data=data, origin=2)
+    e = VsMpyAdd((ld(-1), ld(1)), (w0, w1), False, I16)
+    got = evaluate(e, env)
+    want = tuple(
+        I16.wrap(w0 * data[2 + i - 1] + w1 * data[2 + i + 1]) for i in range(4)
+    )
+    assert got == want
