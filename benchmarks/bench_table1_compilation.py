@@ -3,14 +3,29 @@
 Rake's synthesis cost per benchmark: optimized expression counts, query
 counts per stage and time per stage.  The paper's headline distribution —
 swizzling dominates, lifting is cheap — is asserted on the totals.
+
+Run directly (``python benchmarks/bench_table1_compilation.py``) for the
+engine's cold/warm comparison: each workload is compiled twice against the
+same on-disk verdict store, with a **fresh** in-process cache for the warm
+run, so the reported delta measures disk persistence, not in-memory
+memoization.
 """
+
+import argparse
+import sys
+import tempfile
+import time
 
 import pytest
 
 from repro.pipeline import compile_pipeline
+from repro.synthesis.engine import OracleCache
 from repro.workloads.base import all_workloads, get
 
 ALL_NAMES = [wl.name for wl in all_workloads()]
+
+#: default subset for the standalone cold/warm run (full suite with --all)
+FAST_NAMES = ["mul", "add", "dilate3x3", "l2norm", "gaussian3x3"]
 
 
 @pytest.mark.parametrize("name", ALL_NAMES)
@@ -52,3 +67,83 @@ def test_table1_distribution(table1_rows, benchmark):
         f"swizzling should dominate: {lift:.1f}/{sketch:.1f}/{swiz:.1f}"
     )
     assert lift / total < 0.5
+
+
+# ---------------------------------------------------------------------------
+# Standalone cold/warm engine benchmark
+# ---------------------------------------------------------------------------
+
+
+def _timed_compile(name: str, jobs: int, cache: OracleCache):
+    wl = get(name)
+    start = time.perf_counter()
+    compiled = compile_pipeline(wl.build(), backend="rake", jobs=jobs,
+                                cache=cache)
+    return time.perf_counter() - start, compiled.stats
+
+
+def run_cold_warm(names, cache_dir: str, jobs: int = 1) -> dict:
+    """Compile every workload twice against one disk store; return timings."""
+    rows = []
+    for name in names:
+        cold_t, cold_stats = _timed_compile(
+            name, jobs, OracleCache.with_disk(cache_dir))
+        # A fresh in-process cache: warm-run hits come from the disk store.
+        warm_t, warm_stats = _timed_compile(
+            name, jobs, OracleCache.with_disk(cache_dir))
+        rows.append({
+            "name": name,
+            "cold_s": cold_t,
+            "warm_s": warm_t,
+            "speedup": cold_t / warm_t if warm_t > 0 else float("inf"),
+            "queries": cold_stats.total_queries,
+            "warm_hits": warm_stats.total_cache_hits,
+            "warm_misses": warm_stats.total_cache_misses,
+        })
+    total_cold = sum(r["cold_s"] for r in rows)
+    total_warm = sum(r["warm_s"] for r in rows)
+    return {
+        "rows": rows,
+        "total_cold_s": total_cold,
+        "total_warm_s": total_warm,
+        "speedup": total_cold / total_warm if total_warm > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cold vs warm compilation with the persistent "
+                    "oracle-verdict store")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help=f"workload names (default: {' '.join(FAST_NAMES)})")
+    parser.add_argument("--all", action="store_true",
+                        help="run the full 21-benchmark suite")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel equivalence-check workers")
+    parser.add_argument("--cache-dir", default=None,
+                        help="verdict store directory (default: a fresh "
+                             "temporary directory)")
+    args = parser.parse_args(argv)
+
+    names = args.workloads or (ALL_NAMES if args.all else FAST_NAMES)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = args.cache_dir or tmp
+        report = run_cold_warm(names, cache_dir, jobs=args.jobs)
+
+    header = (f"{'Benchmark':>16} {'Queries':>8} {'Cold(s)':>8} "
+              f"{'Warm(s)':>8} {'Speedup':>8} {'WarmHit%':>9}")
+    print(header)
+    print("-" * len(header))
+    for r in report["rows"]:
+        lookups = r["warm_hits"] + r["warm_misses"]
+        hit_rate = r["warm_hits"] / lookups if lookups else 0.0
+        print(f"{r['name']:>16} {r['queries']:>8} {r['cold_s']:>8.2f} "
+              f"{r['warm_s']:>8.2f} {r['speedup']:>7.1f}x {hit_rate:>8.0%}")
+    print("-" * len(header))
+    print(f"{'total':>16} {'':>8} {report['total_cold_s']:>8.2f} "
+          f"{report['total_warm_s']:>8.2f} {report['speedup']:>7.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,14 +13,16 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import workloads  # noqa: F401 - populate the registry
 from . import neon  # noqa: F401 - register the Neon instruction families
 from .hvx import all_instructions, program_listing, to_assembly
 from .pipeline import compile_pipeline
-from .reporting import SpeedupRow, speedup_figure
+from .reporting import SpeedupRow, engine_summary, speedup_figure
 from .sim import measure
+from .synthesis.engine import default_cache_dir
 from .workloads.base import all_workloads, get, names
 
 
@@ -35,9 +37,11 @@ def _cmd_list(args) -> int:
 
 
 def _compile_one(name: str, backend: str, show_programs: bool,
-                 width: int | None, height: int | None, asm: bool = False):
+                 width: int | None, height: int | None, asm: bool = False,
+                 jobs: int = 1, cache_dir: str | None = None):
     wl = get(name)
-    compiled = compile_pipeline(wl.build(), backend=backend)
+    compiled = compile_pipeline(wl.build(), backend=backend, jobs=jobs,
+                                cache_dir=cache_dir)
     cycles = measure(compiled, width or wl.width, height or wl.height)
     print(f"[{backend}] {name}: {cycles.total} cycles "
           f"({compiled.optimized_exprs} expressions synthesized, "
@@ -55,7 +59,7 @@ def _compile_one(name: str, backend: str, show_programs: bool,
                     print(to_assembly(ce.program))
                 else:
                     print(program_listing(ce.program))
-    return cycles.total
+    return cycles.total, compiled.stats
 
 
 def _cmd_compile(args) -> int:
@@ -64,12 +68,31 @@ def _cmd_compile(args) -> int:
               file=sys.stderr)
         return 2
     backends = ["rake", "baseline"] if args.backend == "both" else [args.backend]
+    cache_dir = None
+    if args.cache_dir:
+        cache_dir = args.cache_dir
+    elif args.cache:
+        cache_dir = default_cache_dir()
     totals = {}
+    stats_by_backend = {}
     for backend in backends:
-        totals[backend] = _compile_one(
+        totals[backend], stats_by_backend[backend] = _compile_one(
             args.workload, backend, args.show_programs, args.width,
-            args.height, asm=args.asm,
+            args.height, asm=args.asm, jobs=args.jobs, cache_dir=cache_dir,
         )
+    rake_stats = stats_by_backend.get("rake")
+    if rake_stats is not None and rake_stats.total_queries:
+        print(engine_summary(rake_stats))
+    if args.stats_json and rake_stats is not None:
+        try:
+            with open(args.stats_json, "w", encoding="utf-8") as fh:
+                json.dump(rake_stats.as_dict(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write --stats-json {args.stats_json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        print(f"wrote synthesis stats to {args.stats_json}")
     if len(totals) == 2:
         print(f"\nspeedup: {totals['baseline'] / totals['rake']:.2f}x "
               f"(baseline / rake)")
@@ -96,7 +119,7 @@ def _cmd_speedups(args) -> int:
         if args.only and wl.name not in args.only:
             continue
         print(f"compiling {wl.name} ...", file=sys.stderr)
-        rake = compile_pipeline(wl.build(), backend="rake")
+        rake = compile_pipeline(wl.build(), backend="rake", jobs=args.jobs)
         base = compile_pipeline(wl.build(), backend="baseline")
         rows.append(SpeedupRow(
             name=wl.name,
@@ -128,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print register-allocated assembly listings")
     p_compile.add_argument("--width", type=int, default=None)
     p_compile.add_argument("--height", type=int, default=None)
+    p_compile.add_argument("--jobs", type=int, default=1,
+                           help="parallel equivalence-check workers "
+                                "(1 = serial; output is identical)")
+    p_compile.add_argument("--stats-json", default=None, metavar="PATH",
+                           help="dump per-stage synthesis statistics as JSON")
+    p_compile.add_argument("--cache", action="store_true",
+                           help="persist oracle verdicts in the default "
+                                "cache dir (REPRO_CACHE_DIR or "
+                                "~/.cache/repro-rake)")
+    p_compile.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="persist oracle verdicts in DIR "
+                                "(implies --cache)")
 
     p_isa = sub.add_parser("isa", help="browse the instruction registry")
     p_isa.add_argument("--target", choices=("all", "hvx", "neon"),
@@ -139,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="the Figure 11 sweep (slow: full synthesis)")
     p_speed.add_argument("--only", nargs="*", default=None,
                          help="restrict to these workloads")
+    p_speed.add_argument("--jobs", type=int, default=1,
+                         help="parallel equivalence-check workers for the "
+                              "rake backend")
     return parser
 
 

@@ -20,6 +20,7 @@ from .frontend import Func, LoweredPipeline, Stage, lower_pipeline
 from .hvx import isa as H
 from .ir import expr as E
 from .synthesis import LoweringOptions, RakeSelector
+from .synthesis.engine import OracleCache
 from .synthesis.oracle import Oracle
 from .synthesis.stats import SynthesisStats
 
@@ -81,40 +82,70 @@ def compile_pipeline(
     options: LoweringOptions | None = None,
     verify: bool = True,
     selector: RakeSelector | None = None,
+    jobs: int = 1,
+    stats: SynthesisStats | None = None,
+    cache: OracleCache | None = None,
+    cache_dir: str | None = None,
 ) -> CompiledPipeline:
-    """Compile a scheduled pipeline with the chosen instruction selector."""
+    """Compile a scheduled pipeline with the chosen instruction selector.
+
+    ``jobs`` fans candidate equivalence checks over a worker pool (output is
+    identical to serial mode).  ``stats`` supplies an external
+    :class:`SynthesisStats` to accumulate into; ``cache`` an external
+    :class:`~repro.synthesis.engine.OracleCache`, or ``cache_dir`` a
+    directory for a persistent on-disk verdict store.
+    """
     if backend not in (BACKEND_RAKE, BACKEND_BASELINE):
         raise ReproError(f"unknown backend: {backend}")
     lowered = lower_pipeline(output, lanes=lanes)
     baseline = HalideOptimizer(vbytes=vbytes)
-    rake = selector or RakeSelector(
-        vbytes=vbytes, options=options or LoweringOptions()
-    )
-    verifier = Oracle() if verify else None
+    owns_selector = selector is None
+    if owns_selector:
+        if cache is None:
+            cache = (OracleCache.with_disk(cache_dir) if cache_dir
+                     else OracleCache())
+        oracle = Oracle(stats=stats or SynthesisStats(), cache=cache)
+        rake = RakeSelector(
+            vbytes=vbytes, options=options or LoweringOptions(),
+            oracle=oracle, jobs=jobs,
+        )
+    else:
+        rake = selector
+    # The selector's oracle doubles as the final verifier, so verification
+    # queries share the memoization cache and show up under the ``verify``
+    # stage of the statistics.
+    verifier = rake.oracle if verify else None
 
     compiled = CompiledPipeline(backend=backend, lowered=lowered,
                                 stats=rake.stats)
-    for stage in lowered.stages:
-        cstage = CompiledStage(stage=stage)
-        extents = [1] + list(stage.func.update_extents)
-        for expr, extent in zip(stage.exprs, extents):
-            used = "trivial" if _is_trivial(expr) else backend
-            program = None
-            if used == BACKEND_RAKE:
-                try:
-                    program = rake.select(expr).program
-                except (SynthesisError, UnsupportedExpressionError):
-                    compiled.fallbacks += 1
-                    used = BACKEND_BASELINE
-            if program is None:
-                program = baseline.optimize(expr)
-            if verifier is not None and not verifier.equivalent(expr, program):
-                raise ReproError(
-                    f"selected program is not equivalent to the IR for "
-                    f"stage {stage.name} ({used})"
-                )
-            cstage.exprs.append(CompiledExpr(
-                source=expr, program=program, selector=used, extent=extent
-            ))
-        compiled.stages.append(cstage)
+    try:
+        for stage in lowered.stages:
+            cstage = CompiledStage(stage=stage)
+            extents = [1] + list(stage.func.update_extents)
+            for expr, extent in zip(stage.exprs, extents):
+                used = "trivial" if _is_trivial(expr) else backend
+                program = None
+                if used == BACKEND_RAKE:
+                    try:
+                        program = rake.select(expr).program
+                    except (SynthesisError, UnsupportedExpressionError):
+                        compiled.fallbacks += 1
+                        used = BACKEND_BASELINE
+                if program is None:
+                    program = baseline.optimize(expr)
+                if verifier is not None and not verifier.equivalent(
+                    expr, program
+                ):
+                    raise ReproError(
+                        f"selected program is not equivalent to the IR for "
+                        f"stage {stage.name} ({used})"
+                    )
+                cstage.exprs.append(CompiledExpr(
+                    source=expr, program=program, selector=used, extent=extent
+                ))
+            compiled.stages.append(cstage)
+    finally:
+        if owns_selector:
+            rake.close()
+            rake.oracle.cache.flush()
     return compiled

@@ -105,6 +105,33 @@ def compilation_table(rows) -> str:
     return "\n".join(lines)
 
 
+def engine_summary(stats) -> str:
+    """One-paragraph summary of the synthesis engine's oracle activity.
+
+    ``stats`` is a :class:`~repro.synthesis.stats.SynthesisStats`; the output
+    reports per-stage query counts alongside cache effectiveness, suitable
+    for appending to a ``compile`` run.
+    """
+    lookups = stats.total_cache_hits + stats.total_cache_misses
+    rate = (stats.total_cache_hits / lookups) if lookups else 0.0
+    lines = [
+        "",
+        "synthesis engine:",
+        f"    oracle queries: {stats.total_queries} "
+        f"({stats.total_cache_hits} cache hits, "
+        f"{stats.total_cache_misses} misses, {rate:.0%} hit rate)",
+        f"    counterexamples: {stats.total_counterexamples}",
+    ]
+    for name, stage in stats.stages.items():
+        if stage.queries == 0:
+            continue
+        lines.append(
+            f"    {name}: {stage.queries} queries, "
+            f"{stage.cache_hits} hits, {stage.time_s:.2f}s"
+        )
+    return "\n".join(lines)
+
+
 def codegen_comparison(title: str, source: str, baseline: str, rake: str) -> str:
     """Render a Figure 4 / Figure 12 style three-column comparison."""
     out = [f"=== {title} ===", "", "-- Halide IR --", source, "",

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from ..hvx import isa as H
 from ..ir import expr as ir_expr
+from .engine import DiskStore, OracleCache, ParallelChecker
 from .lifting import Lifter, LiftStep, lift
 from .lowering import Lowerer, LoweringOptions, lower
 from .oracle import LAYOUT_DEINTERLEAVED, LAYOUT_INORDER, Oracle, denote
@@ -40,12 +41,20 @@ class RakeSelector:
 
     Reusable across expressions; accumulates statistics for Table 1.
     ``sketches_fn`` retargets the lowering grammars (default: HVX).
+    ``jobs > 1`` fans candidate equivalence checks over a worker pool
+    (see :mod:`repro.synthesis.engine`); output is identical to serial.
     """
 
     vbytes: int = 128
     options: LoweringOptions = field(default_factory=LoweringOptions)
     oracle: Oracle = field(default_factory=Oracle)
     sketches_fn: object = None
+    jobs: int = 1
+    checker: ParallelChecker | None = None
+
+    def __post_init__(self) -> None:
+        if self.checker is None:
+            self.checker = ParallelChecker(jobs=self.jobs)
 
     @property
     def stats(self) -> SynthesisStats:
@@ -67,11 +76,12 @@ class RakeSelector:
         banned: set = set()
         last_error: Exception | None = None
         for _attempt in range(self.max_lift_retries):
-            lifter = Lifter(self.oracle)
+            lifter = Lifter(self.oracle, checker=self.checker)
             lifted = lifter.lift(expr, frozenset(banned))
             lowerer = Lowerer(self.oracle, vbytes=self.vbytes,
                               options=self.options,
-                              sketches_fn=self.sketches_fn)
+                              sketches_fn=self.sketches_fn,
+                              checker=self.checker)
             try:
                 program = lowerer.lower(lifted)
             except SynthesisError as err:
@@ -84,6 +94,11 @@ class RakeSelector:
                 trace=lifter.trace,
             )
         raise last_error
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for serial checkers)."""
+        if self.checker is not None:
+            self.checker.close()
 
 
 def select_instructions(

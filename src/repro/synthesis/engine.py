@@ -1,0 +1,422 @@
+"""Parallel, memoized execution layer under the synthesis pipeline.
+
+The paper's headline cost is synthesis time: every equivalence query pays
+for a full differential-testing pass over the valuation bank.  This module
+adds the two scaling levers the related work identifies without changing
+any synthesis *result*:
+
+1. **Oracle memoization** — each query is keyed by a canonical structural
+   hash of ``(spec, candidate, layout, seed, rounds)`` that is insensitive
+   to buffer/scalar renaming but sensitive to layout.  Verdicts live in an
+   in-process map and, optionally, an append-only JSONL store on disk, so
+   repeated compilations and shared subexpressions across kernels skip
+   re-verification entirely.  The CEGIS counterexample bank is persisted as
+   bank *indices* (the bank itself is a deterministic function of the spec
+   and seed), so refuting inputs survive across runs.
+
+2. **Parallel candidate checking** — candidate batches from lifting and
+   swizzle concretization fan out over a ``concurrent.futures`` worker
+   pool: process-based by default, degrading to threads and finally to
+   serial execution when workers cannot be spawned or crash.  Results are
+   reduced by *original candidate order*, so the synthesized program is
+   byte-identical to serial mode regardless of ``jobs``.
+
+Verdicts are pure functions of ``(spec, candidate, layout, seed, rounds)``:
+counterexample replay only short-circuits work the bank pass would repeat,
+so caching and parallel evaluation are both sound.
+
+Caveat on rename-insensitivity: the valuation bank assigns pseudo-random
+streams to buffers in name-sorted order, so two expressions equal up to
+renaming receive *isomorphic* (not identical) valuations.  A cached verdict
+for a renamed twin is exactly as trustworthy as a fresh differential pass.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+
+from ..hvx import isa as hvx_isa
+from ..ir import expr as ir_expr
+from ..types import ScalarType, VectorType
+from ..uber import instructions as uber_instr
+
+#: default on-disk store location (overridden by $REPRO_CACHE_DIR)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_FILE_NAME = "oracle.jsonl"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-rake``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-rake"
+
+
+# ---------------------------------------------------------------------------
+# Canonical structural hashing
+# ---------------------------------------------------------------------------
+
+#: dataclass fields holding buffer/variable names, normalized during hashing
+_NAME_FIELDS = frozenset({"buffer", "buffer0", "buffer1", "name"})
+
+_EXPR_BASES = (ir_expr.Expr, uber_instr.UberExpr, hvx_isa.HvxExpr)
+
+
+def canonical_expr(node, names: dict) -> str:
+    """Render any expression kind (IR, uber, HVX, sketch) canonically.
+
+    ``names`` maps buffer/scalar names to positional ids in first-occurrence
+    order; passing one map across several expressions keeps their shared
+    names consistent (a candidate must read the *same* buffers as its spec).
+    """
+    parts = [type(node).__name__]
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        parts.append(_canon_value(value, f.name, names))
+    return "(" + " ".join(parts) + ")"
+
+
+def _canon_value(value, field_name: str, names: dict) -> str:
+    if isinstance(value, _EXPR_BASES):
+        return canonical_expr(value, names)
+    if isinstance(value, (ScalarType, VectorType)):
+        return value.name
+    if isinstance(value, str):
+        if field_name in _NAME_FIELDS:
+            return names.setdefault(value, f"%{len(names)}")
+        return value
+    if isinstance(value, (tuple, list)):
+        return "[" + " ".join(_canon_value(v, field_name, names)
+                              for v in value) + "]"
+    return repr(value)
+
+
+def query_key(
+    spec,
+    candidate,
+    layout: str,
+    seed: int = 0,
+    rounds: int = 0,
+    tag: str = "full",
+) -> str:
+    """Stable cache key for one equivalence query.
+
+    Insensitive to buffer/scalar renaming (names are positionalized with a
+    map shared between spec and candidate), sensitive to layout, oracle
+    seed, randomized-round count and query kind (full vs lane-0).
+    """
+    names: dict = {}
+    spec_part = canonical_expr(spec, names)
+    cand_part = canonical_expr(candidate, names)
+    raw = f"{tag}|{layout}|{seed}|{rounds}|{spec_part}|{cand_part}"
+    return hashlib.sha256(raw.encode()).hexdigest()
+
+
+def spec_key(spec, seed: int = 0, rounds: int = 0) -> str:
+    """Stable key for a specification's counterexample bank."""
+    raw = f"ce|{seed}|{rounds}|{canonical_expr(spec, {})}"
+    return hashlib.sha256(raw.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Persistent verdict / counterexample store
+# ---------------------------------------------------------------------------
+
+
+class DiskStore:
+    """Append-only JSONL store for verdicts and counterexample indices.
+
+    Lines are self-describing records::
+
+        {"t": "v", "k": "<query key>", "v": 0 | 1}
+        {"t": "c", "k": "<spec key>",  "i": <bank index>}
+
+    Corrupt or unknown lines are skipped on load, so a truncated final line
+    (interrupted run) never poisons the store.  Writes are buffered and
+    flushed periodically, on :meth:`close` and at interpreter exit.
+    """
+
+    FLUSH_EVERY = 128
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._verdicts: dict[str, bool] = {}
+        self._counterexamples: dict[str, list[int]] = {}
+        self._pending: list[str] = []
+        self._load()
+        atexit.register(self.close)
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            try:
+                rec = json.loads(line)
+            except (json.JSONDecodeError, ValueError):
+                continue
+            if not isinstance(rec, dict):
+                continue
+            if rec.get("t") == "v" and "k" in rec and "v" in rec:
+                self._verdicts[rec["k"]] = bool(rec["v"])
+            elif rec.get("t") == "c" and "k" in rec and "i" in rec:
+                bucket = self._counterexamples.setdefault(rec["k"], [])
+                if rec["i"] not in bucket:
+                    bucket.append(rec["i"])
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def get_verdict(self, key: str) -> bool | None:
+        return self._verdicts.get(key)
+
+    def put_verdict(self, key: str, verdict: bool) -> None:
+        if key in self._verdicts:
+            return
+        self._verdicts[key] = verdict
+        self._pending.append(json.dumps(
+            {"t": "v", "k": key, "v": int(verdict)}, separators=(",", ":")
+        ))
+        if len(self._pending) >= self.FLUSH_EVERY:
+            self.flush()
+
+    def counterexample_indices(self, key: str) -> list[int]:
+        return list(self._counterexamples.get(key, ()))
+
+    def add_counterexample(self, key: str, index: int) -> None:
+        bucket = self._counterexamples.setdefault(key, [])
+        if index in bucket:
+            return
+        bucket.append(index)
+        self._pending.append(json.dumps(
+            {"t": "c", "k": key, "i": index}, separators=(",", ":")
+        ))
+        if len(self._pending) >= self.FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write("\n".join(self._pending) + "\n")
+        self._pending = []
+
+    def close(self) -> None:
+        self.flush()
+
+
+@dataclasses.dataclass
+class OracleCache:
+    """Two-level verdict cache: in-process map over an optional disk store."""
+
+    store: DiskStore | None = None
+    _verdicts: dict = dataclasses.field(default_factory=dict)
+    _counterexamples: dict = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def with_disk(cls, directory: str | Path | None = None) -> "OracleCache":
+        """A cache backed by ``<directory>/oracle.jsonl`` (default dir if
+        ``None``)."""
+        directory = Path(directory) if directory else default_cache_dir()
+        return cls(store=DiskStore(directory / CACHE_FILE_NAME))
+
+    def lookup(self, key: str) -> bool | None:
+        verdict = self._verdicts.get(key)
+        if verdict is None and self.store is not None:
+            verdict = self.store.get_verdict(key)
+            if verdict is not None:
+                self._verdicts[key] = verdict
+        return verdict
+
+    def record(self, key: str, verdict: bool) -> None:
+        self._verdicts[key] = verdict
+        if self.store is not None:
+            self.store.put_verdict(key, verdict)
+
+    def counterexample_indices(self, skey: str) -> list[int]:
+        indices = list(self._counterexamples.get(skey, ()))
+        if self.store is not None:
+            for i in self.store.counterexample_indices(skey):
+                if i not in indices:
+                    indices.append(i)
+        return indices
+
+    def record_counterexample(self, skey: str, index: int) -> None:
+        bucket = self._counterexamples.setdefault(skey, [])
+        if index not in bucket:
+            bucket.append(index)
+        if self.store is not None:
+            self.store.add_counterexample(skey, index)
+
+    def flush(self) -> None:
+        if self.store is not None:
+            self.store.flush()
+
+
+# ---------------------------------------------------------------------------
+# Parallel candidate checking
+# ---------------------------------------------------------------------------
+
+_worker_local = threading.local()
+
+
+def _pure_check(payload) -> bool:
+    """Worker entry point: one equivalence query with a per-worker oracle.
+
+    Oracles are kept per ``(seed, rounds)`` in worker-local storage so the
+    valuation banks they build amortize across batches.  The verdict is a
+    pure function of the payload, which is what makes fan-out sound.
+    """
+    from .oracle import Oracle  # deferred: avoid a cycle at import time
+
+    spec, candidate, layout, seed, rounds = payload
+    oracles = getattr(_worker_local, "oracles", None)
+    if oracles is None:
+        oracles = _worker_local.oracles = {}
+    oracle = oracles.get((seed, rounds))
+    if oracle is None:
+        oracle = oracles[(seed, rounds)] = Oracle(
+            seed=seed, extra_random_rounds=rounds
+        )
+    return bool(oracle.equivalent(spec, candidate, layout))
+
+
+MODE_PROCESS = "process"
+MODE_THREAD = "thread"
+MODE_SERIAL = "serial"
+_FALLBACK_ORDER = {MODE_PROCESS: MODE_THREAD, MODE_THREAD: MODE_SERIAL}
+
+
+class ParallelChecker:
+    """Deterministic fan-out of equivalence checks over a worker pool.
+
+    ``jobs <= 1`` (or batches below ``min_batch``) run serially through the
+    caller's oracle — the exact code path the serial engine uses.  Larger
+    batches are dispatched to a process pool; any pool failure (spawn error,
+    unpicklable candidate, worker crash) degrades the checker one step
+    (process → thread → serial) and transparently re-runs the batch, so a
+    crash never changes results, only speed.
+    """
+
+    def __init__(self, jobs: int = 1, mode: str | None = None,
+                 min_batch: int = 2):
+        if mode is not None and mode not in (
+            MODE_PROCESS, MODE_THREAD, MODE_SERIAL
+        ):
+            raise ValueError(f"unknown checker mode: {mode}")
+        self.jobs = max(1, int(jobs))
+        self.mode = (
+            MODE_SERIAL if self.jobs <= 1 else (mode or MODE_PROCESS)
+        )
+        self.min_batch = min_batch
+        self.fallbacks = 0
+        self._executor = None
+        self._executor_mode = None
+
+    # -- pool management ---------------------------------------------------
+
+    def _pool(self):
+        if self._executor is None or self._executor_mode != self.mode:
+            self.close()
+            cls = (
+                ProcessPoolExecutor
+                if self.mode == MODE_PROCESS
+                else ThreadPoolExecutor
+            )
+            self._executor = cls(max_workers=self.jobs)
+            self._executor_mode = self.mode
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=False)
+            self._executor = None
+            self._executor_mode = None
+
+    def _degrade(self) -> None:
+        self.fallbacks += 1
+        self.close()
+        self.mode = _FALLBACK_ORDER.get(self.mode, MODE_SERIAL)
+
+    # -- batch API ---------------------------------------------------------
+
+    def check_batch(self, oracle, spec, candidates, layout) -> list:
+        """Verdicts for every candidate, in candidate order."""
+        n = len(candidates)
+        if n == 0:
+            return []
+        if self.mode == MODE_SERIAL or n < self.min_batch:
+            return [oracle.equivalent(spec, c, layout) for c in candidates]
+
+        verdicts: list = [None] * n
+        to_run = []
+        for i, cand in enumerate(candidates):
+            key = oracle.query_key(spec, cand, layout)
+            hit = oracle.cache.lookup(key)
+            if hit is not None:
+                oracle.note_cached_query(hit=True)
+                verdicts[i] = hit
+            else:
+                to_run.append((i, key, cand))
+
+        if to_run:
+            payloads = [
+                (spec, cand, layout, oracle.seed, oracle.extra_random_rounds)
+                for _i, _key, cand in to_run
+            ]
+            results = self._dispatch(payloads)
+            if results is None:
+                # Pool is gone; the degraded (eventually serial) retry below
+                # keeps verdicts identical.
+                return self.check_batch(oracle, spec, candidates, layout)
+            for (i, key, _cand), verdict in zip(to_run, results):
+                oracle.note_cached_query(hit=False)
+                oracle.cache.record(key, verdict)
+                verdicts[i] = verdict
+        return verdicts
+
+    def first_equivalent(self, oracle, spec, candidates, layout):
+        """Index of the first equivalent candidate, or ``None``.
+
+        Serial mode stops at the first success (the classic loop); parallel
+        mode dispatches *waves* of candidates concurrently and stops at the
+        first wave containing a success, reducing by original order within
+        it — the selected candidate is identical either way, and a hit in
+        an early wave never pays for the candidates behind it.
+        """
+        if not candidates:
+            return None
+        if self.mode == MODE_SERIAL or len(candidates) < self.min_batch:
+            for i, cand in enumerate(candidates):
+                if oracle.equivalent(spec, cand, layout):
+                    return i
+            return None
+        wave = max(self.jobs * 2, self.min_batch)
+        for start in range(0, len(candidates), wave):
+            verdicts = self.check_batch(
+                oracle, spec, candidates[start:start + wave], layout
+            )
+            for i, verdict in enumerate(verdicts):
+                if verdict:
+                    return start + i
+        return None
+
+    def _dispatch(self, payloads) -> list | None:
+        """Run payloads on the current pool; degrade and retry on failure."""
+        while self.mode != MODE_SERIAL:
+            try:
+                chunk = max(1, len(payloads) // (self.jobs * 2) or 1)
+                return list(
+                    self._pool().map(_pure_check, payloads, chunksize=chunk)
+                )
+            except Exception:
+                self._degrade()
+        return None

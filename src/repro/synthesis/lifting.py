@@ -20,14 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..errors import UnsupportedExpressionError
+from ..errors import TypeMismatchError, UnsupportedExpressionError
 from ..ir import expr as E
 from ..ir import printer as ir_printer
 from ..ir.simplify import simplify as ir_simplify
 from ..types import ScalarType
 from ..uber import instructions as U
 from ..uber import printer as uber_printer
-from .oracle import Oracle
+from .engine import ParallelChecker
+from .oracle import LAYOUT_INORDER, Oracle
 
 
 @dataclass(frozen=True)
@@ -41,9 +42,15 @@ class LiftStep:
 
 @dataclass
 class Lifter:
-    """Runs Algorithm 1 over one IR expression."""
+    """Runs Algorithm 1 over one IR expression.
+
+    ``checker`` fans candidate equivalence checks over a worker pool when
+    it is configured with ``jobs > 1``; selection remains deterministic
+    because candidates are reduced in generation order either way.
+    """
 
     oracle: Oracle
+    checker: ParallelChecker | None = None
     max_narrow_descendants: int = 24
     _cache: dict = field(default_factory=dict)
     trace: list = field(default_factory=list)
@@ -79,14 +86,19 @@ class Lifter:
         lifted = self._lift_leaf(e)
         rule_used = "extend"
         if lifted is None:
-            for rule, candidate in self._candidates(e):
+            batch = []
+            for rule, candidate in self._safe_candidates(e):
                 if candidate is None or candidate in banned:
                     continue
                 if candidate.type.lanes != E.lanes_of(e.type):
                     continue
-                if self.oracle.equivalent(e, candidate):
-                    lifted, rule_used = candidate, rule
-                    break
+                batch.append((rule, candidate))
+            checker = self.checker or _SERIAL_CHECKER
+            chosen = checker.first_equivalent(
+                self.oracle, e, [c for _rule, c in batch], LAYOUT_INORDER
+            )
+            if chosen is not None:
+                rule_used, lifted = batch[chosen]
         if lifted is not None:
             self.trace.append(LiftStep(
                 rule=rule_used,
@@ -95,6 +107,20 @@ class Lifter:
             ))
         self._cache[e] = lifted
         return lifted
+
+    def _safe_candidates(self, e: E.Expr):
+        """Iterate ``_candidates`` with construction errors truncating the
+        stream: a generator that trips a type-check mid-enumeration ends the
+        batch at the last well-formed candidate instead of aborting the
+        whole lift."""
+        gen = self._candidates(e)
+        while True:
+            try:
+                yield next(gen)
+            except StopIteration:
+                return
+            except TypeMismatchError:
+                return
 
     def _lift_leaf(self, e: E.Expr) -> U.UberExpr | None:
         if isinstance(e, E.Load) and e.lanes > 1:
@@ -427,6 +453,10 @@ class Lifter:
             }[type(cond)]
         t, f = (lf_, lt_) if swap else (lt_, lf_)
         yield "extend", U.Mux(op, lca, lcb, t, f)
+
+
+#: shared serial checker used when no parallel engine is configured
+_SERIAL_CHECKER = ParallelChecker(jobs=1)
 
 
 def lift(expr: E.Expr, oracle: Oracle) -> U.UberExpr:

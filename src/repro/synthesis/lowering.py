@@ -18,6 +18,7 @@ from ..hvx import isa as H
 from ..hvx.cost import Cost, INFINITE_COST, cost_of
 from ..uber import instructions as U
 from . import grammar
+from .engine import ParallelChecker
 from .oracle import LAYOUT_DEINTERLEAVED, LAYOUT_INORDER, Oracle
 from .sketch import AbstractSwizzle, SWIZZLE_DEINTERLEAVE, SWIZZLE_INTERLEAVE
 from .swizzle_synth import synthesize_swizzles
@@ -47,6 +48,7 @@ class Lowerer:
     vbytes: int = 128
     options: LoweringOptions = field(default_factory=LoweringOptions)
     sketches_fn: object = None
+    checker: ParallelChecker | None = None
     _memo: dict = field(default_factory=dict)
 
     # -- public API ---------------------------------------------------------
@@ -98,7 +100,8 @@ class Lowerer:
                     continue
             with self.oracle.stats.stage("swizzling"):
                 result = synthesize_swizzles(
-                    e, adapted, layout, self.oracle, beta
+                    e, adapted, layout, self.oracle, beta,
+                    checker=self.checker,
                 )
             if result is None:
                 continue

@@ -14,10 +14,20 @@ this environment has no solver, so the oracle implements the same
 
 The oracle is generic over expression kinds: IR, uber and HVX expressions
 are all evaluated to logical lane tuples through :func:`denote`.
+
+Verdicts are memoized through :class:`repro.synthesis.engine.OracleCache`
+under a canonical structural key, so repeated queries — within one
+compilation, across kernels that share subexpressions, and (with a disk
+store) across runs — skip the differential pass entirely.  A verdict is a
+pure function of ``(spec, candidate, layout, seed, rounds)``: the replay
+set only short-circuits failures the bank pass would rediscover, which is
+what makes memoization sound.
 """
 
 from __future__ import annotations
 
+import hashlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..errors import EvaluationError
@@ -28,7 +38,7 @@ from ..ir import expr as ir_expr
 from ..ir import interp as ir_interp
 from ..uber import instructions as uber_instr
 from ..uber import interp as uber_interp
-from . import valuation
+from . import engine, valuation
 from .stats import SynthesisStats
 
 #: result layouts a lowered implementation may produce (Section 5.1)
@@ -48,6 +58,26 @@ def _mask_lanes(values: tuple, bits: int) -> tuple:
     """
     mask = (1 << bits) - 1
     return tuple(v & mask for v in values)
+
+
+def result_bits(expr) -> int:
+    """Lane width (in bits) of an expression's denotation.
+
+    Predicate registers denote one-bit lanes: a ``vcmp`` result may only
+    implement a boolean-typed specification, never a data vector that
+    happens to hold zeros and ones — a predicate register cannot be stored
+    to memory.
+    """
+    if isinstance(expr, ir_expr.Expr):
+        return ir_expr.elem_of(expr.type).bits
+    if isinstance(expr, uber_instr.UberExpr):
+        return expr.type.elem.bits
+    if isinstance(expr, hvx_isa.HvxExpr):
+        t = expr.type
+        if t.kind == "pred":
+            return 1
+        return t.elem.bits
+    raise EvaluationError(f"cannot type {type(expr).__name__}")
 
 
 def denote(expr, env: ir_interp.Environment, layout: str = LAYOUT_INORDER) -> tuple:
@@ -75,7 +105,9 @@ def denote(expr, env: ir_interp.Environment, layout: str = LAYOUT_INORDER) -> tu
                 value.elem.bits,
             )
         if isinstance(value, hvx_values.PredVec):
-            return tuple(int(v) for v in value.values)
+            # Predicates denote one-bit lanes; result_bits() guards that a
+            # predicate only ever stands against a boolean spec.
+            return _mask_lanes(tuple(int(v) for v in value.values), 1)
         return _mask_lanes(hvx_values.as_lanes(value), value.elem.bits)
     raise EvaluationError(f"cannot denote {type(expr).__name__}")
 
@@ -87,9 +119,12 @@ class Oracle:
     stats: SynthesisStats = field(default_factory=SynthesisStats)
     extra_random_rounds: int = 4
     seed: int = 0
+    cache: engine.OracleCache = field(default_factory=engine.OracleCache)
     _counterexamples: dict = field(default_factory=dict)
     _bank_cache: dict = field(default_factory=dict)
     _spec_cache: dict = field(default_factory=dict)
+    _canon_cache: dict = field(default_factory=dict)
+    _spec_key_cache: dict = field(default_factory=dict)
 
     def bank_for(self, spec) -> list:
         key = spec
@@ -105,6 +140,69 @@ class Oracle:
             self._spec_cache[key] = denote(spec, env)
         return self._spec_cache[key]
 
+    # -- cache keying -------------------------------------------------------
+
+    def query_key(self, spec, candidate, layout: str,
+                  tag: str = "full") -> str:
+        """Canonical memoization key for one query (see engine.query_key)."""
+        cached = self._canon_cache.get(spec)
+        if cached is None:
+            names: dict = {}
+            cached = (engine.canonical_expr(spec, names), dict(names))
+            self._canon_cache[spec] = cached
+        spec_part, names = cached
+        cand_part = engine.canonical_expr(candidate, dict(names))
+        raw = (f"{tag}|{layout}|{self.seed}|{self.extra_random_rounds}|"
+               f"{spec_part}|{cand_part}")
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    def _spec_key(self, spec) -> str:
+        key = self._spec_key_cache.get(spec)
+        if key is None:
+            key = self._spec_key_cache[spec] = engine.spec_key(
+                spec, self.seed, self.extra_random_rounds
+            )
+        return key
+
+    def note_cached_query(self, hit: bool) -> None:
+        """Count one query resolved through the engine (cache or worker)."""
+        with self._stage_ctx():
+            self.stats.count_query()
+            if hit:
+                self.stats.count_cache_hit()
+            else:
+                self.stats.count_cache_miss()
+
+    def _stage_ctx(self):
+        """Attribute out-of-stage queries (the pipeline's final check) to
+        the ``verify`` stage so their cost is visible in Table 1 output."""
+        if self.stats._active:
+            return nullcontext()
+        return self.stats.stage("verify")
+
+    # -- counterexample bank ------------------------------------------------
+
+    def _replay_for(self, spec) -> list:
+        """The CEGIS replay set for ``spec``, reloaded from the persistent
+        store (as bank indices) the first time the spec is queried."""
+        replay = self._counterexamples.get(spec)
+        if replay is None:
+            replay = []
+            stored = self.cache.counterexample_indices(self._spec_key(spec))
+            if stored:
+                bank = self.bank_for(spec)
+                replay = [
+                    (i, bank[i]) for i in stored if 0 <= i < len(bank)
+                ]
+            self._counterexamples[spec] = replay
+        return replay
+
+    def counterexamples_for(self, spec) -> list:
+        """Public view of the replay set (index, environment) pairs."""
+        return list(self._replay_for(spec))
+
+    # -- queries ------------------------------------------------------------
+
     def equivalent(self, spec, candidate, layout: str = LAYOUT_INORDER) -> bool:
         """One synthesis query: is ``candidate`` equivalent to ``spec``?
 
@@ -112,11 +210,29 @@ class Oracle:
         ``candidate`` may be any expression kind, with ``layout`` applied
         when it is an HVX expression.
         """
-        self.stats.count_query()
+        with self._stage_ctx():
+            self.stats.count_query()
+            key = self.query_key(spec, candidate, layout)
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                self.stats.count_cache_hit()
+                return cached
+            self.stats.count_cache_miss()
+            verdict = self._check_full(spec, candidate, layout)
+            self.cache.record(key, verdict)
+            return verdict
+
+    def _check_full(self, spec, candidate, layout: str) -> bool:
+        # Shape guard: denotations are bit patterns, so equality is only
+        # meaningful at matching lane widths.  This is what stops a
+        # predicate (one-bit lanes) from impersonating a 0/1-valued data
+        # vector, and a u16 result from impersonating a small u8 one.
+        if result_bits(spec) != result_bits(candidate):
+            return False
 
         # Phase 1: replay counterexamples recorded for THIS spec — the
         # inputs that refuted earlier candidates reject look-alikes fast.
-        replay = self._counterexamples.setdefault(spec, [])
+        replay = self._replay_for(spec)
         for index, env in replay:
             try:
                 got = denote(candidate, env, layout)
@@ -137,6 +253,8 @@ class Oracle:
                 replay.append((index, env))
                 if len(replay) > 8:
                     replay.pop(0)
+                self.stats.count_counterexample()
+                self.cache.record_counterexample(self._spec_key(spec), index)
                 return False
         return True
 
@@ -147,7 +265,21 @@ class Oracle:
         proves the candidate wrong; a pass just promotes it to the full
         check.
         """
-        self.stats.count_query()
+        with self._stage_ctx():
+            self.stats.count_query()
+            key = self.query_key(spec, candidate, layout, tag="lane0")
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                self.stats.count_cache_hit()
+                return cached
+            self.stats.count_cache_miss()
+            verdict = self._check_lane0(spec, candidate, layout)
+            self.cache.record(key, verdict)
+            return verdict
+
+    def _check_lane0(self, spec, candidate, layout: str) -> bool:
+        if result_bits(spec) != result_bits(candidate):
+            return False
         bank = self.bank_for(spec)
         env = bank[0]
         try:

@@ -1,9 +1,14 @@
 """Per-stage instrumentation for Table 1 of the paper.
 
 Every synthesis query (one candidate equivalence check) is counted against
-the active stage — ``lifting``, ``sketching`` or ``swizzling`` — together
-with wall-clock time, so the benchmark harness can reproduce the paper's
-compilation-statistics table.
+the active stage — ``lifting``, ``sketching``, ``swizzling`` or the
+pipeline's final ``verify`` pass — together with wall-clock time, so the
+benchmark harness can reproduce the paper's compilation-statistics table.
+
+The memoization engine (:mod:`repro.synthesis.engine`) extends each stage
+with structured cache metrics: verdict-cache hits and misses and the number
+of new counterexamples discovered, which is how cold/warm compilation runs
+are compared.
 """
 
 from __future__ import annotations
@@ -12,18 +17,21 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-STAGES = ("lifting", "sketching", "swizzling")
+STAGES = ("lifting", "sketching", "swizzling", "verify")
 
 
 @dataclass
 class StageStats:
     queries: int = 0
     time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    counterexamples: int = 0
 
 
 @dataclass
 class SynthesisStats:
-    """Query counts and times per synthesis stage."""
+    """Query counts, cache metrics and times per synthesis stage."""
 
     stages: dict = field(
         default_factory=lambda: {name: StageStats() for name in STAGES}
@@ -44,10 +52,34 @@ class SynthesisStats:
             self.stages[name].time_s += time.perf_counter() - start
             self._active.pop()
 
+    def _innermost(self) -> StageStats | None:
+        if self._active:
+            return self.stages[self._active[-1]]
+        return None
+
     def count_query(self) -> None:
         """Record one synthesis query against the innermost active stage."""
-        if self._active:
-            self.stages[self._active[-1]].queries += 1
+        stage = self._innermost()
+        if stage is not None:
+            stage.queries += 1
+
+    def count_cache_hit(self) -> None:
+        """Record one verdict answered from the memoization cache."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.cache_hits += 1
+
+    def count_cache_miss(self) -> None:
+        """Record one verdict that required a full differential pass."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.cache_misses += 1
+
+    def count_counterexample(self) -> None:
+        """Record one newly discovered refuting valuation."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.counterexamples += 1
 
     @property
     def total_queries(self) -> int:
@@ -57,14 +89,30 @@ class SynthesisStats:
     def total_time_s(self) -> float:
         return sum(s.time_s for s in self.stages.values())
 
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.stages.values())
+
+    @property
+    def total_cache_misses(self) -> int:
+        return sum(s.cache_misses for s in self.stages.values())
+
+    @property
+    def total_counterexamples(self) -> int:
+        return sum(s.counterexamples for s in self.stages.values())
+
     def merged_with(self, other: "SynthesisStats") -> "SynthesisStats":
         out = SynthesisStats()
         for name in STAGES:
-            out.stages[name].queries = (
-                self.stages[name].queries + other.stages[name].queries
+            mine, theirs, merged = (
+                self.stages[name], other.stages[name], out.stages[name]
             )
-            out.stages[name].time_s = (
-                self.stages[name].time_s + other.stages[name].time_s
+            merged.queries = mine.queries + theirs.queries
+            merged.time_s = mine.time_s + theirs.time_s
+            merged.cache_hits = mine.cache_hits + theirs.cache_hits
+            merged.cache_misses = mine.cache_misses + theirs.cache_misses
+            merged.counterexamples = (
+                mine.counterexamples + theirs.counterexamples
             )
         out.expressions = self.expressions + other.expressions
         return out
@@ -79,5 +127,28 @@ class SynthesisStats:
             **{
                 f"{name}_time_s": round(self.stages[name].time_s, 3)
                 for name in STAGES
+            },
+        }
+
+    def as_dict(self) -> dict:
+        """Fully structured metrics for ``--stats-json`` and reporting."""
+        return {
+            "expressions": self.expressions,
+            "stages": {
+                name: {
+                    "queries": s.queries,
+                    "time_s": round(s.time_s, 6),
+                    "cache_hits": s.cache_hits,
+                    "cache_misses": s.cache_misses,
+                    "counterexamples": s.counterexamples,
+                }
+                for name, s in self.stages.items()
+            },
+            "totals": {
+                "queries": self.total_queries,
+                "time_s": round(self.total_time_s, 6),
+                "cache_hits": self.total_cache_hits,
+                "cache_misses": self.total_cache_misses,
+                "counterexamples": self.total_counterexamples,
             },
         }

@@ -10,11 +10,12 @@ verifies all its transformations).
 
 from __future__ import annotations
 
-from itertools import product
+from itertools import islice, product
 from typing import Sequence
 
 from ..hvx import isa as H
 from ..hvx.cost import Cost, cost_of
+from .engine import ParallelChecker
 from .oracle import Oracle
 from .sketch import is_concrete, placeholders_of
 
@@ -49,12 +50,17 @@ def synthesize_swizzles(
     layout: str,
     oracle: Oracle,
     budget: Cost,
+    checker: ParallelChecker | None = None,
 ) -> tuple[H.HvxExpr, Cost] | None:
     """Concretize all placeholders in ``sketch_expr`` under ``budget``.
 
     Returns the cheapest verified concrete implementation, or ``None`` when
     no realization fits the budget (the query Algorithm 2 treats as *unsat*,
     which triggers backtracking to the next sketch).
+
+    ``checker`` fans the final verification of cost-ranked candidates over
+    a worker pool; the first-equivalent-in-cost-order reduction keeps the
+    chosen implementation identical to the serial search.
     """
     placeholders = []
     for ph in placeholders_of(sketch_expr):
@@ -69,7 +75,10 @@ def synthesize_swizzles(
         return None
 
     option_lists = [_ranked_realizations(ph) for ph in placeholders]
-    combos = list(product(*option_lists))[:MAX_COMBOS]
+    # islice, not [:MAX_COMBOS]: slicing a list(...) would materialize the
+    # full cartesian product (easily millions of tuples for multi-window
+    # sketches) only to drop all but the first 64.
+    combos = list(islice(product(*option_lists), MAX_COMBOS))
 
     scored = []
     for combo in combos:
@@ -79,19 +88,36 @@ def synthesize_swizzles(
         if not is_concrete(expr):
             # Nested placeholders (a swizzle wrapping a window): resolve
             # the remaining ones recursively with the same budget.
-            nested = synthesize_swizzles(spec, expr, layout, oracle, budget)
+            nested = synthesize_swizzles(spec, expr, layout, oracle, budget,
+                                         checker=checker)
             if nested is not None:
                 scored.append((nested[1].key, nested[0], nested[1]))
             continue
         scored.append((cost_of(expr).key, expr, cost_of(expr)))
 
     scored.sort(key=lambda item: item[0])
+
+    # The under-budget prefix of the cost-ranked candidates; reaching an
+    # over-budget entry is Algorithm 2's "cannot be implemented within
+    # budget" outcome (every later combo is at least as expensive).
+    eligible = []
+    over_budget = False
     for _key, expr, impl_cost in scored:
         if impl_cost.key >= budget.key:
-            # Every later combo is at least as expensive; Algorithm 2's
-            # "cannot be implemented within budget" outcome.
-            oracle.stats.count_query()
-            return None
-        if oracle.equivalent(spec, expr, layout):
-            return expr, impl_cost
+            over_budget = True
+            break
+        eligible.append((expr, impl_cost))
+
+    if checker is not None and checker.mode != "serial":
+        chosen = checker.first_equivalent(
+            oracle, spec, [expr for expr, _cost in eligible], layout
+        )
+        if chosen is not None:
+            return eligible[chosen]
+    else:
+        for expr, impl_cost in eligible:
+            if oracle.equivalent(spec, expr, layout):
+                return expr, impl_cost
+    if over_budget:
+        oracle.stats.count_query()
     return None

@@ -21,6 +21,21 @@ class TestParser:
         assert args.target == "neon"
         assert args.group == "narrow"
 
+    def test_compile_engine_flags(self):
+        args = build_parser().parse_args(
+            ["compile", "sobel", "--jobs", "4", "--stats-json", "s.json",
+             "--cache-dir", "/tmp/c"])
+        assert args.jobs == 4
+        assert args.stats_json == "s.json"
+        assert args.cache_dir == "/tmp/c"
+        assert not args.cache
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["compile", "sobel"])
+        assert args.jobs == 1
+        assert args.stats_json is None
+        assert args.cache_dir is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -65,3 +80,35 @@ class TestCommands:
         assert main(["speedups", "--only", "dilate3x3"]) == 0
         out = capsys.readouterr().out
         assert "dilate3x3" in out and "geomean" in out
+
+    def test_compile_engine_summary_and_stats_json(self, capsys, tmp_path):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        assert main(["compile", "mul", "--backend", "rake",
+                     "--stats-json", str(stats_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "synthesis engine:" in out
+        assert "hit rate" in out
+        stats = json.loads(stats_path.read_text())
+        assert stats["totals"]["queries"] > 0
+        assert set(stats["stages"]) == {
+            "lifting", "sketching", "swizzling", "verify"}
+        assert (tmp_path / "cache" / "oracle.jsonl").exists()
+
+    def test_compile_warm_cache_all_hits(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["compile", "mul", "--backend", "rake",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["compile", "mul", "--backend", "rake",
+                     "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "100% hit rate" in out
+
+    def test_compile_jobs_flag_end_to_end(self, capsys):
+        assert main(["compile", "mul", "--backend", "rake",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out

@@ -1,0 +1,261 @@
+"""Tests for the memoization layer (:mod:`repro.synthesis.engine`).
+
+Covers canonical query keying (rename-insensitive, layout/seed/tag
+sensitive), the append-only JSONL disk store, two-level verdict caching,
+and counterexample-bank persistence across Oracle instances.
+"""
+
+import json
+
+import pytest
+
+from repro.hvx import isa as H
+from repro.ir import builder as B
+from repro.synthesis import valuation
+from repro.synthesis.engine import (
+    CACHE_DIR_ENV,
+    CACHE_FILE_NAME,
+    DiskStore,
+    OracleCache,
+    default_cache_dir,
+    query_key,
+    spec_key,
+)
+from repro.synthesis.oracle import LAYOUT_DEINTERLEAVED, LAYOUT_INORDER, Oracle
+from repro.types import U8, U16
+
+
+def u8v(buffer="in", offset=0, lanes=8):
+    return B.load(buffer, offset, lanes, U8)
+
+
+class TestQueryKey:
+    def test_deterministic(self):
+        spec = B.widen(u8v()) * 2
+        cand = B.shl(B.widen(u8v()), B.broadcast(1, 8, U16))
+        assert query_key(spec, cand, LAYOUT_INORDER) == \
+            query_key(spec, cand, LAYOUT_INORDER)
+
+    def test_rename_insensitive(self):
+        # The same query over a renamed buffer must share one cache entry.
+        k1 = query_key(B.widen(u8v("in")) * 2, B.widen(u8v("in")) * 2,
+                       LAYOUT_INORDER)
+        k2 = query_key(B.widen(u8v("input")) * 2, B.widen(u8v("input")) * 2,
+                       LAYOUT_INORDER)
+        assert k1 == k2
+
+    def test_rename_map_shared_with_candidate(self):
+        # A candidate reading a *different* buffer than its spec is a
+        # different query from one reading the same buffer.
+        spec = u8v("a")
+        same = query_key(spec, u8v("a"), LAYOUT_INORDER)
+        other = query_key(spec, u8v("b"), LAYOUT_INORDER)
+        assert same != other
+
+    def test_layout_sensitive(self):
+        spec, cand = u8v(), u8v()
+        assert query_key(spec, cand, LAYOUT_INORDER) != \
+            query_key(spec, cand, LAYOUT_DEINTERLEAVED)
+
+    def test_seed_and_rounds_sensitive(self):
+        spec, cand = u8v(), u8v()
+        base = query_key(spec, cand, LAYOUT_INORDER, seed=0, rounds=4)
+        assert base != query_key(spec, cand, LAYOUT_INORDER, seed=1, rounds=4)
+        assert base != query_key(spec, cand, LAYOUT_INORDER, seed=0, rounds=5)
+
+    def test_tag_separates_full_from_lane0(self):
+        spec, cand = u8v(), u8v()
+        assert query_key(spec, cand, LAYOUT_INORDER, tag="full") != \
+            query_key(spec, cand, LAYOUT_INORDER, tag="lane0")
+
+    def test_expression_kind_matters(self):
+        # An IR load and the HVX load denote the same lanes but are
+        # different candidates (different cost, different printing).
+        spec = u8v()
+        assert query_key(spec, u8v(), LAYOUT_INORDER) != \
+            query_key(spec, H.HvxLoad("in", 0, 8, U8), LAYOUT_INORDER)
+
+    def test_oracle_key_matches_module_key(self):
+        spec = B.widen(u8v()) * 2
+        cand = B.widen(u8v()) * 3
+        oracle = Oracle(seed=7, extra_random_rounds=2)
+        assert oracle.query_key(spec, cand, LAYOUT_INORDER) == \
+            query_key(spec, cand, LAYOUT_INORDER, seed=7, rounds=2)
+
+    def test_spec_key_rename_insensitive(self):
+        assert spec_key(B.widen(u8v("x")) * 2) == \
+            spec_key(B.widen(u8v("y")) * 2)
+
+
+class TestDiskStore:
+    def test_missing_file_is_empty(self, tmp_path):
+        store = DiskStore(tmp_path / "oracle.jsonl")
+        assert len(store) == 0
+        assert store.get_verdict("nope") is None
+        assert store.counterexample_indices("nope") == []
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        store = DiskStore(path)
+        store.put_verdict("k1", True)
+        store.put_verdict("k2", False)
+        store.add_counterexample("s1", 3)
+        store.add_counterexample("s1", 5)
+        store.close()
+
+        reloaded = DiskStore(path)
+        assert reloaded.get_verdict("k1") is True
+        assert reloaded.get_verdict("k2") is False
+        assert reloaded.counterexample_indices("s1") == [3, 5]
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        path.write_text(
+            json.dumps({"t": "v", "k": "good", "v": 1}) + "\n"
+            + "{not json at all\n"
+            + json.dumps(["wrong", "shape"]) + "\n"
+            + json.dumps({"t": "??", "k": "x"}) + "\n"
+            + json.dumps({"t": "c", "k": "s", "i": 2}) + "\n"
+            + '{"t": "v", "k": "trunc'  # interrupted final write
+        )
+        store = DiskStore(path)
+        assert store.get_verdict("good") is True
+        assert store.counterexample_indices("s") == [2]
+        assert len(store) == 1
+
+    def test_writes_are_buffered_until_flush(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        store = DiskStore(path)
+        store.put_verdict("k", True)
+        assert not path.exists()  # buffered
+        store.flush()
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"t": "v", "k": "k", "v": 1}
+
+    def test_flush_every_threshold(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        store = DiskStore(path)
+        for i in range(DiskStore.FLUSH_EVERY):
+            store.put_verdict(f"k{i}", i % 2 == 0)
+        # the threshold write happened without an explicit flush
+        assert len(path.read_text().splitlines()) == DiskStore.FLUSH_EVERY
+
+    def test_duplicates_not_rewritten(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        store = DiskStore(path)
+        store.put_verdict("k", True)
+        store.put_verdict("k", True)
+        store.add_counterexample("s", 1)
+        store.add_counterexample("s", 1)
+        store.close()
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestOracleMemoization:
+    def test_second_query_hits_cache(self):
+        oracle = Oracle()
+        spec = B.widen(u8v()) * 2
+        cand = B.shl(B.widen(u8v()), B.broadcast(1, 8, U16))
+        assert oracle.equivalent(spec, cand)
+        assert oracle.equivalent(spec, cand)
+        assert oracle.stats.total_cache_hits == 1
+        assert oracle.stats.total_cache_misses == 1
+
+    def test_negative_verdicts_cached(self):
+        oracle = Oracle()
+        spec = B.widen(u8v()) * 2
+        wrong = B.widen(u8v()) * 3
+        assert not oracle.equivalent(spec, wrong)
+        assert not oracle.equivalent(spec, wrong)
+        assert oracle.stats.total_cache_hits == 1
+
+    def test_lane0_queries_cached_separately(self):
+        oracle = Oracle()
+        spec, cand = u8v(), u8v()
+        assert oracle.equivalent(spec, cand)
+        assert oracle.equivalent_lane0(spec, cand)  # full hit can't answer
+        assert oracle.stats.total_cache_misses == 2
+        assert oracle.equivalent_lane0(spec, cand)
+        assert oracle.stats.total_cache_hits == 1
+
+    def test_out_of_stage_queries_attributed_to_verify(self):
+        oracle = Oracle()
+        oracle.equivalent(u8v(), u8v())
+        assert oracle.stats.stages["verify"].queries == 1
+        with oracle.stats.stage("lifting"):
+            oracle.equivalent(u8v(), u8v())
+        assert oracle.stats.stages["lifting"].queries == 1
+        assert oracle.stats.stages["verify"].queries == 1
+
+    def test_verdicts_persist_across_oracles(self, tmp_path):
+        spec = B.widen(u8v()) * 2
+        cand = B.shl(B.widen(u8v()), B.broadcast(1, 8, U16))
+
+        first = Oracle(cache=OracleCache.with_disk(tmp_path))
+        assert first.equivalent(spec, cand)
+        first.cache.flush()
+
+        second = Oracle(cache=OracleCache.with_disk(tmp_path))
+        assert second.equivalent(spec, cand)
+        assert second.stats.total_cache_hits == 1
+        assert second.stats.total_cache_misses == 0
+
+    def test_cached_verdict_needs_no_evaluation(self, tmp_path, monkeypatch):
+        # A warm store answers without building a valuation bank at all.
+        spec = B.widen(u8v()) * 2
+        wrong = B.widen(u8v()) * 3
+        warm = Oracle(cache=OracleCache.with_disk(tmp_path))
+        assert not warm.equivalent(spec, wrong)
+        warm.cache.flush()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("bank should not be rebuilt on a cache hit")
+
+        monkeypatch.setattr(valuation, "environment_bank", boom)
+        cold = Oracle(cache=OracleCache.with_disk(tmp_path))
+        assert not cold.equivalent(spec, wrong)
+
+    def test_counterexamples_persist_across_oracles(self, tmp_path):
+        spec = B.widen(u8v()) * 2
+        wrong = B.widen(u8v()) * 3
+
+        first = Oracle(cache=OracleCache.with_disk(tmp_path))
+        assert not first.equivalent(spec, wrong)
+        assert first.counterexamples_for(spec)
+        first.cache.flush()
+
+        second = Oracle(cache=OracleCache.with_disk(tmp_path))
+        replay = second.counterexamples_for(spec)
+        assert replay
+        # the persisted index resolves to the same refuting environment
+        assert [i for i, _env in replay] == \
+            [i for i, _env in first.counterexamples_for(spec)]
+
+    def test_rename_shares_cache_entry(self):
+        oracle = Oracle()
+        assert oracle.equivalent(B.widen(u8v("a")) * 2, B.widen(u8v("a")) * 2)
+        assert oracle.equivalent(B.widen(u8v("b")) * 2, B.widen(u8v("b")) * 2)
+        assert oracle.stats.total_cache_hits == 1
+
+
+class TestCacheDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        path = default_cache_dir()
+        assert path.name == "repro-rake"
+        assert path.parent.name == ".cache"
+
+    def test_with_disk_places_store_in_dir(self, tmp_path):
+        cache = OracleCache.with_disk(tmp_path)
+        cache.record("k", True)
+        cache.flush()
+        assert (tmp_path / CACHE_FILE_NAME).exists()
+
+    def test_with_disk_uses_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cache = OracleCache.with_disk()
+        assert cache.store.path == tmp_path / CACHE_FILE_NAME

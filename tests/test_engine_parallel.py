@@ -1,0 +1,176 @@
+"""Tests for parallel candidate checking (:class:`ParallelChecker`).
+
+The contract under test: any ``jobs`` setting produces byte-identical
+synthesis output to serial mode, and any pool failure degrades gracefully
+(process → thread → serial) without changing verdicts.
+"""
+
+import pytest
+
+from repro import workloads  # noqa: F401 - populate the registry
+from repro.hvx import isa as H
+from repro.hvx import program_listing
+from repro.hvx.cost import cost_of
+from repro.ir import builder as B
+from repro.pipeline import compile_pipeline
+from repro.synthesis.engine import (
+    MODE_PROCESS,
+    MODE_SERIAL,
+    MODE_THREAD,
+    ParallelChecker,
+)
+from repro.synthesis.oracle import LAYOUT_INORDER, Oracle
+from repro.types import U8, U16
+from repro.workloads.base import get
+
+
+def u8v(offset=0, lanes=8):
+    return B.load("in", offset, lanes, U8)
+
+
+def _spec_and_candidates():
+    spec = B.widen(u8v()) * 2
+    candidates = [
+        B.widen(u8v()) * 3,                              # wrong
+        B.shl(B.widen(u8v()), B.broadcast(1, 8, U16)),   # right
+        B.widen(u8v()) * 2,                              # right (later)
+    ]
+    return spec, candidates
+
+
+class TestCheckerModes:
+    def test_jobs1_is_serial(self):
+        assert ParallelChecker(jobs=1).mode == MODE_SERIAL
+        assert ParallelChecker(jobs=1, mode=MODE_PROCESS).mode == MODE_SERIAL
+
+    def test_default_parallel_mode_is_process(self):
+        checker = ParallelChecker(jobs=2)
+        assert checker.mode == MODE_PROCESS
+        checker.close()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelChecker(jobs=2, mode="quantum")
+
+    def test_empty_batch(self):
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD)
+        oracle = Oracle()
+        assert checker.check_batch(oracle, u8v(), [], LAYOUT_INORDER) == []
+        assert checker.first_equivalent(
+            oracle, u8v(), [], LAYOUT_INORDER) is None
+        checker.close()
+
+    def test_small_batch_uses_serial_path(self):
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD, min_batch=10)
+        oracle = Oracle()
+        spec, candidates = _spec_and_candidates()
+        verdicts = checker.check_batch(oracle, spec, candidates, LAYOUT_INORDER)
+        assert verdicts == [False, True, True]
+        # below min_batch, the caller's oracle ran the checks itself
+        assert oracle.stats.total_queries == 3
+        checker.close()
+
+
+class TestParallelMatchesSerial:
+    def test_thread_batch_matches_serial(self):
+        spec, candidates = _spec_and_candidates()
+        serial = [Oracle().equivalent(spec, c, LAYOUT_INORDER)
+                  for c in candidates]
+
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD)
+        verdicts = checker.check_batch(Oracle(), spec, candidates,
+                                       LAYOUT_INORDER)
+        checker.close()
+        assert verdicts == serial == [False, True, True]
+
+    def test_process_batch_matches_serial(self):
+        spec, candidates = _spec_and_candidates()
+        checker = ParallelChecker(jobs=2, mode=MODE_PROCESS)
+        verdicts = checker.check_batch(Oracle(), spec, candidates,
+                                       LAYOUT_INORDER)
+        checker.close()
+        assert checker.fallbacks == 0
+        assert verdicts == [False, True, True]
+
+    def test_first_equivalent_original_order(self):
+        # Parallel reduction must pick the first equivalent candidate in
+        # the original order, not the first to finish.
+        spec, candidates = _spec_and_candidates()
+        serial = ParallelChecker(jobs=1)
+        threaded = ParallelChecker(jobs=4, mode=MODE_THREAD)
+        assert serial.first_equivalent(
+            Oracle(), spec, candidates, LAYOUT_INORDER) == 1
+        assert threaded.first_equivalent(
+            Oracle(), spec, candidates, LAYOUT_INORDER) == 1
+        threaded.close()
+
+    def test_first_equivalent_none_when_all_wrong(self):
+        spec = B.widen(u8v()) * 2
+        wrong = [B.widen(u8v()) * 3, B.widen(u8v()) * 5]
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD)
+        assert checker.first_equivalent(
+            Oracle(), spec, wrong, LAYOUT_INORDER) is None
+        checker.close()
+
+    def test_parallel_verdicts_recorded_in_cache(self):
+        spec, candidates = _spec_and_candidates()
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD)
+        oracle = Oracle()
+        checker.check_batch(oracle, spec, candidates, LAYOUT_INORDER)
+        # a second pass answers from the oracle's cache, not the pool
+        verdicts = checker.check_batch(oracle, spec, candidates,
+                                       LAYOUT_INORDER)
+        checker.close()
+        assert verdicts == [False, True, True]
+        assert oracle.stats.total_cache_hits == 3
+
+
+class TestDegradation:
+    def test_pool_crash_falls_back_to_serial(self, monkeypatch):
+        class BrokenPool:
+            def map(self, *args, **kwargs):
+                raise RuntimeError("worker exploded")
+
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD)
+        monkeypatch.setattr(checker, "_pool", lambda: BrokenPool())
+        spec, candidates = _spec_and_candidates()
+        verdicts = checker.check_batch(Oracle(), spec, candidates,
+                                       LAYOUT_INORDER)
+        assert verdicts == [False, True, True]
+        assert checker.mode == MODE_SERIAL
+        assert checker.fallbacks == 1
+
+    def test_unpicklable_work_degrades_process_to_thread(self):
+        class LocalLoad(H.HvxLoad):
+            """Defined inside the test: unreachable from worker processes."""
+
+        spec = u8v()
+        candidates = [LocalLoad("in", 0, 8, U8), LocalLoad("in", 1, 8, U8)]
+        checker = ParallelChecker(jobs=2, mode=MODE_PROCESS)
+        verdicts = checker.check_batch(Oracle(), spec, candidates,
+                                       LAYOUT_INORDER)
+        checker.close()
+        assert verdicts == [True, False]
+        assert checker.fallbacks >= 1
+        assert checker.mode in (MODE_THREAD, MODE_SERIAL)
+
+
+def _programs(compiled):
+    return [program_listing(ce.program)
+            for cs in compiled.stages for ce in cs.exprs]
+
+
+def _costs(compiled):
+    return [cost_of(ce.program).key
+            for cs in compiled.stages for ce in cs.exprs]
+
+
+class TestCompilationIdentical:
+    @pytest.mark.parametrize("name", ["mul", "dilate3x3", "l2norm"])
+    def test_jobs4_matches_serial(self, name):
+        wl = get(name)
+        serial = compile_pipeline(wl.build(), backend="rake", jobs=1)
+        parallel = compile_pipeline(wl.build(), backend="rake", jobs=4)
+        assert _programs(parallel) == _programs(serial)
+        assert _costs(parallel) == _costs(serial)
+        assert parallel.fallbacks == serial.fallbacks

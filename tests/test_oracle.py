@@ -146,3 +146,47 @@ class TestOracle:
     def test_error_candidates_rejected(self, oracle):
         # A candidate that reads an unbound buffer is simply not equivalent.
         assert not oracle.equivalent(u8v(), B.load("ghost", 0, 8, U8))
+
+
+def _vcmp_gt_127():
+    """``vcmp_gt(in, splat(127))`` — a predicate-register candidate."""
+    return H.HvxInstr("vcmp_gt", (
+        H.HvxLoad("in", 0, 8, U8),
+        H.HvxSplat(B.const(127, U8), U8, 8),
+    ))
+
+
+class TestPredicateWidths:
+    """Regressions for the PredVec masking bug: predicates denote one-bit
+    lanes and may only implement boolean specs, never 0/1-valued data."""
+
+    def test_predicate_cannot_impersonate_data_vector(self, oracle):
+        # (x >> 7) yields 0/1-valued *u8 data*; vcmp_gt(x, 127) computes the
+        # same bit per lane but in a predicate register, which cannot be
+        # stored to memory.  Width-blind comparison used to accept this.
+        spec = B.shr(u8v(), B.broadcast(7, 8, U8))
+        assert not oracle.equivalent(spec, _vcmp_gt_127())
+
+    def test_predicate_implements_boolean_spec(self, oracle):
+        # Against a genuinely boolean spec the same predicate is correct.
+        spec = B.gt(u8v(), B.broadcast(127, 8, U8))
+        assert oracle.equivalent(spec, _vcmp_gt_127())
+
+    def test_predicate_denotes_one_bit_lanes(self):
+        env = environment_bank(u8v())[0]
+        lanes = denote(_vcmp_gt_127(), env)
+        assert set(lanes) <= {0, 1}
+        assert all(isinstance(v, int) for v in lanes)
+
+    def test_widened_twin_rejected(self, oracle):
+        # widen(x) holds the same numeric lanes as x at double the width;
+        # bit-pattern equality is only meaningful at matching widths.
+        assert not oracle.equivalent(u8v(), B.widen(u8v()))
+        assert not oracle.equivalent_lane0(u8v(), B.widen(u8v()))
+
+    def test_predicate_under_deinterleaved_layout(self, oracle):
+        # A predicate is not a register pair: the deinterleaved read-back
+        # must reject it cleanly instead of crashing.
+        spec = B.gt(u8v(), B.broadcast(127, 8, U8))
+        assert not oracle.equivalent(spec, _vcmp_gt_127(),
+                                     LAYOUT_DEINTERLEAVED)

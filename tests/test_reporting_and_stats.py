@@ -143,3 +143,60 @@ class TestSynthesisStats:
         for stage in STAGES:
             assert f"{stage}_queries" in summary
             assert f"{stage}_time_s" in summary
+
+    def test_cache_metrics_attributed(self):
+        stats = SynthesisStats()
+        with stats.stage("sketching"):
+            stats.count_cache_hit()
+            stats.count_cache_miss()
+            stats.count_counterexample()
+        assert stats.stages["sketching"].cache_hits == 1
+        assert stats.stages["sketching"].cache_misses == 1
+        assert stats.stages["sketching"].counterexamples == 1
+        assert stats.total_cache_hits == 1
+        assert stats.total_cache_misses == 1
+        assert stats.total_counterexamples == 1
+
+    def test_merged_with_cache_metrics(self):
+        a, b = SynthesisStats(), SynthesisStats()
+        with a.stage("lifting"):
+            a.count_cache_hit()
+        with b.stage("lifting"):
+            b.count_cache_miss()
+            b.count_counterexample()
+        merged = a.merged_with(b)
+        assert merged.stages["lifting"].cache_hits == 1
+        assert merged.stages["lifting"].cache_misses == 1
+        assert merged.stages["lifting"].counterexamples == 1
+
+    def test_as_dict_shape(self):
+        stats = SynthesisStats()
+        with stats.stage("swizzling"):
+            stats.count_query()
+            stats.count_cache_miss()
+        d = stats.as_dict()
+        assert set(d) == {"expressions", "stages", "totals"}
+        assert set(d["stages"]) == set(STAGES)
+        assert d["stages"]["swizzling"]["queries"] == 1
+        assert d["totals"]["cache_misses"] == 1
+        for metrics in d["stages"].values():
+            assert set(metrics) == {
+                "queries", "time_s", "cache_hits", "cache_misses",
+                "counterexamples",
+            }
+
+    def test_engine_summary_render(self):
+        from repro.reporting import engine_summary
+
+        stats = SynthesisStats()
+        with stats.stage("lifting"):
+            stats.count_query()
+            stats.count_cache_hit()
+            stats.count_query()
+            stats.count_cache_miss()
+        text = engine_summary(stats)
+        assert "oracle queries: 2" in text
+        assert "1 cache hits" in text
+        assert "50% hit rate" in text
+        assert "lifting: 2 queries" in text
+        assert "sketching" not in text  # silent stages are omitted
