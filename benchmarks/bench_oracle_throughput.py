@@ -1,0 +1,149 @@
+"""Oracle throughput: scalar interpreters vs the batched NumPy engine.
+
+Measures steady-state ``_check_full`` throughput (queries/sec and
+valuation-environments/sec) on a fixed set of spec/candidate pairs — both
+equivalences, which scan the whole bank, and refutations, which exit
+through the counterexample replay set — with the batched engine on and
+off.  Results land in ``benchmarks/results/oracle_throughput.json``.
+
+``--smoke`` instead compiles a couple of fast workloads end to end and
+asserts (via the oracle's ``batched_evals``/``fallback_evals`` counters)
+that the batched path handled more than 90% of full-bank evaluations;
+CI runs this to catch regressions that silently fall back to the scalar
+interpreters.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import repro.workloads  # noqa: F401 - populate the registry
+from repro.hvx import isa as H
+from repro.ir import expr as E
+from repro.pipeline import compile_pipeline
+from repro.synthesis.oracle import LAYOUT_INORDER, Oracle
+from repro.synthesis.stats import SynthesisStats
+from repro.types import U8, U16
+from repro.workloads.base import get
+
+RESULTS = Path(__file__).parent / "results" / "oracle_throughput.json"
+
+SMOKE_WORKLOADS = ["mul", "dilate3x3"]
+MIN_BATCHED_FRACTION = 0.9
+
+
+def _pairs():
+    """Spec/candidate pairs spanning the oracle's main verdict shapes."""
+    la, lb = E.Load("A", 0, 128, U8), E.Load("B", 0, 128, U8)
+    ha, hb = H.HvxLoad("A", 0, 128, U8), H.HvxLoad("B", 0, 128, U8)
+    add = E.Add(la, lb)
+    mul_w = E.Mul(E.Cast(U16, la), E.Cast(U16, lb))
+    return [
+        ("add/vadd (eq)", add, H.HvxInstr("vadd", (ha, hb))),
+        ("add/vsub (neq)", add, H.HvxInstr("vsub", (ha, hb))),
+        ("absd/vabsdiff (eq)", E.Absd(la, lb), H.HvxInstr("vabsdiff", (ha, hb))),
+        ("max/vmax (eq)", E.Max(la, lb), H.HvxInstr("vmax", (ha, hb))),
+        ("max/vmin (neq)", E.Max(la, lb), H.HvxInstr("vmin", (ha, hb))),
+        ("widening mul/vmpy (eq)", mul_w, H.HvxInstr("vmpy", (ha, hb))),
+    ]
+
+
+def _throughput(batch_eval: bool, repeats: int) -> dict:
+    """Steady-state full-check throughput with one persistent oracle."""
+    oracle = Oracle(batch_eval=batch_eval)
+    pairs = _pairs()
+    verdicts = {}
+    # Warm-up: build banks, record counterexamples, compile plans.
+    for name, spec, cand in pairs:
+        verdicts[name] = oracle._check_full(spec, cand, LAYOUT_INORDER)
+    n_envs = len(oracle.bank_for(pairs[0][1]))
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for _name, spec, cand in pairs:
+            oracle._check_full(spec, cand, LAYOUT_INORDER)
+    elapsed = time.perf_counter() - start
+    queries = repeats * len(pairs)
+    return {
+        "batch_eval": batch_eval,
+        "queries": queries,
+        "envs_per_query": n_envs,
+        "time_s": elapsed,
+        "queries_per_s": queries / elapsed if elapsed else float("inf"),
+        "envs_per_s": queries * n_envs / elapsed if elapsed else float("inf"),
+        "verdicts": verdicts,
+    }
+
+
+def run_throughput(repeats: int) -> dict:
+    scalar = _throughput(batch_eval=False, repeats=repeats)
+    batched = _throughput(batch_eval=True, repeats=repeats)
+    assert scalar["verdicts"] == batched["verdicts"], (
+        "batched and scalar oracles disagree: "
+        f"{scalar['verdicts']} vs {batched['verdicts']}"
+    )
+    return {
+        "scalar": scalar,
+        "batched": batched,
+        "speedup": (
+            batched["queries_per_s"] / scalar["queries_per_s"]
+            if scalar["queries_per_s"] else float("inf")
+        ),
+    }
+
+
+def run_smoke() -> int:
+    """Compile a fast subset and assert the batched path dominated."""
+    ok = True
+    for name in SMOKE_WORKLOADS:
+        stats = SynthesisStats()
+        compile_pipeline(get(name).build(), backend="rake", stats=stats)
+        batched = stats.total_batched_evals
+        fallback = stats.total_fallback_evals
+        total = batched + fallback
+        frac = batched / total if total else 0.0
+        print(f"{name:>12}: batched={batched} fallback={fallback} "
+              f"({frac:.1%} batched)")
+        if total == 0 or frac <= MIN_BATCHED_FRACTION:
+            ok = False
+    if not ok:
+        print(f"FAIL: batched fraction at or below "
+              f"{MIN_BATCHED_FRACTION:.0%}", file=sys.stderr)
+        return 1
+    print("smoke OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scalar vs batched oracle throughput")
+    parser.add_argument("--repeats", type=int, default=200,
+                        help="timed repetitions of the pair set")
+    parser.add_argument("--smoke", action="store_true",
+                        help="compile a fast subset and assert >90%% of "
+                             "full checks ran batched")
+    parser.add_argument("--json", default=str(RESULTS), metavar="PATH",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    report = run_throughput(args.repeats)
+    for mode in ("scalar", "batched"):
+        r = report[mode]
+        print(f"{mode:>8}: {r['queries_per_s']:>10.0f} queries/s "
+              f"{r['envs_per_s']:>12.0f} envs/s "
+              f"({r['queries']} queries, {r['time_s']:.3f}s)")
+    print(f" speedup: {report['speedup']:.1f}x")
+
+    out = Path(args.json)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

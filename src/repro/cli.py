@@ -38,10 +38,11 @@ def _cmd_list(args) -> int:
 
 def _compile_one(name: str, backend: str, show_programs: bool,
                  width: int | None, height: int | None, asm: bool = False,
-                 jobs: int = 1, cache_dir: str | None = None):
+                 jobs: int = 1, cache_dir: str | None = None,
+                 batch_eval: bool = True):
     wl = get(name)
     compiled = compile_pipeline(wl.build(), backend=backend, jobs=jobs,
-                                cache_dir=cache_dir)
+                                cache_dir=cache_dir, batch_eval=batch_eval)
     cycles = measure(compiled, width or wl.width, height or wl.height)
     print(f"[{backend}] {name}: {cycles.total} cycles "
           f"({compiled.optimized_exprs} expressions synthesized, "
@@ -79,6 +80,7 @@ def _cmd_compile(args) -> int:
         totals[backend], stats_by_backend[backend] = _compile_one(
             args.workload, backend, args.show_programs, args.width,
             args.height, asm=args.asm, jobs=args.jobs, cache_dir=cache_dir,
+            batch_eval=not args.no_batch_eval,
         )
     rake_stats = stats_by_backend.get("rake")
     if rake_stats is not None and rake_stats.total_queries:
@@ -119,7 +121,8 @@ def _cmd_speedups(args) -> int:
         if args.only and wl.name not in args.only:
             continue
         print(f"compiling {wl.name} ...", file=sys.stderr)
-        rake = compile_pipeline(wl.build(), backend="rake", jobs=args.jobs)
+        rake = compile_pipeline(wl.build(), backend="rake", jobs=args.jobs,
+                                batch_eval=not args.no_batch_eval)
         base = compile_pipeline(wl.build(), backend="baseline")
         rows.append(SpeedupRow(
             name=wl.name,
@@ -163,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--cache-dir", default=None, metavar="DIR",
                            help="persist oracle verdicts in DIR "
                                 "(implies --cache)")
+    p_compile.add_argument("--no-batch-eval", action="store_true",
+                           help="disable the batched NumPy oracle and check "
+                                "every valuation through the scalar "
+                                "interpreters (identical verdicts, slower)")
 
     p_isa = sub.add_parser("isa", help="browse the instruction registry")
     p_isa.add_argument("--target", choices=("all", "hvx", "neon"),
@@ -177,6 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_speed.add_argument("--jobs", type=int, default=1,
                          help="parallel equivalence-check workers for the "
                               "rake backend")
+    p_speed.add_argument("--no-batch-eval", action="store_true",
+                         help="disable the batched NumPy oracle")
     return parser
 
 

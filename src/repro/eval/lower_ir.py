@@ -1,0 +1,384 @@
+"""Lowering of Halide-IR and uber-instruction expressions to plan steps.
+
+Each lowering mirrors one branch of :func:`repro.ir.interp.evaluate` or
+:func:`repro.uber.interp.evaluate` on int64 matrices.  NumPy's integer
+operators already agree with Python's (`//` floors, ``%`` is Euclidean,
+``>>`` is arithmetic), so wrap/saturate via :func:`plan.wrap_array` /
+``saturate_array`` is the only semantic layer needed.
+
+Multiplications and weighted sums carry compile-time interval checks over
+the operands' claimed element ranges; anything that might leave int64
+(e.g. a u32*u32 product) falls back to the scalar interpreter for that
+node.  Scalars are modelled as single-lane matrices; the IR's type rules
+forbid implicit scalar/vector mixing, so operand shapes always agree
+(``Broadcast`` is explicit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import EvaluationError
+from ..ir import expr as E
+from ..types import ScalarType, VectorType
+from ..uber import instructions as U
+from .plan import (
+    MAX_BATCHED_BITS,
+    BankData,
+    CompiledNode,
+    ValueInfo,
+    fits_int64,
+    make_fallback,
+    np,
+    read_buffer,
+    saturate_array,
+    wrap_array,
+)
+
+Interval = Tuple[int, int]
+
+
+def family_of(expr) -> Optional[str]:
+    if isinstance(expr, E.Expr):
+        return "ir"
+    if isinstance(expr, U.UberExpr):
+        return "uber"
+    return None
+
+
+def _range_of(node: CompiledNode) -> Interval:
+    return node.info.value_range()
+
+
+def _mul_interval(a: Interval, b: Interval) -> Interval:
+    corners = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return (min(corners), max(corners))
+
+
+def _scale_interval(iv: Interval, w: int) -> Interval:
+    lo, hi = iv[0] * w, iv[1] * w
+    return (min(lo, hi), max(lo, hi))
+
+
+def _add_intervals(a: Interval, b: Interval) -> Interval:
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _sum_fits(parts: List[Interval], start: Interval = (0, 0)) -> bool:
+    """Whether every partial sum ``start + parts[:k]`` stays inside int64.
+
+    Matches the left-to-right accumulation order the generated ``fn`` uses,
+    so no intermediate NumPy addition can overflow even transiently.
+    """
+
+    acc = start
+    if not fits_int64(*acc):
+        return False
+    for part in parts:
+        if not fits_int64(*part):
+            return False
+        acc = _add_intervals(acc, part)
+        if not fits_int64(*acc):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Halide IR
+# ---------------------------------------------------------------------------
+
+
+def _info_ir(node: E.Expr) -> ValueInfo:
+    t = node.type
+    if isinstance(t, VectorType):
+        return ValueInfo("vec", t.elem, t.lanes)
+    return ValueInfo("vec", t, 1)
+
+
+def compile_ir(node: E.Expr, ev) -> CompiledNode:
+    info = _info_ir(node)
+    if info.elem.bits > MAX_BATCHED_BITS:
+        return make_fallback(node, info, "ir")
+    kids = [ev.node_for(c) for c in node.children]
+    if any(k.info.elem is not None and k.info.elem.bits > MAX_BATCHED_BITS
+           for k in kids):
+        return make_fallback(node, info, "ir")
+    fn = _build_ir(node, info, kids)
+    if fn is None:
+        return make_fallback(node, info, "ir")
+    return CompiledNode(fn, tuple(kids), info)
+
+
+def _build_ir(node: E.Expr, info: ValueInfo,
+              kids: List[CompiledNode]) -> Optional[Callable]:
+    elem = info.elem
+
+    if isinstance(node, E.Const):
+        value = node.value
+
+        def fn(bank: BankData, args):
+            return np.full((bank.n_envs, 1), value, dtype=np.int64)
+
+        return fn
+
+    if isinstance(node, E.ScalarVar):
+        name, dtype = node.name, node.dtype
+
+        def fn(bank: BankData, args):
+            vec = bank.scalars.get(name)
+            if vec is None:
+                raise EvaluationError(f"unbound scalar variable: {name!r}")
+            return wrap_array(vec, dtype).reshape(-1, 1)
+
+        return fn
+
+    if isinstance(node, E.Load):
+        buffer, offset = node.buffer, node.offset
+        lanes, stride = node.lanes, node.stride
+
+        def fn(bank: BankData, args):
+            return read_buffer(bank, buffer, offset, lanes, stride)
+
+        return fn
+
+    if isinstance(node, E.Broadcast):
+        lanes = node.lanes
+
+        def fn(bank: BankData, args):
+            (value,) = args
+            return np.broadcast_to(value, (value.shape[0], lanes))
+
+        return fn
+
+    if isinstance(node, E.Cast):
+        target = node.target
+
+        def fn(bank: BankData, args):
+            return wrap_array(args[0], target)
+
+        return fn
+
+    if isinstance(node, E.SaturatingCast):
+        target = node.target
+
+        def fn(bank: BankData, args):
+            return saturate_array(args[0], target)
+
+        return fn
+
+    if isinstance(node, E.Absd):
+
+        def fn(bank: BankData, args):
+            # |x - y| always fits the unsigned result type; wrap is identity.
+            return np.abs(args[0] - args[1])
+
+        return fn
+
+    if isinstance(node, E.Select):
+
+        def fn(bank: BankData, args):
+            cond, t, f = args
+            return np.where(cond != 0, t, f)
+
+        return fn
+
+    if isinstance(node, E._Compare):
+        cmp_fn = {
+            E.LT: np.less,
+            E.LE: np.less_equal,
+            E.EQ: np.equal,
+            E.NE: np.not_equal,
+            E.GT: np.greater,
+            E.GE: np.greater_equal,
+        }[type(node)]
+
+        def fn(bank: BankData, args):
+            return cmp_fn(args[0], args[1]).astype(np.int64)
+
+        return fn
+
+    if isinstance(node, E._Binary):
+        return _build_ir_binary(node, elem, kids)
+
+    return None
+
+
+def _build_ir_binary(node: E._Binary, elem: ScalarType,
+                     kids: List[CompiledNode]) -> Optional[Callable]:
+    bits = elem.bits
+
+    if isinstance(node, E.Add):
+        return lambda bank, args: wrap_array(args[0] + args[1], elem)
+    if isinstance(node, E.Sub):
+        return lambda bank, args: wrap_array(args[0] - args[1], elem)
+    if isinstance(node, E.Mul):
+        if not fits_int64(*_mul_interval(_range_of(kids[0]),
+                                         _range_of(kids[1]))):
+            return None
+        return lambda bank, args: wrap_array(args[0] * args[1], elem)
+    if isinstance(node, E.Div):
+
+        def fn(bank: BankData, args):
+            a, b = args
+            safe = np.where(b == 0, 1, b)
+            return wrap_array(np.where(b == 0, 0, a // safe), elem)
+
+        return fn
+    if isinstance(node, E.Mod):
+
+        def fn(bank: BankData, args):
+            a, b = args
+            safe = np.where(b == 0, 1, b)
+            return wrap_array(np.where(b == 0, 0, a % safe), elem)
+
+        return fn
+    if isinstance(node, E.Min):
+        return lambda bank, args: np.minimum(args[0], args[1])
+    if isinstance(node, E.Max):
+        return lambda bank, args: np.maximum(args[0], args[1])
+    if isinstance(node, E.Shl):
+        # max |x| * 2**(bits-1) < 2**63 for bits <= 32, so no bound check.
+
+        def fn(bank: BankData, args):
+            shift = args[1] & (bits - 1)
+            return wrap_array(args[0] * np.left_shift(1, shift), elem)
+
+        return fn
+    if isinstance(node, E.Shr):
+
+        def fn(bank: BankData, args):
+            return wrap_array(args[0] >> (args[1] & (bits - 1)), elem)
+
+        return fn
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Uber-instruction IR
+# ---------------------------------------------------------------------------
+
+
+def _info_uber(node: U.UberExpr) -> ValueInfo:
+    t = node.type
+    return ValueInfo("vec", t.elem, t.lanes)
+
+
+def compile_uber(node: U.UberExpr, ev) -> CompiledNode:
+    info = _info_uber(node)
+    if info.elem.bits > MAX_BATCHED_BITS:
+        return make_fallback(node, info, "uber")
+    if isinstance(node, U.BroadcastScalar):
+        # The splatted scalar is a Halide-IR expression, not a child.
+        kids = [ev.node_for(node.scalar)]
+    else:
+        kids = [ev.node_for(c) for c in node.children]
+    if any(k.info.elem is not None and k.info.elem.bits > MAX_BATCHED_BITS
+           for k in kids):
+        return make_fallback(node, info, "uber")
+    fn = _build_uber(node, info, kids)
+    if fn is None:
+        return make_fallback(node, info, "uber")
+    return CompiledNode(fn, tuple(kids), info)
+
+
+def _build_uber(node: U.UberExpr, info: ValueInfo,
+                kids: List[CompiledNode]) -> Optional[Callable]:
+    elem = info.elem
+
+    if isinstance(node, U.LoadData):
+        buffer, offset = node.buffer, node.offset
+        lanes, stride = node.lanes, node.stride
+
+        def fn(bank: BankData, args):
+            return read_buffer(bank, buffer, offset, lanes, stride)
+
+        return fn
+
+    if isinstance(node, U.BroadcastScalar):
+        if isinstance(node.scalar.type, VectorType):
+
+            def fn(bank: BankData, args):
+                raise EvaluationError("broadcast operand evaluated to a vector")
+
+            return fn
+        lanes = node.lanes
+
+        def fn(bank: BankData, args):
+            value = wrap_array(args[0], elem)
+            return np.broadcast_to(value, (value.shape[0], lanes))
+
+        return fn
+
+    if isinstance(node, U.Widen):
+        return lambda bank, args: wrap_array(args[0], elem)
+
+    if isinstance(node, U.VsMpyAdd):
+        weights = node.weights
+        parts = [_scale_interval(_range_of(k), w)
+                 for k, w in zip(kids, weights)]
+        if not _sum_fits(parts):
+            return None
+        reduce_fn = saturate_array if node.saturate else wrap_array
+
+        def fn(bank: BankData, args):
+            total = args[0] * weights[0]
+            for arr, w in zip(args[1:], weights[1:]):
+                total = total + arr * w
+            return reduce_fn(total, elem)
+
+        return fn
+
+    if isinstance(node, U.VvMpyAdd):
+        n_pairs = len(node.pairs)
+        has_acc = node.acc is not None
+        start = _range_of(kids[-1]) if has_acc else (0, 0)
+        parts = [
+            _mul_interval(_range_of(kids[2 * i]), _range_of(kids[2 * i + 1]))
+            for i in range(n_pairs)
+        ]
+        if not _sum_fits(parts, start):
+            return None
+        reduce_fn = saturate_array if node.saturate else wrap_array
+
+        def fn(bank: BankData, args):
+            total = args[-1] if has_acc else 0
+            for i in range(n_pairs):
+                total = total + args[2 * i] * args[2 * i + 1]
+            return reduce_fn(total, elem)
+
+        return fn
+
+    if isinstance(node, U.Narrow):
+        shift = node.shift
+        bias = (1 << (shift - 1)) if (node.round and shift) else 0
+        conv = saturate_array if node.saturate else wrap_array
+        return lambda bank, args: conv((args[0] + bias) >> shift, elem)
+
+    if isinstance(node, U.AbsDiff):
+        return lambda bank, args: np.abs(args[0] - args[1])
+
+    if isinstance(node, U.Minimum):
+        return lambda bank, args: np.minimum(args[0], args[1])
+
+    if isinstance(node, U.Maximum):
+        return lambda bank, args: np.maximum(args[0], args[1])
+
+    if isinstance(node, U.Average):
+        bias = 1 if node.round else 0
+        return lambda bank, args: (args[0] + args[1] + bias) >> 1
+
+    if isinstance(node, U.ShiftRight):
+        shift = node.shift
+        bias = (1 << (shift - 1)) if (node.round and shift) else 0
+        return lambda bank, args: wrap_array((args[0] + bias) >> shift, elem)
+
+    if isinstance(node, U.Mux):
+        cmp_fn = {"gt": np.greater, "eq": np.equal, "lt": np.less}[node.op]
+
+        def fn(bank: BankData, args):
+            a, b, t, f = args
+            return np.where(cmp_fn(a, b), t, f)
+
+        return fn
+
+    return None

@@ -1,0 +1,369 @@
+"""Plan IR and executor for the batched denotation engine.
+
+A *plan* is a flat post-order list of :class:`CompiledNode` steps over a
+shared-subtree DAG.  Each step's ``fn`` maps ``(bank, child_arrays)`` to an
+int64 NumPy array of shape ``(envs, lanes)`` holding the node's *typed*
+values — the same signed-interpretation integers the scalar interpreters
+pass around (post-wrap, so every stored value lies in the node's element
+range).  Evaluating a plan against a :class:`BankData` therefore denotes
+the expression over every environment of the valuation bank at once.
+
+Exactness rules:
+
+* wrap / saturate are implemented with masking and clipping on int64 and
+  agree bit-for-bit with :meth:`repro.types.ScalarType.wrap` /
+  ``saturate`` (NumPy's ``//``, ``%``, ``>>`` already match Python's
+  floor-division / Euclidean-remainder / arithmetic-shift semantics);
+* every lowering computes a compile-time interval for its intermediates
+  and refuses (falls back) when the bound might leave int64 — so no NumPy
+  overflow wraparound is ever exercised;
+* nodes with element widths above 32 bits, and any op without a lowering,
+  become *fallback* steps that re-enter the exact scalar interpreter per
+  environment.  A fallback step is still exact, just not batched.
+
+``EvaluationError`` behaviour matches the interpreters: all such errors
+(out-of-range loads, unbound names, layout misuse) depend only on the
+expression and the buffer *shapes*, which are identical across a bank's
+environments, so an error raised while executing a plan means every
+environment would have raised — exactly what the scalar oracle loop sees
+on its first environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError
+from ..types import ScalarType
+
+try:  # NumPy is optional at runtime; without it the engine disables itself.
+    import numpy as np
+except Exception:  # pragma: no cover - exercised on NumPy-free installs
+    np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = np is not None
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+#: Layout strings, mirroring ``repro.synthesis.oracle``.  Kept as plain
+#: literals here to avoid importing the oracle from its own fast path.
+LAYOUT_INORDER = "in-order"
+LAYOUT_DEINTERLEAVED = "deinterleaved"
+
+#: Widest element a *batched* node may produce.  Wider outputs (64-bit
+#: accumulators) fall back so that products and sums over them never risk
+#: leaving int64.
+MAX_BATCHED_BITS = 32
+
+
+def fits_int64(lo: int, hi: int) -> bool:
+    """True when the closed interval ``[lo, hi]`` lies inside int64."""
+
+    return lo >= INT64_MIN and hi <= INT64_MAX
+
+
+def wrap_array(arr, elem: ScalarType):
+    """Two's-complement wrap of an int64 array into ``elem``'s range.
+
+    Bit-identical to ``elem.wrap`` applied elementwise; requires
+    ``elem.bits <= 32`` so the intermediate ``masked - (sign << bits)``
+    stays far inside int64.
+    """
+
+    bits = elem.bits
+    mask = (1 << bits) - 1
+    masked = arr & mask
+    if elem.signed:
+        sign = (masked >> (bits - 1)) & 1
+        masked = masked - (sign << bits)
+    return masked
+
+
+def saturate_array(arr, elem: ScalarType):
+    """Clamp an int64 array into ``elem``'s range (== ``elem.saturate``)."""
+
+    return np.clip(arr, elem.min_value, elem.max_value)
+
+
+@dataclass(frozen=True)
+class ValueInfo:
+    """Static type of a compiled node's value matrix.
+
+    ``kind`` is ``"vec"``, ``"pair"`` or ``"pred"``; ``elem`` is ``None``
+    for predicates (stored as 0/1); ``lanes`` counts total register-order
+    lanes (a pair's two halves concatenated).
+    """
+
+    kind: str
+    elem: Optional[ScalarType]
+    lanes: int
+
+    def value_range(self) -> Tuple[int, int]:
+        if self.elem is None:
+            return (0, 1)
+        return (self.elem.min_value, self.elem.max_value)
+
+
+class CompiledNode:
+    """One step of a plan: ``fn(bank, child_arrays) -> int64 (envs, lanes)``."""
+
+    __slots__ = ("fn", "children", "info", "is_fallback")
+
+    def __init__(self, fn: Callable, children: Tuple["CompiledNode", ...],
+                 info: ValueInfo, is_fallback: bool = False) -> None:
+        self.fn = fn
+        self.children = children
+        self.info = info
+        self.is_fallback = is_fallback
+
+
+class Plan:
+    """A post-order step list for one root expression.
+
+    ``claims`` records the ``(buffer, elem)`` pairs of every raw IR/uber
+    load in the expression.  Those loads pass buffer contents through
+    wrapped to the *view's* element type, so the compile-time range claims
+    the lowerings rely on are only sound when the bank's buffers carry the
+    same element types; :func:`plan_usable` enforces that before a plan is
+    run (a mismatch simply keeps the scalar path, which is always exact).
+    """
+
+    __slots__ = ("root", "steps", "pure", "is_hvx", "claims")
+
+    def __init__(self, root: CompiledNode, steps: List[CompiledNode],
+                 is_hvx: bool, claims: frozenset) -> None:
+        self.root = root
+        self.steps = steps
+        self.pure = not any(step.is_fallback for step in steps)
+        self.is_hvx = is_hvx
+        self.claims = claims
+
+
+def plan_usable(plan: Plan, bank: BankData) -> bool:
+    """True when ``bank``'s buffer element types match the plan's claims."""
+
+    for name, elem in plan.claims:
+        entry = bank.buffers.get(name)
+        if entry is not None and entry[1] != elem:
+            return False
+    return True
+
+
+def collect_load_claims(expr) -> frozenset:
+    """All ``(buffer, elem)`` pairs of raw IR/uber loads under ``expr``.
+
+    Walks across all three expression families, including the scalar IR
+    expressions embedded in ``BroadcastScalar`` / ``HvxSplat`` nodes.  HVX
+    loads re-wrap to their own element type and need no claim.
+    """
+
+    from ..hvx.isa import HvxSplat
+    from ..ir import expr as ir_expr
+    from ..uber import instructions as uber_instr
+
+    claims = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ir_expr.Load):
+            claims.add((node.buffer, node.elem))
+        elif isinstance(node, uber_instr.LoadData):
+            claims.add((node.buffer, node.elem))
+        elif isinstance(node, uber_instr.BroadcastScalar):
+            stack.append(node.scalar)
+        elif isinstance(node, HvxSplat):
+            stack.append(node.scalar)
+        stack.extend(node.children)
+    return frozenset(claims)
+
+
+@dataclass
+class BankData:
+    """A valuation bank materialized as arrays.
+
+    ``buffers`` maps name to ``(data, elem, origin)`` where ``data`` is an
+    int64 matrix of shape ``(envs, length)`` holding the buffer's
+    *view-element-wrapped* contents (what ``BufferView.read`` returns for
+    in-range offsets).  ``scalars`` maps name to an int64 vector of raw
+    environment values (``ScalarVar`` wraps at its use site, with its own
+    dtype).  ``envs`` keeps the original environments for fallback steps.
+    """
+
+    n_envs: int
+    envs: Sequence[object]
+    buffers: Dict[str, Tuple[object, ScalarType, int]]
+    scalars: Dict[str, object]
+    _cache: Dict[object, object] = field(default_factory=dict, repr=False)
+
+
+def read_buffer(bank: BankData, name: str, offset: int, lanes: int,
+                stride: int):
+    """Batched ``BufferView.read``: bounds check, then one strided slice."""
+
+    entry = bank.buffers.get(name)
+    if entry is None:
+        raise EvaluationError(f"unbound buffer: {name!r}")
+    data, _elem, origin = entry
+    start = origin + offset
+    stop = start + (lanes - 1) * stride + 1
+    if start < 0 or stop > data.shape[1]:
+        raise EvaluationError(
+            f"read out of range on {name!r}: offsets "
+            f"[{offset}, {offset + (lanes - 1) * stride}]"
+        )
+    return data[:, start:stop:stride]
+
+
+def _postorder(root: CompiledNode) -> List[CompiledNode]:
+    steps: List[CompiledNode] = []
+    seen = set()
+    stack: List[Tuple[CompiledNode, bool]] = [(root, False)]
+    while stack:
+        node, emit = stack.pop()
+        if emit:
+            steps.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for child in node.children:
+            if id(child) not in seen:
+                stack.append((child, False))
+    return steps
+
+
+class BatchedEvaluator:
+    """Compiles expressions to plans (memoized) and runs them over banks.
+
+    Plans are memoized by expression *value* — the expression dataclasses
+    are frozen and hashable, and two equal expressions denote identically
+    (buffer and scalar names are part of equality), so equal candidates in
+    a wave share one plan and all of its subtree nodes.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[object, CompiledNode] = {}
+        self._plans: Dict[object, Optional[Plan]] = {}
+
+    # -- compilation -------------------------------------------------------
+
+    def node_for(self, expr) -> CompiledNode:
+        node = self._nodes.get(expr)
+        if node is None:
+            node = self._compile(expr)
+            self._nodes[expr] = node
+        return node
+
+    def plan_for(self, expr) -> Optional[Plan]:
+        """Compile ``expr`` to a plan; ``None`` when batching cannot apply.
+
+        ``None`` is returned only for roots outside the three expression
+        families or roots whose read-back cannot be represented (unsigned
+        64-bit results); callers then use the scalar path unchanged.
+        """
+
+        if expr in self._plans:
+            return self._plans[expr]
+        plan = self._build_plan(expr)
+        self._plans[expr] = plan
+        return plan
+
+    def _build_plan(self, expr) -> Optional[Plan]:
+        from . import lower_hvx, lower_ir
+
+        kind = lower_ir.family_of(expr)
+        if kind is None:
+            kind = lower_hvx.family_of(expr)
+        if kind is None:
+            return None
+        root = self.node_for(expr)
+        elem = root.info.elem
+        if elem is not None and elem.bits > 32 and not elem.signed:
+            # uint64 typed values cannot live in an int64 matrix.
+            return None
+        return Plan(root, _postorder(root), is_hvx=(kind == "hvx"),
+                    claims=collect_load_claims(expr))
+
+    def _compile(self, expr) -> CompiledNode:
+        from . import lower_hvx, lower_ir
+
+        family = lower_ir.family_of(expr)
+        if family == "ir":
+            return lower_ir.compile_ir(expr, self)
+        if family == "uber":
+            return lower_ir.compile_uber(expr, self)
+        if lower_hvx.family_of(expr) == "hvx":
+            return lower_hvx.compile_hvx(expr, self)
+        raise EvaluationError(
+            f"cannot compile expression of type {type(expr).__name__}"
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def denote_bank(self, plan: Plan, bank: BankData,
+                    layout: str = LAYOUT_INORDER):
+        """Run ``plan`` over ``bank``; return a uint64 ``(envs, lanes)`` matrix.
+
+        The result holds masked lane values exactly as ``Oracle.denote``
+        produces them per environment (including the layout transform and
+        the 1-bit masking of predicate results for HVX roots).
+        """
+
+        values: Dict[int, object] = {}
+        for step in plan.steps:
+            args = [values[id(child)] for child in step.children]
+            values[id(step)] = step.fn(bank, args)
+        arr = values[id(plan.root)]
+        info = plan.root.info
+        if plan.is_hvx and layout == LAYOUT_DEINTERLEAVED:
+            if info.kind != "pair":
+                raise EvaluationError(
+                    "deinterleaved layout requires a register pair result"
+                )
+            half = arr.shape[1] // 2
+            out = np.empty((arr.shape[0], arr.shape[1]), dtype=np.int64)
+            out[:, 0::2] = arr[:, :half]
+            out[:, 1::2] = arr[:, half:]
+            arr = out
+        if info.kind == "pred":
+            bits = 1
+        else:
+            bits = info.elem.bits
+        if bits >= 64:
+            return arr.astype(np.uint64)
+        return (arr & ((1 << bits) - 1)).astype(np.uint64)
+
+
+def make_fallback(expr, info: ValueInfo, family: str) -> CompiledNode:
+    """A step that re-enters the exact scalar interpreter per environment."""
+
+    if family == "hvx":
+        from ..hvx import interp as hvx_interp
+
+        def rows(env):
+            return hvx_interp.evaluate(expr, env).values
+
+    elif family == "uber":
+        from ..uber import interp as uber_interp
+
+        def rows(env):
+            return uber_interp.evaluate(expr, env).values
+
+    else:
+        from ..ir import interp as ir_interp
+
+        def rows(env):
+            return ir_interp.evaluate_vector(expr, env)
+
+    def fn(bank: BankData, args):
+        cached = bank._cache.get(expr)
+        if cached is None:
+            data = [rows(env) for env in bank.envs]
+            cached = np.array(data, dtype=np.int64)
+            bank._cache[expr] = cached
+        return cached
+
+    return CompiledNode(fn, (), info, is_fallback=True)

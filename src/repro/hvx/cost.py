@@ -65,7 +65,16 @@ def _unique_nodes(expr: HvxExpr) -> list[HvxExpr]:
 
 
 def cost_of(expr: HvxExpr) -> Cost:
-    """Compute the cost of an expression tree with subtree sharing."""
+    """Compute the cost of an expression tree with subtree sharing.
+
+    Memoized by expression value: the sketching and swizzling stages rank
+    the same realizations against many candidates, and expressions are
+    immutable, so the cost never changes.
+    """
+    memo = cost_of._memo
+    cached = memo.get(expr)
+    if cached is not None:
+        return cached
     counts: dict[str, int] = {}
     total = 0
     loads = 0
@@ -81,12 +90,17 @@ def cost_of(expr: HvxExpr) -> Cost:
                 continue
             counts[resource] = counts.get(resource, 0) + 1
             total += 1
-    return Cost(
+    result = Cost(
         per_resource=tuple(sorted(counts.items())),
         total=total,
         loads=loads,
         splats=splats,
     )
+    memo[expr] = result
+    return result
+
+
+cost_of._memo = {}
 
 
 def display_latency(expr: HvxExpr) -> int:

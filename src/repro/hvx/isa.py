@@ -146,6 +146,29 @@ def instructions_in_group(group: str) -> list[Instruction]:
     return [i for i in _REGISTRY.values() if group in i.groups]
 
 
+def cache_expr_hash(cls):
+    """Class decorator: memoize the dataclass-generated ``__hash__``.
+
+    Expression nodes are immutable trees used as dict/set keys throughout
+    synthesis (memo tables, substitution maps, subtree dedup); the generated
+    hash re-walks the whole subtree on every call, which turns those lookups
+    quadratic.  Caching the value on first use makes a node's hash O(1) and
+    a fresh tree's hash O(nodes), without changing its value.
+    """
+    base_hash = cls.__hash__
+
+    def __hash__(self):
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = base_hash(self)
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    cls.__hash__ = __hash__
+    return cls
+
+
 class HvxExpr:
     """Base class for HVX program expression nodes."""
 
@@ -172,6 +195,7 @@ class HvxExpr:
             stack.extend(reversed(node.children))
 
 
+@cache_expr_hash
 @dataclass(frozen=True)
 class HvxLoad(HvxExpr):
     """A vector load of ``lanes`` elements of ``elem`` from ``buffer``.
@@ -194,6 +218,7 @@ class HvxLoad(HvxExpr):
         return self.offset % self.lanes == 0
 
 
+@cache_expr_hash
 @dataclass(frozen=True)
 class HvxSplat(HvxExpr):
     """Broadcast a scalar IR expression into every lane (``vsplat``).
@@ -215,6 +240,7 @@ class HvxSplat(HvxExpr):
         return vec(self.elem, self.lanes)
 
 
+@cache_expr_hash
 @dataclass(frozen=True)
 class HvxInstr(HvxExpr):
     """Application of a registered instruction to child expressions."""

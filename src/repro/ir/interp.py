@@ -33,6 +33,9 @@ class BufferView:
     data: Sequence[int]
     elem: ScalarType
     origin: int = 0
+    #: set when ``data`` is already wrapped to ``elem`` (bank construction
+    #: pre-wraps), letting the hot stride-1 read be a plain slice
+    prewrapped: bool = False
 
     def read(self, offset: int, lanes: int, stride: int = 1) -> tuple:
         start = self.origin + offset
@@ -42,7 +45,11 @@ class BufferView:
                 f"buffer read out of range: [{start}, {stop}) of {len(self.data)}"
             )
         if stride == 1:
+            if self.prewrapped:
+                return tuple(self.data[start:stop])
             return tuple(self.elem.wrap(v) for v in self.data[start:stop])
+        if self.prewrapped:
+            return tuple(self.data[start + i * stride] for i in range(lanes))
         return tuple(
             self.elem.wrap(self.data[start + i * stride]) for i in range(lanes)
         )

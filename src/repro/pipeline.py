@@ -86,6 +86,7 @@ def compile_pipeline(
     stats: SynthesisStats | None = None,
     cache: OracleCache | None = None,
     cache_dir: str | None = None,
+    batch_eval: bool = True,
 ) -> CompiledPipeline:
     """Compile a scheduled pipeline with the chosen instruction selector.
 
@@ -93,7 +94,10 @@ def compile_pipeline(
     identical to serial mode).  ``stats`` supplies an external
     :class:`SynthesisStats` to accumulate into; ``cache`` an external
     :class:`~repro.synthesis.engine.OracleCache`, or ``cache_dir`` a
-    directory for a persistent on-disk verdict store.
+    directory for a persistent on-disk verdict store.  ``batch_eval=False``
+    forces every oracle check onto the scalar interpreters (the batched
+    NumPy engine produces identical verdicts; the switch exists for
+    differential testing and NumPy-free debugging).
     """
     if backend not in (BACKEND_RAKE, BACKEND_BASELINE):
         raise ReproError(f"unknown backend: {backend}")
@@ -104,7 +108,8 @@ def compile_pipeline(
         if cache is None:
             cache = (OracleCache.with_disk(cache_dir) if cache_dir
                      else OracleCache())
-        oracle = Oracle(stats=stats or SynthesisStats(), cache=cache)
+        oracle = Oracle(stats=stats or SynthesisStats(), cache=cache,
+                        batch_eval=batch_eval)
         rake = RakeSelector(
             vbytes=vbytes, options=options or LoweringOptions(),
             oracle=oracle, jobs=jobs,

@@ -271,20 +271,20 @@ _worker_local = threading.local()
 def _pure_check(payload) -> bool:
     """Worker entry point: one equivalence query with a per-worker oracle.
 
-    Oracles are kept per ``(seed, rounds)`` in worker-local storage so the
-    valuation banks they build amortize across batches.  The verdict is a
+    Oracles are kept per ``(seed, rounds, batch_eval)`` in worker-local
+    storage so the valuation banks they build amortize across batches.  The verdict is a
     pure function of the payload, which is what makes fan-out sound.
     """
     from .oracle import Oracle  # deferred: avoid a cycle at import time
 
-    spec, candidate, layout, seed, rounds = payload
+    spec, candidate, layout, seed, rounds, batch_eval = payload
     oracles = getattr(_worker_local, "oracles", None)
     if oracles is None:
         oracles = _worker_local.oracles = {}
-    oracle = oracles.get((seed, rounds))
+    oracle = oracles.get((seed, rounds, batch_eval))
     if oracle is None:
-        oracle = oracles[(seed, rounds)] = Oracle(
-            seed=seed, extra_random_rounds=rounds
+        oracle = oracles[(seed, rounds, batch_eval)] = Oracle(
+            seed=seed, extra_random_rounds=rounds, batch_eval=batch_eval
         )
     return bool(oracle.equivalent(spec, candidate, layout))
 
@@ -369,7 +369,8 @@ class ParallelChecker:
 
         if to_run:
             payloads = [
-                (spec, cand, layout, oracle.seed, oracle.extra_random_rounds)
+                (spec, cand, layout, oracle.seed, oracle.extra_random_rounds,
+                 getattr(oracle, "batch_eval", True))
                 for _i, _key, cand in to_run
             ]
             results = self._dispatch(payloads)

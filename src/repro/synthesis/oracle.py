@@ -31,6 +31,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..errors import EvaluationError
+from ..eval import plan as batch_plan
 from ..hvx import interp as hvx_interp
 from ..hvx import isa as hvx_isa
 from ..hvx import values as hvx_values
@@ -119,12 +120,21 @@ class Oracle:
     stats: SynthesisStats = field(default_factory=SynthesisStats)
     extra_random_rounds: int = 4
     seed: int = 0
+    #: evaluate candidates against the whole bank in one vectorized pass
+    #: (falls back to the scalar interpreters when NumPy is missing or an
+    #: expression cannot be batched exactly); verdicts are identical either
+    #: way, so this does not participate in cache keys
+    batch_eval: bool = True
     cache: engine.OracleCache = field(default_factory=engine.OracleCache)
     _counterexamples: dict = field(default_factory=dict)
     _bank_cache: dict = field(default_factory=dict)
     _spec_cache: dict = field(default_factory=dict)
     _canon_cache: dict = field(default_factory=dict)
     _spec_key_cache: dict = field(default_factory=dict)
+    _batch_evaluator: object = field(default=None, repr=False)
+    _bank_data_cache: dict = field(default_factory=dict)
+    _spec_matrix_cache: dict = field(default_factory=dict)
+    _env0_cache: dict = field(default_factory=dict)
 
     def bank_for(self, spec) -> list:
         key = spec
@@ -139,6 +149,64 @@ class Oracle:
         if key not in self._spec_cache:
             self._spec_cache[key] = denote(spec, env)
         return self._spec_cache[key]
+
+    def env0_for(self, spec):
+        """The first bank environment, built without the rest of the bank.
+
+        ``environment_zero`` is byte-identical to ``bank_for(spec)[0]``, so
+        the lane-0 pruning check never pays for a full bank construction.
+        """
+        bank = self._bank_cache.get(spec)
+        if bank is not None:
+            return bank[0]
+        env = self._env0_cache.get(spec)
+        if env is None:
+            env = self._env0_cache[spec] = valuation.environment_zero(
+                spec, seed=self.seed
+            )
+        return env
+
+    # -- batched evaluation -------------------------------------------------
+
+    def _evaluator(self):
+        if not batch_plan.HAVE_NUMPY:
+            return None
+        if self._batch_evaluator is None:
+            self._batch_evaluator = batch_plan.BatchedEvaluator()
+        return self._batch_evaluator
+
+    def _bank_data(self, spec):
+        """The bank stacked as int64 matrices, or ``None`` if not exact."""
+        if spec not in self._bank_data_cache:
+            self._bank_data_cache[spec] = valuation.bank_arrays(
+                self.bank_for(spec)
+            )
+        return self._bank_data_cache[spec]
+
+    def _spec_matrix(self, spec, bank_data, ev):
+        """The spec's denotation over the whole bank, as a (envs, lanes)
+        uint64 matrix of lane bit patterns."""
+        matrix = self._spec_matrix_cache.get(spec)
+        if matrix is None:
+            plan = ev.plan_for(spec)
+            if plan is not None and batch_plan.plan_usable(plan, bank_data):
+                try:
+                    matrix = ev.denote_bank(plan, bank_data, LAYOUT_INORDER)
+                except EvaluationError:
+                    matrix = None
+            if matrix is None:
+                # Scalar denotation row by row; spec errors propagate, as
+                # they do on the scalar path.
+                bank = self.bank_for(spec)
+                rows = [
+                    self._spec_lanes(spec, i, env)
+                    for i, env in enumerate(bank)
+                ]
+                matrix = batch_plan.np.array(
+                    rows, dtype=batch_plan.np.uint64
+                )
+            self._spec_matrix_cache[spec] = matrix
+        return matrix
 
     # -- cache keying -------------------------------------------------------
 
@@ -230,6 +298,12 @@ class Oracle:
         if result_bits(spec) != result_bits(candidate):
             return False
 
+        if self.batch_eval:
+            verdict = self._check_full_batched(spec, candidate, layout)
+            if verdict is not None:
+                return verdict
+        self.stats.count_fallback_eval()
+
         # Phase 1: replay counterexamples recorded for THIS spec — the
         # inputs that refuted earlier candidates reject look-alikes fast.
         replay = self._replay_for(spec)
@@ -258,6 +332,66 @@ class Oracle:
                 return False
         return True
 
+    def _check_full_batched(self, spec, candidate, layout: str):
+        """Whole-bank check in one compiled pass (the batched fast path).
+
+        Returns ``True``/``False`` with *byte-identical* semantics to the
+        scalar phases — including which environment index is recorded as a
+        counterexample — or ``None`` when the candidate (or bank) cannot be
+        batched exactly and the caller must run the scalar phases instead.
+        """
+        ev = self._evaluator()
+        if ev is None:
+            return None
+        bank_data = self._bank_data(spec)
+        if bank_data is None:
+            return None
+        plan = ev.plan_for(candidate)
+        if plan is None or not batch_plan.plan_usable(plan, bank_data):
+            return None
+        if plan.pure:
+            self.stats.count_batched_eval()
+        else:
+            self.stats.count_fallback_eval()
+        want = self._spec_matrix(spec, bank_data, ev)
+        try:
+            got = ev.denote_bank(plan, bank_data, layout)
+        except EvaluationError:
+            # Evaluation errors depend only on the expression's structure
+            # and the buffer shapes, which are identical across the bank —
+            # so the scalar loop would refute on its very first valuation.
+            return False
+        np = batch_plan.np
+        if got.shape == want.shape:
+            eq_env = (got == want).all(axis=1)
+        else:
+            eq_env = None  # lane-count mismatch: every valuation differs
+
+        # Phase 1: replay — a recorded counterexample index that still
+        # mismatches refutes before any new counterexample is recorded.
+        replay = self._replay_for(spec)
+        for index, _env in replay:
+            if eq_env is None or not eq_env[index]:
+                return False
+
+        # Phase 2 + 3: the bank scan collapses to one vectorized compare;
+        # the first mismatching index is recovered so counterexample
+        # recording and replay ordering match the scalar loop exactly.
+        if eq_env is None:
+            first = 0
+        else:
+            bad = np.flatnonzero(~eq_env)
+            if bad.size == 0:
+                return True
+            first = int(bad[0])
+        bank = self.bank_for(spec)
+        replay.append((first, bank[first]))
+        if len(replay) > 8:
+            replay.pop(0)
+        self.stats.count_counterexample()
+        self.cache.record_counterexample(self._spec_key(spec), first)
+        return False
+
     def equivalent_lane0(self, spec, candidate, layout: str = LAYOUT_INORDER) -> bool:
         """The cheap first-lane pruning check of Section 4.1.
 
@@ -280,8 +414,7 @@ class Oracle:
     def _check_lane0(self, spec, candidate, layout: str) -> bool:
         if result_bits(spec) != result_bits(candidate):
             return False
-        bank = self.bank_for(spec)
-        env = bank[0]
+        env = self.env0_for(spec)
         try:
             got = denote(candidate, env, layout)
         except EvaluationError:

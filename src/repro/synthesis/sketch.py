@@ -66,6 +66,7 @@ def _window_realizations(
     )
 
 
+@H.cache_expr_hash
 @dataclass(frozen=True)
 class AbstractWindow(H.HvxExpr):
     """``??load``: lane ``i`` holds ``buffer[offset + i * stride]``."""
@@ -121,6 +122,7 @@ class AbstractWindow(H.HvxExpr):
         raise EvaluationError(f"unsupported load stride: {self.stride}")
 
 
+@H.cache_expr_hash
 @dataclass(frozen=True)
 class AbstractPairWindow(H.HvxExpr):
     """``??load [vec-pair? #t]``: a contiguous window of ``lanes`` elements
@@ -148,6 +150,7 @@ class AbstractPairWindow(H.HvxExpr):
                 yield H.HvxInstr("vcombine", (w0, w1))
 
 
+@H.cache_expr_hash
 @dataclass(frozen=True)
 class AbstractRows(H.HvxExpr):
     """``??load`` of two independent windows presented as a pair.
@@ -183,6 +186,7 @@ class AbstractRows(H.HvxExpr):
                 yield H.HvxInstr("vcombine", (r0, r1))
 
 
+@H.cache_expr_hash
 @dataclass(frozen=True)
 class AbstractSwizzle(H.HvxExpr):
     """``??swizzle``: a deferred re-layout of a computed pair."""

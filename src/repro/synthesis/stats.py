@@ -27,6 +27,8 @@ class StageStats:
     cache_hits: int = 0
     cache_misses: int = 0
     counterexamples: int = 0
+    batched_evals: int = 0
+    fallback_evals: int = 0
 
 
 @dataclass
@@ -81,6 +83,20 @@ class SynthesisStats:
         if stage is not None:
             stage.counterexamples += 1
 
+    def count_batched_eval(self) -> None:
+        """Record one full check answered by a pure batched plan."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.batched_evals += 1
+
+    def count_fallback_eval(self) -> None:
+        """Record one full check that ran (at least partly) on the scalar
+        interpreters: a non-batchable candidate, a plan with per-node
+        fallbacks, or a disabled/unavailable batched engine."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.fallback_evals += 1
+
     @property
     def total_queries(self) -> int:
         return sum(s.queries for s in self.stages.values())
@@ -101,6 +117,14 @@ class SynthesisStats:
     def total_counterexamples(self) -> int:
         return sum(s.counterexamples for s in self.stages.values())
 
+    @property
+    def total_batched_evals(self) -> int:
+        return sum(s.batched_evals for s in self.stages.values())
+
+    @property
+    def total_fallback_evals(self) -> int:
+        return sum(s.fallback_evals for s in self.stages.values())
+
     def merged_with(self, other: "SynthesisStats") -> "SynthesisStats":
         out = SynthesisStats()
         for name in STAGES:
@@ -113,6 +137,10 @@ class SynthesisStats:
             merged.cache_misses = mine.cache_misses + theirs.cache_misses
             merged.counterexamples = (
                 mine.counterexamples + theirs.counterexamples
+            )
+            merged.batched_evals = mine.batched_evals + theirs.batched_evals
+            merged.fallback_evals = (
+                mine.fallback_evals + theirs.fallback_evals
             )
         out.expressions = self.expressions + other.expressions
         return out
@@ -141,6 +169,8 @@ class SynthesisStats:
                     "cache_hits": s.cache_hits,
                     "cache_misses": s.cache_misses,
                     "counterexamples": s.counterexamples,
+                    "batched_evals": s.batched_evals,
+                    "fallback_evals": s.fallback_evals,
                 }
                 for name, s in self.stages.items()
             },
@@ -150,5 +180,7 @@ class SynthesisStats:
                 "cache_hits": self.total_cache_hits,
                 "cache_misses": self.total_cache_misses,
                 "counterexamples": self.total_counterexamples,
+                "batched_evals": self.total_batched_evals,
+                "fallback_evals": self.total_fallback_evals,
             },
         }

@@ -37,11 +37,46 @@ def substitute(expr: H.HvxExpr, target: H.HvxExpr,
     return expr.with_children(new_children)
 
 
+def substitute_many(expr: H.HvxExpr, mapping: dict,
+                    _classes: tuple = None) -> H.HvxExpr:
+    """Replace every occurrence of any ``mapping`` key in one tree walk.
+
+    Replacements are not re-scanned within the same walk; callers iterate
+    to a fixpoint when a replacement may itself contain a mapped
+    placeholder (a swizzle realization wrapping its window).  Only nodes
+    whose class appears among the keys are looked up, so concrete subtrees
+    are skipped without hashing them.
+    """
+    if _classes is None:
+        _classes = tuple({type(k) for k in mapping})
+    if isinstance(expr, _classes):
+        replacement = mapping.get(expr)
+        if replacement is not None:
+            return replacement
+    children = expr.children
+    if not children:
+        return expr
+    new_children = tuple(
+        substitute_many(c, mapping, _classes) for c in children
+    )
+    if new_children == children:
+        return expr
+    return expr.with_children(new_children)
+
+
+#: ranked realizations per placeholder — placeholders are immutable values
+#: and identical windows/swizzles recur across sketches of one compilation
+_REALIZATION_CACHE: dict = {}
+
+
 def _ranked_realizations(placeholder) -> list[H.HvxExpr]:
     """Concrete options for one placeholder, cheapest first."""
-    options = list(placeholder.realizations())
-    options.sort(key=lambda impl: cost_of(impl).key)
-    return options
+    cached = _REALIZATION_CACHE.get(placeholder)
+    if cached is None:
+        options = list(placeholder.realizations())
+        options.sort(key=lambda impl: cost_of(impl).key)
+        cached = _REALIZATION_CACHE[placeholder] = options
+    return cached
 
 
 def synthesize_swizzles(
@@ -82,9 +117,19 @@ def synthesize_swizzles(
 
     scored = []
     for combo in combos:
-        expr = sketch_expr
-        for ph, impl in zip(placeholders, combo):
-            expr = substitute(expr, ph, impl)
+        mapping = dict(zip(placeholders, combo))
+        # A swizzle's realization embeds its (placeholder) value; resolving
+        # the mapping against itself first — realizations are small trees —
+        # lets a single walk over the sketch substitute everything.
+        for _ in range(len(placeholders)):
+            resolved = {
+                ph: substitute_many(impl, mapping)
+                for ph, impl in mapping.items()
+            }
+            if resolved == mapping:
+                break
+            mapping = resolved
+        expr = substitute_many(sketch_expr, mapping)
         if not is_concrete(expr):
             # Nested placeholders (a swizzle wrapping a window): resolve
             # the remaining ones recursively with the same budget.
@@ -93,7 +138,8 @@ def synthesize_swizzles(
             if nested is not None:
                 scored.append((nested[1].key, nested[0], nested[1]))
             continue
-        scored.append((cost_of(expr).key, expr, cost_of(expr)))
+        impl_cost = cost_of(expr)
+        scored.append((impl_cost.key, expr, impl_cost))
 
     scored.sort(key=lambda item: item[0])
 

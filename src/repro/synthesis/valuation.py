@@ -130,6 +130,12 @@ def _fill(elem: ScalarType, n: int, style: str, rng: random.Random) -> list[int]
 BASE_STYLES = ("ramp", "random", "alternate", "max", "small_random", "random")
 
 
+#: environments memoized by exact shape — construction is deterministic in
+#: (buffers, scalars, style, seed) and environments are treated as
+#: read-only, so specs with identical read footprints share valuations
+_ENV_CACHE: dict = {}
+
+
 def make_environment(
     buffers: list[BufferSpec],
     scalars: list[tuple[str, ScalarType]],
@@ -137,13 +143,20 @@ def make_environment(
     seed: int,
 ) -> Environment:
     """Build one valuation for the given buffer and scalar shapes."""
+    key = (tuple(buffers), tuple(scalars), style, seed)
+    cached = _ENV_CACHE.get(key)
+    if cached is not None:
+        return cached
     rng = random.Random((hash(style) ^ seed) & 0x7FFFFFFF)
     views: dict[str, BufferView] = {}
     for spec in buffers:
         length = (spec.hi - spec.lo) + 2 * PAD_ELEMENTS
+        # _fill only produces in-range values, so the data is born wrapped;
+        # marking the view lets every stride-1 read be a plain slice.
         data = _fill(spec.elem, length, style, rng)
         views[spec.name] = BufferView(
-            data=data, elem=spec.elem, origin=PAD_ELEMENTS - spec.lo
+            data=data, elem=spec.elem, origin=PAD_ELEMENTS - spec.lo,
+            prewrapped=True,
         )
     scalar_vals = {}
     for name, dtype in scalars:
@@ -155,7 +168,9 @@ def make_environment(
             scalar_vals[name] = 1
         else:
             scalar_vals[name] = rng.randint(dtype.min_value, dtype.max_value)
-    return Environment(buffers=views, scalars=scalar_vals)
+    env = Environment(buffers=views, scalars=scalar_vals)
+    _ENV_CACHE[key] = env
+    return env
 
 
 def environment_bank(spec, n_random_extra: int = 2, seed: int = 0) -> list[Environment]:
@@ -175,3 +190,67 @@ def environment_bank(spec, n_random_extra: int = 2, seed: int = 0) -> list[Envir
     for i in range(n_random_extra):
         envs.append(make_environment(buffers, scalars, "random", seed + 100 + i))
     return envs
+
+
+def environment_zero(spec, seed: int = 0) -> Environment:
+    """Just the first environment of :func:`environment_bank`.
+
+    ``make_environment`` derives its RNG from ``(style, seed)`` alone, so
+    this is byte-identical to ``environment_bank(spec, seed=seed)[0]``
+    without paying for the other environments — the oracle's lane-0 pruning
+    path uses it to avoid full bank construction.
+    """
+    if isinstance(spec, ir_expr.Expr):
+        buffers = buffer_specs_of(spec)
+    else:
+        buffers = uber_buffer_specs(spec)
+    scalars = scalar_names_of(spec)
+    return make_environment(buffers, scalars, BASE_STYLES[0], seed)
+
+
+def bank_arrays(bank: list[Environment]):
+    """Materialize a valuation bank as a :class:`repro.eval.BankData`.
+
+    Returns ``None`` when NumPy is unavailable or the bank cannot be
+    stacked exactly (mismatched shapes across environments, or values that
+    do not fit int64, e.g. u64 buffers) — callers then keep the scalar
+    path, which is always exact.
+    """
+    from ..eval import plan as _plan
+
+    if not _plan.HAVE_NUMPY or not bank:
+        return None
+    np = _plan.np
+    first = bank[0]
+    buffers: dict = {}
+    try:
+        for name, view0 in first.buffers.items():
+            views = [env.buffers[name] for env in bank]
+            elem, origin, length = view0.elem, view0.origin, len(view0.data)
+            if any(
+                v.elem != elem or v.origin != origin or len(v.data) != length
+                for v in views
+            ):
+                return None
+            if elem.bits > 63 and not elem.signed:
+                return None  # u64 contents may not fit int64
+            rows = []
+            for v in views:
+                if getattr(v, "prewrapped", False):
+                    rows.append(v.data)
+                else:
+                    rows.append([elem.wrap(x) for x in v.data])
+            buffers[name] = (np.array(rows, dtype=np.int64), elem, origin)
+        scalars: dict = {}
+        for name in first.scalars:
+            vals = [env.scalars[name] for env in bank]
+            if any(
+                not (_plan.INT64_MIN <= v <= _plan.INT64_MAX) for v in vals
+            ):
+                return None
+            scalars[name] = np.array(vals, dtype=np.int64)
+    except (KeyError, OverflowError):
+        return None
+    return _plan.BankData(
+        n_envs=len(bank), envs=list(bank), buffers=buffers, scalars=scalars
+    )

@@ -182,7 +182,7 @@ class TestSynthesisStats:
         for metrics in d["stages"].values():
             assert set(metrics) == {
                 "queries", "time_s", "cache_hits", "cache_misses",
-                "counterexamples",
+                "counterexamples", "batched_evals", "fallback_evals",
             }
 
     def test_engine_summary_render(self):
