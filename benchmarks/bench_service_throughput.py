@@ -1,0 +1,221 @@
+"""Service throughput: warm-cache request rates through the daemon.
+
+Boots an in-process :class:`~repro.service.server.CompileServer`, warms
+the shared verdict cache by compiling a Table-1 subset once, then
+measures steady-state requests/sec and per-request latency (p50/p95) at
+1, 4 and 16 concurrent clients hammering ``POST /compile`` + poll.  The
+warm numbers isolate service overhead — scheduling, coalescing, HTTP,
+JSON — from synthesis itself, which the cache answers.  Results land in
+``benchmarks/results/service_throughput.json``.
+
+``--smoke`` is the CI entry point: it spawns a real ``python -m repro
+serve`` subprocess on an ephemeral port, occupies its single worker with
+a distinct request, submits two identical requests that must coalesce
+onto one job (asserted via ``/metrics``), then exercises ``POST
+/shutdown`` and requires a clean exit.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import repro.workloads  # noqa: F401 - populate the registry
+from repro.service import CompileRequest, CompileServer, ServiceClient
+
+RESULTS = Path(__file__).parent / "results" / "service_throughput.json"
+
+# Table-1 subset (same as bench_table1_compilation.FAST_NAMES): fast to
+# compile cold, representative mix of mpy/sliding/min-max kernels.
+WORKLOADS = ["mul", "add", "dilate3x3", "l2norm", "gaussian3x3"]
+CONCURRENCY_LEVELS = [1, 4, 16]
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(q * len(sorted_values) + 0.5)) - 1))
+    return sorted_values[index]
+
+
+def _one_round(url, requests_total, clients):
+    """``requests_total`` warm compiles spread over ``clients`` threads."""
+    latencies = []
+    lock = threading.Lock()
+    errors = []
+
+    def worker(worker_requests):
+        client = ServiceClient(url)
+        mine = []
+        for i in worker_requests:
+            request = CompileRequest(workload=WORKLOADS[i % len(WORKLOADS)])
+            start = time.perf_counter()
+            try:
+                view = client.compile(request, timeout=300)
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                with lock:
+                    errors.append(f"{request.workload}: {exc}")
+                return
+            mine.append(time.perf_counter() - start)
+            if view.state != "done":
+                with lock:
+                    errors.append(f"{request.workload}: {view.state}")
+        with lock:
+            latencies.extend(mine)
+
+    shares = [range(c, requests_total, clients) for c in range(clients)]
+    threads = [threading.Thread(target=worker, args=(share,))
+               for share in shares if share]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"{len(errors)} failed requests: {errors[:3]}")
+    latencies.sort()
+    return {
+        "clients": clients,
+        "requests": requests_total,
+        "time_s": elapsed,
+        "requests_per_s": requests_total / elapsed if elapsed else 0.0,
+        "p50_s": _quantile(latencies, 0.50),
+        "p95_s": _quantile(latencies, 0.95),
+    }
+
+
+def run_throughput(requests_per_level: int, workers: int) -> dict:
+    server = CompileServer(workers=workers, queue_size=256, quiet=True,
+                           grace_s=0.0).start()
+    try:
+        client = ServiceClient(server.url)
+        warm_start = time.perf_counter()
+        for name in WORKLOADS:
+            view = client.compile(CompileRequest(workload=name), timeout=600)
+            assert view.state == "done", f"{name}: {view.state} {view.error}"
+        warm_s = time.perf_counter() - warm_start
+
+        rounds = [_one_round(server.url, requests_per_level, clients)
+                  for clients in CONCURRENCY_LEVELS]
+        metrics = client.metrics()
+        return {
+            "workloads": WORKLOADS,
+            "workers": workers,
+            "warmup_s": warm_s,
+            "rounds": rounds,
+            "oracle_cache_misses_after_warmup": (
+                metrics.get("repro_oracle_cache_misses_total", 0)
+            ),
+            "jobs_completed": metrics.get("repro_jobs_completed_total", 0),
+        }
+    finally:
+        server.shutdown()
+
+
+def run_smoke() -> int:
+    """Boot the real daemon subprocess; prove coalescing and shutdown."""
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        port_file = os.path.join(tmp, "port")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "1", "--cache-dir", os.path.join(tmp, "cache"),
+             "--port-file", port_file, "--quiet"],
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(port_file):
+                if time.monotonic() > deadline or proc.poll() is not None:
+                    print("FAIL: server never wrote its port file",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(0.05)
+            host, port = open(port_file).read().split()
+            client = ServiceClient(f"http://{host}:{port}")
+            assert client.healthz()["status"] == "ok"
+
+            # One distinct job occupies the single worker; two identical
+            # submissions behind it must coalesce onto one queued job.
+            blocker = client.submit(CompileRequest(workload="dilate3x3"))
+            first = client.submit(CompileRequest(workload="mul"))
+            second = client.submit(CompileRequest(workload="mul"))
+            if not (second["coalesced"] and second["id"] == first["id"]):
+                print("FAIL: identical submissions did not coalesce",
+                      file=sys.stderr)
+                return 1
+            for submitted in (blocker, first):
+                view = client.wait(submitted["id"], timeout=300)
+                if view.state != "done":
+                    print(f"FAIL: job {submitted['id']} ended "
+                          f"{view.state}: {view.error}", file=sys.stderr)
+                    return 1
+            coalesced = client.metrics().get("repro_jobs_coalesced_total", 0)
+            if coalesced < 1:
+                print(f"FAIL: /metrics reports {coalesced} coalesced jobs",
+                      file=sys.stderr)
+                return 1
+            print(f"coalesced jobs: {coalesced}")
+
+            client.shutdown()
+            proc.wait(timeout=60)
+            if proc.returncode != 0:
+                print(f"FAIL: server exited {proc.returncode}",
+                      file=sys.stderr)
+                return 1
+            store = os.path.join(tmp, "cache", "oracle.jsonl")
+            if not os.path.exists(store):
+                print("FAIL: shutdown did not flush the verdict store",
+                      file=sys.stderr)
+                return 1
+            print("smoke OK")
+            return 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="warm-cache throughput of the compilation service")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="requests per concurrency level")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker threads")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: daemon subprocess, coalescing and "
+                             "graceful-shutdown assertions")
+    parser.add_argument("--json", default=str(RESULTS), metavar="PATH",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    report = run_throughput(args.requests, args.workers)
+    print(f"warmup ({len(WORKLOADS)} cold compiles): "
+          f"{report['warmup_s']:.2f}s")
+    for r in report["rounds"]:
+        print(f"{r['clients']:>3} clients: {r['requests_per_s']:>7.1f} req/s "
+              f"p50 {r['p50_s'] * 1e3:>7.1f}ms p95 {r['p95_s'] * 1e3:>7.1f}ms "
+              f"({r['requests']} requests in {r['time_s']:.2f}s)")
+
+    out = Path(args.json)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Cooperative cancellation for long-running compilations.
+
+Synthesis is a deep search: lifting, sketch enumeration and swizzle
+concretization can each issue thousands of oracle queries.  A
+:class:`CancelToken` is threaded through those loops so a caller — the
+compilation service's scheduler, a CLI deadline, a test — can stop a
+compilation at the next query boundary.
+
+Cancellation is *cooperative* and only observed **between** oracle
+queries, never inside one.  That boundary is what keeps the memoization
+caches sound: every verdict that reaches the in-process or on-disk cache
+is a complete differential pass, so a cancelled job can never poison the
+caches with partial entries — it simply stops asking.
+
+Tokens carry an optional deadline (a ``time.monotonic`` timestamp).
+Checking a token past its deadline raises :class:`DeadlineExceededError`;
+checking an explicitly cancelled token raises :class:`CancelledError`.
+Both derive from :class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import CancelledError, DeadlineExceededError
+
+
+class CancelToken:
+    """A thread-safe cancellation flag with an optional monotonic deadline.
+
+    The token is shared between the thread running a compilation (which
+    calls :meth:`check` inside search loops) and any thread that wants to
+    stop it (which calls :meth:`cancel`).
+    """
+
+    __slots__ = ("_event", "deadline", "reason")
+
+    def __init__(self, deadline: float | None = None,
+                 timeout: float | None = None):
+        """``deadline`` is an absolute ``time.monotonic()`` timestamp;
+        ``timeout`` is a convenience for ``monotonic() + timeout``."""
+        self._event = threading.Event()
+        if deadline is None and timeout is not None:
+            deadline = time.monotonic() + timeout
+        self.deadline = deadline
+        self.reason: str = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; idempotent and safe from any thread."""
+        if not self._event.is_set():
+            self.reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called (deadline not included)."""
+        return self._event.is_set()
+
+    def expired(self) -> bool:
+        """Whether the deadline (if any) has passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline, or ``None`` for no deadline."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def check(self) -> None:
+        """Raise if cancellation was requested or the deadline passed.
+
+        This is the hook synthesis loops call between oracle queries; it
+        must stay cheap on the happy path (one event test and, with a
+        deadline, one clock read).
+        """
+        if self._event.is_set():
+            raise CancelledError(self.reason or "compilation cancelled")
+        if self.expired():
+            self._event.set()
+            self.reason = "deadline exceeded"
+            raise DeadlineExceededError("compilation deadline exceeded")

@@ -8,22 +8,72 @@ Commands:
 * ``isa`` — browse the registered instruction families (HVX and Neon).
 * ``speedups`` — the Figure 11 sweep over every workload (slow: full
   synthesis for the suite).
+* ``serve`` — run the long-lived compilation server
+  (:mod:`repro.service`); ``submit`` / ``status`` talk to it.
+
+Errors the user can act on (unknown workloads, unwritable paths, an
+unreachable server) are reported as a one-line message on stderr with a
+nonzero exit code — never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from . import workloads  # noqa: F401 - populate the registry
 from . import neon  # noqa: F401 - register the Neon instruction families
+from .errors import ReproError
 from .hvx import all_instructions, program_listing, to_assembly
 from .pipeline import compile_pipeline
-from .reporting import SpeedupRow, engine_summary, speedup_figure
+from .reporting import (
+    SpeedupRow,
+    engine_summary,
+    job_summary,
+    service_summary,
+    speedup_figure,
+)
 from .sim import measure
 from .synthesis.engine import default_cache_dir
 from .workloads.base import all_workloads, get, names
+
+
+def _fail(message: str) -> int:
+    """One-line operator-facing error; the uniform nonzero-exit path."""
+    print(f"error: {message}", file=sys.stderr)
+    return 1
+
+
+def _writable_dir_error(path) -> str | None:
+    """Why ``path`` cannot be used as a writable directory, or ``None``."""
+    probe = os.path.join(str(path), ".write-probe")
+    try:
+        os.makedirs(path, exist_ok=True)
+        with open(probe, "a", encoding="utf-8"):
+            pass
+        os.remove(probe)
+    except OSError as exc:
+        return f"cannot write to directory {path}: {exc.strerror or exc}"
+    return None
+
+
+def _writable_file_error(path: str) -> str | None:
+    """Why ``path`` cannot be opened for writing, or ``None``.
+
+    Probes with append mode so an existing file's content survives the
+    check; a file the probe had to create is removed again.
+    """
+    existed = os.path.exists(path)
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+        if not existed:
+            os.remove(path)
+    except OSError as exc:
+        return f"cannot write {path}: {exc.strerror or exc}"
+    return None
 
 
 def _cmd_list(args) -> int:
@@ -65,8 +115,8 @@ def _compile_one(name: str, backend: str, show_programs: bool,
 
 def _cmd_compile(args) -> int:
     if args.workload not in names():
-        print(f"unknown workload {args.workload!r}; see `python -m repro list`",
-              file=sys.stderr)
+        print(f"error: unknown workload {args.workload!r}; "
+              f"see `python -m repro list`", file=sys.stderr)
         return 2
     backends = ["rake", "baseline"] if args.backend == "both" else [args.backend]
     cache_dir = None
@@ -74,6 +124,16 @@ def _cmd_compile(args) -> int:
         cache_dir = args.cache_dir
     elif args.cache:
         cache_dir = default_cache_dir()
+    # Validate output paths before paying for synthesis, so a typo'd path
+    # fails in milliseconds instead of after a multi-minute compile.
+    if cache_dir is not None:
+        problem = _writable_dir_error(cache_dir)
+        if problem is not None:
+            return _fail(f"--cache-dir: {problem}")
+    if args.stats_json:
+        problem = _writable_file_error(args.stats_json)
+        if problem is not None:
+            return _fail(f"--stats-json: {problem}")
     totals = {}
     stats_by_backend = {}
     for backend in backends:
@@ -91,9 +151,8 @@ def _cmd_compile(args) -> int:
                 json.dump(rake_stats.as_dict(), fh, indent=2)
                 fh.write("\n")
         except OSError as exc:
-            print(f"error: cannot write --stats-json {args.stats_json}: "
-                  f"{exc.strerror or exc}", file=sys.stderr)
-            return 1
+            return _fail(f"cannot write --stats-json {args.stats_json}: "
+                         f"{exc.strerror or exc}")
         print(f"wrote synthesis stats to {args.stats_json}")
     if len(totals) == 2:
         print(f"\nspeedup: {totals['baseline'] / totals['rake']:.2f}x "
@@ -116,6 +175,12 @@ def _cmd_isa(args) -> int:
 
 
 def _cmd_speedups(args) -> int:
+    if args.only:
+        unknown = [name for name in args.only if name not in names()]
+        if unknown:
+            print(f"error: unknown workload(s): {', '.join(unknown)}; "
+                  f"see `python -m repro list`", file=sys.stderr)
+            return 2
     rows = []
     for wl in all_workloads():
         if args.only and wl.name not in args.only:
@@ -132,6 +197,77 @@ def _cmd_speedups(args) -> int:
             paper_band=wl.paper_band,
         ))
     print(speedup_figure(sorted(rows, key=lambda r: r.name)))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service.server import serve
+
+    cache_dir = None
+    if args.cache_dir:
+        cache_dir = args.cache_dir
+    elif args.cache:
+        cache_dir = str(default_cache_dir())
+    if cache_dir is not None:
+        problem = _writable_dir_error(cache_dir)
+        if problem is not None:
+            return _fail(f"--cache-dir: {problem}")
+    if args.port_file:
+        problem = _writable_file_error(args.port_file)
+        if problem is not None:
+            return _fail(f"--port-file: {problem}")
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_dir=cache_dir,
+        aging_rate=args.aging_rate,
+        port_file=args.port_file,
+        quiet=args.quiet,
+    )
+
+
+def _cmd_submit(args) -> int:
+    from .service.client import ServiceClient
+    from .service.protocol import CompileRequest
+
+    request = CompileRequest(
+        workload=args.workload,
+        backend=args.backend,
+        width=args.width,
+        height=args.height,
+        priority=args.priority,
+        deadline_s=args.deadline,
+        jobs=args.jobs,
+        batch_eval=not args.no_batch_eval,
+    ).validate()
+    client = ServiceClient(args.url)
+    submitted = client.submit(request)
+    coalesced = " (coalesced onto an identical in-flight job)" if (
+        submitted.get("coalesced")) else ""
+    print(f"submitted job {submitted['id']}{coalesced}")
+    if not args.wait:
+        print(f"poll with: python -m repro status {submitted['id']} "
+              f"--url {args.url}")
+        return 0
+    view = client.wait(submitted["id"], timeout=args.timeout)
+    print(job_summary(view))
+    if args.show_programs and view.result is not None:
+        for prog in view.result.programs:
+            print(f"\n-- {prog['stage']} [{prog['selector']}] --")
+            print(prog["listing"])
+    return 0 if view.state == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job:
+        print(job_summary(client.status(args.job)))
+        return 0
+    print(service_summary(client.healthz(), client.metrics()))
     return 0
 
 
@@ -186,6 +322,61 @@ def build_parser() -> argparse.ArgumentParser:
                               "rake backend")
     p_speed.add_argument("--no-batch-eval", action="store_true",
                          help="disable the batched NumPy oracle")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived compilation server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8347,
+                         help="listen port (0 = ephemeral; see --port-file)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent compilation workers")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         help="max queued jobs before submissions get 503")
+    p_serve.add_argument("--cache", action="store_true",
+                         help="share the default on-disk verdict store "
+                              "(REPRO_CACHE_DIR or ~/.cache/repro-rake)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="share an on-disk verdict store in DIR "
+                              "(implies --cache)")
+    p_serve.add_argument("--aging-rate", type=float, default=1.0,
+                         help="priority points a queued job gains per "
+                              "second (anti-starvation)")
+    p_serve.add_argument("--port-file", default=None, metavar="PATH",
+                         help="write 'host port' here once listening "
+                              "(how scripts learn an ephemeral port)")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-request access logs")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one compile to a running server")
+    p_submit.add_argument("workload")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8347",
+                          help="server base URL")
+    p_submit.add_argument("--backend", choices=("rake", "baseline"),
+                          default="rake")
+    p_submit.add_argument("--width", type=int, default=None)
+    p_submit.add_argument("--height", type=int, default=None)
+    p_submit.add_argument("--priority", type=int, default=10,
+                          help="queue priority (lower runs first)")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="cancel the job if it runs longer than this")
+    p_submit.add_argument("--jobs", type=int, default=1,
+                          help="per-job equivalence-check workers")
+    p_submit.add_argument("--no-batch-eval", action="store_true")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job is terminal")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="give up waiting after this many seconds")
+    p_submit.add_argument("--show-programs", action="store_true",
+                          help="with --wait: print the selected programs")
+
+    p_status = sub.add_parser(
+        "status", help="query a running server (or one job)")
+    p_status.add_argument("job", nargs="?", default=None,
+                          help="job id (omit for server health + metrics)")
+    p_status.add_argument("--url", default="http://127.0.0.1:8347",
+                          help="server base URL")
     return parser
 
 
@@ -196,8 +387,19 @@ def main(argv=None) -> int:
         "compile": _cmd_compile,
         "isa": _cmd_isa,
         "speedups": _cmd_speedups,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        # Library errors are user-actionable (unknown workload, protocol
+        # mismatch, unreachable server, full queue) — one line, no trace.
+        return _fail(str(exc))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

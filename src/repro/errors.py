@@ -41,3 +41,23 @@ class SimulationError(ReproError):
 
 class ScheduleError(ReproError):
     """A frontend schedule directive was invalid for the given Func."""
+
+
+class CancelledError(ReproError):
+    """A compilation was cooperatively cancelled before it completed."""
+
+
+class DeadlineExceededError(CancelledError):
+    """A compilation ran past its deadline and was cancelled."""
+
+
+class ProtocolError(ReproError):
+    """A service request or response violated the wire protocol."""
+
+
+class ServiceError(ReproError):
+    """The compilation service rejected or failed a request."""
+
+
+class QueueFullError(ServiceError):
+    """The service job queue is at capacity; retry later."""

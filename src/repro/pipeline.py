@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .baseline import HalideOptimizer
+from .cancel import CancelToken
 from .errors import ReproError, SynthesisError, UnsupportedExpressionError
 from .frontend import Func, LoweredPipeline, Stage, lower_pipeline
 from .hvx import isa as H
@@ -87,6 +88,8 @@ def compile_pipeline(
     cache: OracleCache | None = None,
     cache_dir: str | None = None,
     batch_eval: bool = True,
+    deadline_s: float | None = None,
+    cancel: CancelToken | None = None,
 ) -> CompiledPipeline:
     """Compile a scheduled pipeline with the chosen instruction selector.
 
@@ -98,9 +101,19 @@ def compile_pipeline(
     forces every oracle check onto the scalar interpreters (the batched
     NumPy engine produces identical verdicts; the switch exists for
     differential testing and NumPy-free debugging).
+
+    ``deadline_s`` bounds wall-clock compilation time; ``cancel`` supplies
+    an external :class:`~repro.cancel.CancelToken` (the service's scheduler
+    passes one per job).  Either way, the token is checked at every oracle
+    query boundary, so a cancelled compile raises
+    :class:`~repro.errors.CancelledError` /
+    :class:`~repro.errors.DeadlineExceededError` without ever writing a
+    partial verdict to the caches.
     """
     if backend not in (BACKEND_RAKE, BACKEND_BASELINE):
         raise ReproError(f"unknown backend: {backend}")
+    if cancel is None and deadline_s is not None:
+        cancel = CancelToken(timeout=deadline_s)
     lowered = lower_pipeline(output, lanes=lanes)
     baseline = HalideOptimizer(vbytes=vbytes)
     owns_selector = selector is None
@@ -109,13 +122,15 @@ def compile_pipeline(
             cache = (OracleCache.with_disk(cache_dir) if cache_dir
                      else OracleCache())
         oracle = Oracle(stats=stats or SynthesisStats(), cache=cache,
-                        batch_eval=batch_eval)
+                        batch_eval=batch_eval, cancel=cancel)
         rake = RakeSelector(
             vbytes=vbytes, options=options or LoweringOptions(),
             oracle=oracle, jobs=jobs,
         )
     else:
         rake = selector
+        if cancel is not None:
+            rake.oracle.cancel = cancel
     # The selector's oracle doubles as the final verifier, so verification
     # queries share the memoization cache and show up under the ``verify``
     # stage of the statistics.
@@ -128,6 +143,8 @@ def compile_pipeline(
             cstage = CompiledStage(stage=stage)
             extents = [1] + list(stage.func.update_extents)
             for expr, extent in zip(stage.exprs, extents):
+                if cancel is not None:
+                    cancel.check()
                 used = "trivial" if _is_trivial(expr) else backend
                 program = None
                 if used == BACKEND_RAKE:

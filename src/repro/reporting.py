@@ -132,6 +132,79 @@ def engine_summary(stats) -> str:
     return "\n".join(lines)
 
 
+def job_summary(view) -> str:
+    """Render one service job (a :class:`~repro.service.protocol.JobView`)
+    for the CLI's ``status``/``submit --wait`` output."""
+    lines = [f"job {view.id}: {view.state}  "
+             f"[{view.request.workload} / {view.request.backend}]"]
+    if view.wait_s is not None:
+        timing = f"    queued {view.wait_s:.3f}s"
+        if view.run_s is not None:
+            timing += f", ran {view.run_s:.3f}s"
+        lines.append(timing)
+    if view.coalesced_waiters:
+        lines.append(f"    coalesced submissions: {view.coalesced_waiters}")
+    if view.error:
+        lines.append(f"    error: {view.error}")
+    if view.result is not None:
+        r = view.result
+        lines.append(
+            f"    {r.total_cycles} cycles ({r.optimized_exprs} expressions "
+            f"synthesized, {r.fallbacks} fallbacks)"
+        )
+        totals = r.stats.get("totals", {})
+        if totals.get("queries"):
+            hits = totals.get("cache_hits", 0)
+            misses = totals.get("cache_misses", 0)
+            lookups = hits + misses
+            rate = hits / lookups if lookups else 0.0
+            lines.append(
+                f"    oracle: {totals['queries']} queries, "
+                f"{hits} cache hits, {misses} misses ({rate:.0%} hit rate)"
+            )
+    return "\n".join(lines)
+
+
+def service_summary(health: dict, metrics: dict) -> str:
+    """Render a server's health + headline metrics for ``repro status``."""
+
+    def metric(name, default=0):
+        value = metrics.get(name, default)
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        return value
+
+    lines = [
+        f"server: {health.get('status', '?')} "
+        f"(protocol v{health.get('v', '?')}, "
+        f"up {health.get('uptime_s', 0):.0f}s)",
+        f"    queue depth {metric('repro_queue_depth')}, "
+        f"in flight {metric('repro_jobs_inflight')}, "
+        f"workers {metric('repro_workers')}",
+        f"    jobs: {metric('repro_jobs_submitted_total')} submitted, "
+        f"{metric('repro_jobs_completed_total')} completed, "
+        f"{metric('repro_jobs_coalesced_total')} coalesced, "
+        f"{metric('repro_jobs_failed_total')} failed, "
+        f"{metric('repro_jobs_cancelled_total')} cancelled, "
+        f"{metric('repro_jobs_timeout_total')} timed out",
+    ]
+    hits = metric("repro_oracle_cache_hits_total")
+    misses = metric("repro_oracle_cache_misses_total")
+    lookups = hits + misses
+    if lookups:
+        lines.append(
+            f"    oracle cache: {hits} hits / {misses} misses "
+            f"({hits / lookups:.0%} hit rate)"
+        )
+    run = metrics.get("repro_job_run_seconds")
+    if isinstance(run, dict) and run.get("count"):
+        lines.append(
+            f"    job latency: p50 {run.get('p50', 0):.3f}s, "
+            f"p95 {run.get('p95', 0):.3f}s over {run['count']} jobs"
+        )
+    return "\n".join(lines)
+
+
 def codegen_comparison(title: str, source: str, baseline: str, rake: str) -> str:
     """Render a Figure 4 / Figure 12 style three-column comparison."""
     out = [f"=== {title} ===", "", "-- Halide IR --", source, "",

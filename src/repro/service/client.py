@@ -1,0 +1,128 @@
+"""A blocking/polling Python client for the compilation service.
+
+Wraps the HTTP API in typed calls: ``submit`` returns a job id,
+``status`` a :class:`~repro.service.protocol.JobView`, and ``compile``
+blocks — submit, poll with capped exponential backoff, return the
+terminal :class:`JobView`.  The CLI's ``submit``/``status`` subcommands
+and the service tests and benchmark all go through this class, so the
+wire format has exactly one reader and one writer.
+
+Transport errors surface as :class:`~repro.errors.ServiceError`; protocol
+violations (bad JSON, version mismatch) as
+:class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..errors import ProtocolError, QueueFullError, ServiceError
+from .protocol import CompileRequest, JobView
+
+#: polling schedule for :meth:`ServiceClient.wait`
+POLL_INITIAL_S = 0.05
+POLL_MAX_S = 1.0
+POLL_BACKOFF = 1.5
+
+
+class ServiceClient:
+    """Talks to one server at ``base_url`` (e.g. ``http://127.0.0.1:8347``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                body = resp.read().decode()
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode()
+            status = exc.code
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach compile server at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from exc
+        return status, body
+
+    def _request_json(self, method: str, path: str,
+                      payload: dict | None = None) -> dict:
+        status, body = self._request(method, path, payload)
+        try:
+            decoded = json.loads(body) if body else {}
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(
+                f"server returned invalid JSON for {method} {path}: {exc}"
+            ) from exc
+        if status == 503:
+            raise QueueFullError(decoded.get("error", "server queue full"))
+        if status >= 400:
+            raise ServiceError(
+                decoded.get("error", f"{method} {path} failed ({status})")
+            )
+        return decoded
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request_json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """The structured (JSON) form of ``/metrics``."""
+        return self._request_json("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        status, body = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(f"GET /metrics failed ({status})")
+        return body
+
+    def submit(self, request: CompileRequest) -> dict:
+        """Submit one compile; returns ``{id, state, coalesced, key}``."""
+        return self._request_json("POST", "/compile", request.to_dict())
+
+    def status(self, job_id: str) -> JobView:
+        return JobView.from_dict(self._request_json("GET", f"/jobs/{job_id}"))
+
+    def cancel(self, job_id: str) -> bool:
+        reply = self._request_json("POST", f"/jobs/{job_id}/cancel")
+        return bool(reply.get("cancelled"))
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobView:
+        """Poll until the job is terminal (capped exponential backoff)."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        delay = POLL_INITIAL_S
+        while True:
+            view = self.status(job_id)
+            if view.terminal:
+                return view
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state: {view.state})"
+                )
+            time.sleep(delay)
+            delay = min(POLL_MAX_S, delay * POLL_BACKOFF)
+
+    def compile(self, request: CompileRequest,
+                timeout: float | None = None) -> JobView:
+        """Submit and block until terminal; the one-call serving path."""
+        submitted = self.submit(request)
+        return self.wait(submitted["id"], timeout=timeout)
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop."""
+        return self._request_json("POST", "/shutdown")

@@ -1,0 +1,229 @@
+"""Counters, gauges and histograms for the service's ``/metrics`` endpoint.
+
+A tiny dependency-free registry in the Prometheus exposition style: every
+metric has a name, a help string and a type line, counters are monotonic,
+and histograms expose count/sum plus streaming quantiles computed over a
+bounded reservoir of recent observations (the service cares about *recent*
+latency, so a sliding window is the right estimator and keeps memory
+constant under heavy traffic).
+
+The scheduler owns one registry; per-job synthesis statistics
+(:class:`~repro.synthesis.stats.SynthesisStats`) are folded into it after
+every job through :func:`observe_synthesis_stats`, which is how cache hit
+ratios and per-stage latency lifted from the engine become visible at
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: histogram reservoir size — quantiles are computed over the most recent
+#: observations only
+RESERVOIR = 1024
+
+#: quantiles rendered per histogram
+QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock):
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> list:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+    def as_dict(self):
+        return self.value
+
+
+class Gauge(Counter):
+    """A value that can go up and down (queue depth, jobs in flight)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+
+class Histogram:
+    """Count/sum plus reservoir quantiles over recent observations."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, lock: threading.RLock):
+        self.name = name
+        self.help = help_text
+        self._lock = lock
+        self.count = 0
+        self.sum = 0.0
+        self._window: deque = deque(maxlen=RESERVOIR)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self._window.append(value)
+
+    def quantile(self, q: float) -> float | None:
+        """The q-quantile (0..1) of the reservoir, ``None`` when empty.
+
+        Nearest-rank on the sorted window: exact for windows smaller than
+        the reservoir, a recency-weighted estimate beyond it.
+        """
+        with self._lock:
+            if not self._window:
+                return None
+            ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def render(self) -> list:
+        lines = []
+        for q in QUANTILES:
+            value = self.quantile(q)
+            if value is not None:
+                lines.append(
+                    f'{self.name}{{quantile="{q}"}} {_fmt(value)}'
+                )
+        lines.append(f"{self.name}_count {self.count}")
+        lines.append(f"{self.name}_sum {_fmt(self.sum)}")
+        return lines
+
+    def as_dict(self):
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            **{
+                f"p{int(q * 100)}": self.quantile(q)
+                for q in QUANTILES
+            },
+        }
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(round(float(value), 9))
+
+
+class MetricsRegistry:
+    """A named collection of metrics with text and JSON renderings.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create and therefore
+    safe to call from any thread at any time; re-registering a name with a
+    different kind is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: dict = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help_text, self._lock)
+            elif not isinstance(metric, cls) or type(metric) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(self, name: str, help_text: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help_text)
+
+    def render_text(self) -> str:
+        """Prometheus-style exposition text."""
+        out = []
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        for metric in metrics:
+            if metric.help:
+                out.append(f"# HELP {metric.name} {metric.help}")
+            out.append(f"# TYPE {metric.name} {metric.kind}")
+            out.extend(metric.render())
+        return "\n".join(out) + "\n"
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        return {metric.name: metric.as_dict() for metric in metrics}
+
+
+#: synthesis stages mirrored into per-stage latency/query metrics
+_STAGE_METRICS = ("lifting", "sketching", "swizzling", "verify")
+
+
+def observe_synthesis_stats(registry: MetricsRegistry, stats: dict) -> None:
+    """Fold one job's synthesis statistics into the service registry.
+
+    ``stats`` is the :meth:`SynthesisStats.as_dict` payload (the same dict
+    shipped in a job's :class:`~repro.service.protocol.CompileResult`), so
+    any compile function that fills ``result.stats`` feeds the registry.
+    Called once per finished job: counters aggregate across the server's
+    lifetime while histograms track the per-job distribution.
+    """
+    totals = stats.get("totals", {})
+    registry.counter(
+        "repro_oracle_queries_total",
+        "equivalence queries issued by finished jobs",
+    ).inc(totals.get("queries", 0))
+    registry.counter(
+        "repro_oracle_cache_hits_total",
+        "queries answered from the two-level verdict cache",
+    ).inc(totals.get("cache_hits", 0))
+    registry.counter(
+        "repro_oracle_cache_misses_total",
+        "queries that required a full differential pass",
+    ).inc(totals.get("cache_misses", 0))
+    registry.counter(
+        "repro_oracle_counterexamples_total",
+        "new refuting valuations discovered",
+    ).inc(totals.get("counterexamples", 0))
+    stages = stats.get("stages", {})
+    for name in _STAGE_METRICS:
+        stage = stages.get(name)
+        if stage is None:
+            continue
+        registry.histogram(
+            f"repro_stage_{name}_seconds",
+            f"per-job wall-clock seconds spent in the {name} stage",
+        ).observe(stage.get("time_s", 0.0))
+        registry.counter(
+            f"repro_stage_{name}_queries_total",
+            f"equivalence queries issued by the {name} stage",
+        ).inc(stage.get("queries", 0))

@@ -1,0 +1,468 @@
+"""Job scheduling for the compilation service.
+
+A bounded priority queue feeding a pool of worker threads, each running
+one compilation at a time against a **shared**
+:class:`~repro.synthesis.engine.OracleCache` — the warm state that makes
+a long-lived server worth having.  Scheduling policy:
+
+* **Bounded admission** — past ``queue_size`` pending jobs, ``submit``
+  raises :class:`~repro.errors.QueueFullError` (the server maps this to
+  HTTP 503) instead of letting latency grow without bound.
+* **Priority with aging** — lower ``priority`` runs first, but a job's
+  effective priority improves by ``aging_rate`` per queued second, so a
+  stream of urgent small kernels can never starve a big one (and vice
+  versa: small kernels behind one long synthesis overtake bulk batches).
+* **Deadlines and cancellation** — each running job carries a
+  :class:`~repro.cancel.CancelToken`; deadlines arm the token's clock,
+  ``cancel()`` trips it explicitly, and the synthesis stages observe it
+  at query boundaries (see :mod:`repro.cancel` for why that can never
+  leave partial cache entries).  Either way the worker slot is freed and
+  the job lands in a terminal state (``timeout`` / ``cancelled``).
+* **Coalescing** — identical in-flight submissions (canonical spec hash,
+  :mod:`repro.service.coalesce`) share one job.
+
+The scheduler is independent of HTTP: tests and the benchmark drive it
+directly, the server wraps it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from ..cancel import CancelToken
+from ..errors import (
+    CancelledError,
+    DeadlineExceededError,
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+)
+from ..synthesis.engine import OracleCache
+from .coalesce import Coalescer, request_key
+from .metrics import MetricsRegistry, observe_synthesis_stats
+from .protocol import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_TIMEOUT,
+    TERMINAL_STATES,
+    CompileRequest,
+    CompileResult,
+    JobView,
+    result_from_compiled,
+)
+
+#: terminal jobs retained for ``GET /jobs/<id>`` after completion
+MAX_RETAINED = 512
+
+
+@dataclass
+class Job:
+    """One scheduled compilation and its full lifecycle record."""
+
+    id: str
+    request: CompileRequest
+    key: str
+    state: str = JOB_QUEUED
+    submitted_mono: float = 0.0  # time.monotonic, for aging/wait math
+    submitted_at: float = 0.0  # time.time, for the wire
+    started_at: float | None = None
+    finished_at: float | None = None
+    wait_s: float | None = None
+    run_s: float | None = None
+    coalesced_waiters: int = 0
+    error: str | None = None
+    result: CompileResult | None = None
+    cancel_token: CancelToken = field(default_factory=CancelToken)
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def view(self) -> JobView:
+        return JobView(
+            id=self.id,
+            state=self.state,
+            request=self.request,
+            key=self.key,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            wait_s=self.wait_s,
+            run_s=self.run_s,
+            coalesced_waiters=self.coalesced_waiters,
+            error=self.error,
+            result=self.result,
+        )
+
+
+def default_compile_fn(request: CompileRequest, cancel: CancelToken,
+                       cache: OracleCache, stats_sink=None) -> CompileResult:
+    """Compile one workload request against the shared verdict cache.
+
+    This is the serving path's equivalent of the CLI's ``_compile_one``:
+    same pipeline, same cycle model, same listings — which is what makes
+    server results byte-comparable to one-shot compiles.
+    """
+    from ..pipeline import compile_pipeline
+    from ..sim import measure
+    from ..synthesis.stats import SynthesisStats
+    from ..workloads.base import get, names
+
+    if request.workload not in names():
+        raise ProtocolError(f"unknown workload {request.workload!r}")
+    wl = get(request.workload)
+    stats = SynthesisStats()
+    compiled = compile_pipeline(
+        wl.build(),
+        backend=request.backend,
+        jobs=request.jobs,
+        stats=stats,
+        cache=cache,
+        batch_eval=request.batch_eval,
+        cancel=cancel,
+    )
+    cycles = measure(
+        compiled, request.width or wl.width, request.height or wl.height
+    )
+    if stats_sink is not None:
+        stats_sink(stats)
+    return result_from_compiled(request, compiled, cycles)
+
+
+class JobScheduler:
+    """Bounded queue + worker pool over a shared warm cache.
+
+    ``compile_fn(request, cancel, cache)`` produces a
+    :class:`CompileResult`; the default runs the real pipeline.  Tests
+    inject stubs to pin scheduling behaviour without synthesis cost.
+
+    Construct with ``paused=True`` (or call :meth:`pause`) to hold workers
+    before they pick jobs — this is how tests and the server's smoke check
+    make coalescing deterministic.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_size: int = 64,
+        cache: OracleCache | None = None,
+        cache_dir: str | None = None,
+        compile_fn=None,
+        metrics: MetricsRegistry | None = None,
+        aging_rate: float = 1.0,
+        paused: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError("scheduler needs at least one worker")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.cache = cache if cache is not None else (
+            OracleCache.with_disk(cache_dir) if cache_dir else OracleCache()
+        )
+        self.compile_fn = compile_fn or (
+            lambda request, cancel, cache: default_compile_fn(
+                request, cancel, cache
+            )
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.queue_size = queue_size
+        self.aging_rate = aging_rate
+        self.coalescer = Coalescer()
+
+        self._cond = threading.Condition()
+        self._pending: list[Job] = []
+        self._jobs: dict[str, Job] = {}
+        self._inflight = 0
+        self._accepting = True
+        self._stop = False
+        self._resume = threading.Event()
+        if not paused:
+            self._resume.set()
+
+        self._init_metrics(workers)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- metrics -----------------------------------------------------------
+
+    def _init_metrics(self, workers: int) -> None:
+        m = self.metrics
+        m.gauge("repro_workers", "compilation worker threads").set(workers)
+        m.gauge("repro_queue_depth", "jobs waiting for a worker")
+        m.gauge("repro_jobs_inflight", "jobs currently compiling")
+        for name, help_text in (
+            ("repro_jobs_submitted_total", "jobs admitted to the queue"),
+            ("repro_jobs_coalesced_total",
+             "submissions deduplicated onto an in-flight identical job"),
+            ("repro_jobs_rejected_total",
+             "submissions rejected (full queue or shutdown)"),
+            ("repro_jobs_completed_total", "jobs finished successfully"),
+            ("repro_jobs_failed_total", "jobs that raised an error"),
+            ("repro_jobs_cancelled_total", "jobs cancelled before finishing"),
+            ("repro_jobs_timeout_total", "jobs that exceeded their deadline"),
+        ):
+            m.counter(name, help_text)
+        m.histogram("repro_job_wait_seconds", "queue wait per started job")
+        m.histogram("repro_job_run_seconds", "compile time per finished job")
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, request: CompileRequest) -> tuple[Job, bool]:
+        """Admit one request; returns ``(job, coalesced)``.
+
+        A coalesced submission returns the in-flight leader job for an
+        identical request instead of queueing a duplicate.  Raises
+        :class:`QueueFullError` when the queue is at capacity and
+        :class:`ServiceError` after shutdown began.
+        """
+        request.validate()
+        key = request_key(request)
+        with self._cond:
+            if not self._accepting:
+                self.metrics.counter("repro_jobs_rejected_total").inc()
+                raise ServiceError("scheduler is shutting down")
+            job_box: list = []
+
+            def _mint() -> str:
+                if len(self._pending) >= self.queue_size:
+                    raise QueueFullError(
+                        f"job queue full ({self.queue_size} pending)"
+                    )
+                now = time.monotonic()
+                job = Job(
+                    id=uuid.uuid4().hex[:12],
+                    request=request,
+                    key=key,
+                    submitted_mono=now,
+                    submitted_at=time.time(),
+                )
+                if request.deadline_s is not None:
+                    # Deadlines are a client-facing SLA: the clock starts
+                    # at submission, so queue wait counts against it.
+                    job.cancel_token.deadline = now + request.deadline_s
+                job_box.append(job)
+                return job.id
+
+            try:
+                job_id, coalesced = self.coalescer.claim(key, _mint)
+            except QueueFullError:
+                self.metrics.counter("repro_jobs_rejected_total").inc()
+                raise
+            if coalesced:
+                leader = self._jobs[job_id]
+                leader.coalesced_waiters = self.coalescer.waiters(key)
+                self.metrics.counter("repro_jobs_coalesced_total").inc()
+                return leader, True
+            job = job_box[0]
+            self._jobs[job.id] = job
+            self._pending.append(job)
+            self.metrics.counter("repro_jobs_submitted_total").inc()
+            self.metrics.gauge("repro_queue_depth").set(len(self._pending))
+            self._trim_retained_locked()
+            self._cond.notify()
+            return job, False
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        job = self.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if not job.done.wait(timeout):
+            raise ServiceError(f"timed out waiting for job {job_id}")
+        return job
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, job_id: str, reason: str = "cancelled by client") -> bool:
+        """Cancel a queued or running job; ``False`` if already terminal."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                return False
+            if job.state == JOB_QUEUED:
+                self._pending.remove(job)
+                self.metrics.gauge("repro_queue_depth").set(
+                    len(self._pending)
+                )
+                self._finish_locked(job, JOB_CANCELLED, error=reason)
+                return True
+        # Running: trip the token; the worker observes it at the next
+        # query boundary and finishes the job as cancelled.
+        job.cancel_token.cancel(reason)
+        return True
+
+    # -- pause/resume (deterministic tests & smoke checks) -----------------
+
+    def pause(self) -> None:
+        """Hold workers before they pick the next job (running jobs
+        continue)."""
+        self._resume.clear()
+
+    def resume(self) -> None:
+        self._resume.set()
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- worker pool -------------------------------------------------------
+
+    def _effective_priority(self, job: Job, now: float) -> float:
+        return job.request.priority - self.aging_rate * (
+            now - job.submitted_mono
+        )
+
+    def _pick_locked(self) -> Job:
+        """Pop the pending job with the best aged priority (FIFO on ties)."""
+        now = time.monotonic()
+        best_index = 0
+        best = (self._effective_priority(self._pending[0], now),
+                self._pending[0].submitted_mono)
+        for i, job in enumerate(self._pending[1:], start=1):
+            score = (self._effective_priority(job, now), job.submitted_mono)
+            if score < best:
+                best, best_index = score, i
+        return self._pending.pop(best_index)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stop and (
+                    not self._pending or not self._resume.is_set()
+                ):
+                    self._cond.wait(0.1)
+                if self._stop and not self._pending:
+                    return
+                if not self._resume.is_set():
+                    continue
+                job = self._pick_locked()
+                now = time.monotonic()
+                job.state = JOB_RUNNING
+                job.started_at = time.time()
+                job.wait_s = now - job.submitted_mono
+                self._inflight += 1
+                self.metrics.gauge("repro_queue_depth").set(
+                    len(self._pending)
+                )
+                self.metrics.gauge("repro_jobs_inflight").set(self._inflight)
+            self.metrics.histogram("repro_job_wait_seconds").observe(
+                job.wait_s
+            )
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        start = time.monotonic()
+        state, error, result = JOB_DONE, None, None
+        try:
+            # A job whose deadline lapsed (or that was cancelled) while
+            # queued must never start compiling.
+            job.cancel_token.check()
+            result = self.compile_fn(job.request, job.cancel_token, self.cache)
+        except DeadlineExceededError as exc:
+            state, error = JOB_TIMEOUT, str(exc)
+        except CancelledError as exc:
+            state, error = JOB_CANCELLED, str(exc)
+        except ReproError as exc:
+            state, error = JOB_FAILED, str(exc)
+        except Exception as exc:  # worker must survive any job
+            state, error = JOB_FAILED, f"{type(exc).__name__}: {exc}"
+        run_s = time.monotonic() - start
+        with self._cond:
+            job.run_s = run_s
+            self._inflight -= 1
+            self.metrics.gauge("repro_jobs_inflight").set(self._inflight)
+            self._finish_locked(job, state, error=error, result=result)
+        self.metrics.histogram("repro_job_run_seconds").observe(run_s)
+        if result is not None and result.stats:
+            observe_synthesis_stats(self.metrics, result.stats)
+
+    def _finish_locked(self, job: Job, state: str, error: str | None = None,
+                       result: CompileResult | None = None) -> None:
+        job.state = state
+        job.error = error
+        job.result = result
+        job.finished_at = time.time()
+        job.coalesced_waiters = self.coalescer.waiters(job.key)
+        self.coalescer.release(job.key)
+        counter = {
+            JOB_DONE: "repro_jobs_completed_total",
+            JOB_FAILED: "repro_jobs_failed_total",
+            JOB_CANCELLED: "repro_jobs_cancelled_total",
+            JOB_TIMEOUT: "repro_jobs_timeout_total",
+        }[state]
+        self.metrics.counter(counter).inc()
+        job.done.set()
+        self._cond.notify_all()
+
+    def _trim_retained_locked(self) -> None:
+        if len(self._jobs) <= MAX_RETAINED:
+            return
+        terminal = [
+            job_id for job_id, job in self._jobs.items()
+            if job.state in TERMINAL_STATES
+        ]
+        excess = len(self._jobs) - MAX_RETAINED
+        for job_id in terminal[:excess]:
+            del self._jobs[job_id]
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(self, drain: bool = True,
+                 timeout: float | None = None) -> bool:
+        """Stop the pool; returns whether all work finished cleanly.
+
+        ``drain=True`` stops admission, lets queued and running jobs
+        finish, then joins the workers.  ``drain=False`` cancels queued
+        jobs and trips running jobs' tokens first.  Either way the shared
+        verdict cache is flushed to disk before returning.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._cond:
+            self._accepting = False
+            if not drain:
+                for job in list(self._pending):
+                    self._pending.remove(job)
+                    self._finish_locked(
+                        job, JOB_CANCELLED, error="server shutdown"
+                    )
+                self.metrics.gauge("repro_queue_depth").set(0)
+                for job in self._jobs.values():
+                    if job.state == JOB_RUNNING:
+                        job.cancel_token.cancel("server shutdown")
+            self._resume.set()
+            clean = True
+            while self._pending or self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        clean = False
+                        break
+                self._cond.wait(remaining if remaining is not None else 0.5)
+            self._stop = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self.cache.flush()
+        return clean

@@ -1,0 +1,284 @@
+"""The compilation daemon: JSON over HTTP on the stdlib ``http.server``.
+
+Endpoints (see ``docs/service.md`` for schemas):
+
+* ``POST /compile``          — submit a :class:`CompileRequest`; responds
+  with the job id and whether the submission coalesced onto an identical
+  in-flight job.  ``503`` when the queue is full, ``400`` on protocol
+  errors, ``409`` once shutdown has begun.
+* ``GET  /jobs/<id>``        — the job's :class:`JobView` (result inline
+  once terminal).  ``404`` for unknown ids.
+* ``POST /jobs/<id>/cancel`` — cooperative cancellation.
+* ``GET  /healthz``          — liveness + protocol version + uptime.
+* ``GET  /metrics``          — Prometheus-style text
+  (``?format=json`` for the structured form).
+* ``POST /shutdown``         — graceful shutdown (also triggered by
+  SIGINT/SIGTERM under :func:`serve`).
+
+Graceful shutdown never strands a client: admission closes first (new
+submissions get ``503``), queued and running jobs drain to terminal
+states while status polls keep being answered, the shared verdict cache
+is flushed to disk, and only then does the HTTP loop stop.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from ..errors import ProtocolError, QueueFullError, ServiceError
+from .protocol import PROTOCOL_VERSION, CompileRequest
+from .scheduler import JobScheduler
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP exchange to the owning :class:`CompileServer`."""
+
+    service: "CompileServer" = None  # patched per server instance
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.service.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, self.service.health())
+            elif parts == ["metrics"]:
+                if "format=json" in (url.query or ""):
+                    self._send_json(200, self.service.metrics.as_dict())
+                else:
+                    self._send_text(200, self.service.metrics.render_text())
+            elif len(parts) == 2 and parts[0] == "jobs":
+                job = self.service.scheduler.get(parts[1])
+                if job is None:
+                    self._send_json(404, {"error": f"unknown job {parts[1]}"})
+                else:
+                    self._send_json(200, job.view().to_dict())
+            else:
+                self._send_json(404, {"error": f"no route GET {url.path}"})
+        except Exception as exc:  # never kill the connection thread
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["compile"]:
+                self._post_compile()
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                cancelled = self.service.scheduler.cancel(parts[1])
+                self._send_json(200, {"id": parts[1], "cancelled": cancelled})
+            elif parts == ["shutdown"]:
+                self._send_json(200, {"draining": True})
+                self.service.request_shutdown()
+            else:
+                self._send_json(404, {"error": f"no route POST {url.path}"})
+        except ProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except QueueFullError as exc:
+            self._send_json(503, {"error": str(exc), "retry": True})
+        except ServiceError as exc:
+            self._send_json(409, {"error": str(exc)})
+        except Exception as exc:
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _post_compile(self) -> None:
+        from ..workloads.base import names
+
+        request = CompileRequest.from_dict(self._read_json())
+        request.validate(known_workloads=names())
+        job, coalesced = self.service.scheduler.submit(request)
+        self._send_json(202, {
+            "v": PROTOCOL_VERSION,
+            "id": job.id,
+            "state": job.state,
+            "coalesced": coalesced,
+            "key": job.key,
+        })
+
+
+class CompileServer:
+    """A long-lived compilation server bound to one scheduler.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`address`).  :meth:`start` runs the HTTP loop on a background
+    thread (tests, benchmarks); :meth:`serve_forever` blocks (the CLI).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue_size: int = 64,
+        cache_dir: str | None = None,
+        cache=None,
+        compile_fn=None,
+        aging_rate: float = 1.0,
+        quiet: bool = True,
+        grace_s: float = 2.0,
+    ):
+        self.scheduler = JobScheduler(
+            workers=workers,
+            queue_size=queue_size,
+            cache=cache,
+            cache_dir=cache_dir,
+            compile_fn=compile_fn,
+            aging_rate=aging_rate,
+        )
+        self.metrics = self.scheduler.metrics
+        self.quiet = quiet
+        self.grace_s = grace_s
+        self.started_mono = time.monotonic()
+        handler = type("BoundHandler", (_Handler,), {"service": self})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._serve_thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        self._shutting_down = False
+
+    # -- addresses ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> dict:
+        from ..workloads.base import names
+
+        return {
+            "status": "draining" if self._shutting_down else "ok",
+            "v": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self.started_mono, 3),
+            "workloads": len(names()),
+            "queue_depth": self.scheduler.queue_depth(),
+            "jobs_inflight": self.scheduler.inflight(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "CompileServer":
+        """Serve on a background thread; returns self once listening."""
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown without blocking the caller (used by
+        ``POST /shutdown`` and signal handlers)."""
+        threading.Thread(
+            target=self.shutdown, name="repro-shutdown", daemon=True
+        ).start()
+
+    def shutdown(self, drain: bool = True,
+                 timeout: float | None = None) -> bool:
+        """Drain jobs, flush the verdict cache, stop the HTTP loop.
+
+        Idempotent; returns whether the drain finished cleanly.  Status
+        polls are answered for the whole drain window so clients waiting
+        on in-flight jobs observe their terminal states.
+        """
+        with self._shutdown_lock:
+            if self._shutting_down:
+                return True
+            self._shutting_down = True
+        busy = self.scheduler.queue_depth() + self.scheduler.inflight() > 0
+        clean = self.scheduler.shutdown(drain=drain, timeout=timeout)
+        if busy and self.grace_s > 0:
+            # Clients poll at up to 1s intervals; linger so a waiter that
+            # was mid-backoff when its job went terminal still gets one
+            # successful status read before the socket closes.
+            time.sleep(self.grace_s)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        return clean
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8347,
+    workers: int = 2,
+    queue_size: int = 64,
+    cache_dir: str | None = None,
+    aging_rate: float = 1.0,
+    port_file: str | None = None,
+    quiet: bool = False,
+) -> int:
+    """Run the daemon until SIGINT/SIGTERM or ``POST /shutdown``.
+
+    ``port_file`` (for scripts and CI) receives ``host port\\n`` once the
+    socket is bound — with ``port=0`` that is the only way to learn the
+    ephemeral port.
+    """
+    server = CompileServer(
+        host=host, port=port, workers=workers, queue_size=queue_size,
+        cache_dir=cache_dir, aging_rate=aging_rate, quiet=quiet,
+    )
+    bound_host, bound_port = server.address
+
+    def _on_signal(signum, frame):
+        server.request_shutdown()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, _on_signal)
+
+    if port_file:
+        with open(port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{bound_host} {bound_port}\n")
+    print(f"repro.service listening on http://{bound_host}:{bound_port} "
+          f"({workers} workers, queue {queue_size})", flush=True)
+    server.serve_forever()
+    print("repro.service: drained and stopped", flush=True)
+    return 0

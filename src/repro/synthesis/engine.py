@@ -139,8 +139,16 @@ class DiskStore:
         {"t": "v", "k": "<query key>", "v": 0 | 1}
         {"t": "c", "k": "<spec key>",  "i": <bank index>}
 
-    Corrupt or unknown lines are skipped on load, so a truncated final line
-    (interrupted run) never poisons the store.  Writes are buffered and
+    The store is safe to share between concurrent writers — threads in one
+    process (every method takes the store lock) and multiple processes
+    appending to the same file.  Each flush lands as **one**
+    ``os.write`` on an ``O_APPEND`` descriptor, so batches from different
+    processes interleave at line-batch granularity rather than mid-line;
+    the loader additionally tolerates the failure modes concurrency can
+    still produce — torn or merged lines never parse and are skipped, and
+    duplicate records (two processes proving the same verdict) are
+    idempotent.  A truncated final line from an interrupted run is
+    likewise skipped, never poisoning the store.  Writes are buffered and
     flushed periodically, on :meth:`close` and at interpreter exit.
     """
 
@@ -151,17 +159,22 @@ class DiskStore:
         self._verdicts: dict[str, bool] = {}
         self._counterexamples: dict[str, list[int]] = {}
         self._pending: list[str] = []
+        self._lock = threading.RLock()
         self._load()
         atexit.register(self.close)
 
     def _load(self) -> None:
         if not self.path.exists():
             return
-        for line in self.path.read_text().splitlines():
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
             try:
                 rec = json.loads(line)
             except (json.JSONDecodeError, ValueError):
-                continue
+                continue  # torn/merged line from a concurrent writer
             if not isinstance(rec, dict):
                 continue
             if rec.get("t") == "v" and "k" in rec and "v" in rec:
@@ -172,42 +185,58 @@ class DiskStore:
                     bucket.append(rec["i"])
 
     def __len__(self) -> int:
-        return len(self._verdicts)
+        with self._lock:
+            return len(self._verdicts)
 
     def get_verdict(self, key: str) -> bool | None:
-        return self._verdicts.get(key)
+        with self._lock:
+            return self._verdicts.get(key)
 
     def put_verdict(self, key: str, verdict: bool) -> None:
-        if key in self._verdicts:
-            return
-        self._verdicts[key] = verdict
-        self._pending.append(json.dumps(
-            {"t": "v", "k": key, "v": int(verdict)}, separators=(",", ":")
-        ))
-        if len(self._pending) >= self.FLUSH_EVERY:
-            self.flush()
+        with self._lock:
+            if key in self._verdicts:
+                return
+            self._verdicts[key] = verdict
+            self._pending.append(json.dumps(
+                {"t": "v", "k": key, "v": int(verdict)},
+                separators=(",", ":")
+            ))
+            if len(self._pending) >= self.FLUSH_EVERY:
+                self.flush()
 
     def counterexample_indices(self, key: str) -> list[int]:
-        return list(self._counterexamples.get(key, ()))
+        with self._lock:
+            return list(self._counterexamples.get(key, ()))
 
     def add_counterexample(self, key: str, index: int) -> None:
-        bucket = self._counterexamples.setdefault(key, [])
-        if index in bucket:
-            return
-        bucket.append(index)
-        self._pending.append(json.dumps(
-            {"t": "c", "k": key, "i": index}, separators=(",", ":")
-        ))
-        if len(self._pending) >= self.FLUSH_EVERY:
-            self.flush()
+        with self._lock:
+            bucket = self._counterexamples.setdefault(key, [])
+            if index in bucket:
+                return
+            bucket.append(index)
+            self._pending.append(json.dumps(
+                {"t": "c", "k": key, "i": index}, separators=(",", ":")
+            ))
+            if len(self._pending) >= self.FLUSH_EVERY:
+                self.flush()
 
     def flush(self) -> None:
-        if not self._pending:
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as fh:
-            fh.write("\n".join(self._pending) + "\n")
-        self._pending = []
+        with self._lock:
+            if not self._pending:
+                return
+            payload = ("\n".join(self._pending) + "\n").encode()
+            self._pending = []
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # One O_APPEND write per batch: the kernel appends atomically
+            # with respect to other appenders, so concurrent processes
+            # sharing a cache dir interleave whole batches, not bytes.
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
 
     def close(self) -> None:
         self.flush()
@@ -215,11 +244,21 @@ class DiskStore:
 
 @dataclasses.dataclass
 class OracleCache:
-    """Two-level verdict cache: in-process map over an optional disk store."""
+    """Two-level verdict cache: in-process map over an optional disk store.
+
+    Safe to share between threads: the compilation service hands one cache
+    to every worker so concurrent jobs warm each other.  Verdicts are pure
+    functions of their key, so a lost race is just a duplicate proof —
+    the lock only protects the dict/store bookkeeping, never a verdict's
+    validity.
+    """
 
     store: DiskStore | None = None
     _verdicts: dict = dataclasses.field(default_factory=dict)
     _counterexamples: dict = dataclasses.field(default_factory=dict)
+    _lock: threading.RLock = dataclasses.field(
+        default_factory=threading.RLock, repr=False
+    )
 
     @classmethod
     def with_disk(cls, directory: str | Path | None = None) -> "OracleCache":
@@ -229,36 +268,45 @@ class OracleCache:
         return cls(store=DiskStore(directory / CACHE_FILE_NAME))
 
     def lookup(self, key: str) -> bool | None:
-        verdict = self._verdicts.get(key)
-        if verdict is None and self.store is not None:
-            verdict = self.store.get_verdict(key)
-            if verdict is not None:
-                self._verdicts[key] = verdict
-        return verdict
+        with self._lock:
+            verdict = self._verdicts.get(key)
+            if verdict is None and self.store is not None:
+                verdict = self.store.get_verdict(key)
+                if verdict is not None:
+                    self._verdicts[key] = verdict
+            return verdict
 
     def record(self, key: str, verdict: bool) -> None:
-        self._verdicts[key] = verdict
-        if self.store is not None:
-            self.store.put_verdict(key, verdict)
+        with self._lock:
+            self._verdicts[key] = verdict
+            if self.store is not None:
+                self.store.put_verdict(key, verdict)
 
     def counterexample_indices(self, skey: str) -> list[int]:
-        indices = list(self._counterexamples.get(skey, ()))
-        if self.store is not None:
-            for i in self.store.counterexample_indices(skey):
-                if i not in indices:
-                    indices.append(i)
-        return indices
+        with self._lock:
+            indices = list(self._counterexamples.get(skey, ()))
+            if self.store is not None:
+                for i in self.store.counterexample_indices(skey):
+                    if i not in indices:
+                        indices.append(i)
+            return indices
 
     def record_counterexample(self, skey: str, index: int) -> None:
-        bucket = self._counterexamples.setdefault(skey, [])
-        if index not in bucket:
-            bucket.append(index)
-        if self.store is not None:
-            self.store.add_counterexample(skey, index)
+        with self._lock:
+            bucket = self._counterexamples.setdefault(skey, [])
+            if index not in bucket:
+                bucket.append(index)
+            if self.store is not None:
+                self.store.add_counterexample(skey, index)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._verdicts)
 
     def flush(self) -> None:
-        if self.store is not None:
-            self.store.flush()
+        with self._lock:
+            if self.store is not None:
+                self.store.flush()
 
 
 # ---------------------------------------------------------------------------
@@ -353,6 +401,11 @@ class ParallelChecker:
         n = len(candidates)
         if n == 0:
             return []
+        if oracle.cancel is not None:
+            # Cooperative cancellation observes batch boundaries: a batch
+            # already dispatched to workers completes (its verdicts are
+            # sound and cacheable), the next one never starts.
+            oracle.cancel.check()
         if self.mode == MODE_SERIAL or n < self.min_batch:
             return [oracle.equivalent(spec, c, layout) for c in candidates]
 
@@ -402,6 +455,8 @@ class ParallelChecker:
             return None
         wave = max(self.jobs * 2, self.min_batch)
         for start in range(0, len(candidates), wave):
+            if oracle.cancel is not None:
+                oracle.cancel.check()
             verdicts = self.check_batch(
                 oracle, spec, candidates[start:start + wave], layout
             )

@@ -87,6 +87,8 @@ class Lowerer:
         for sketch in sketch_iter:
             if examined >= self.options.max_sketches:
                 break
+            if self.oracle.cancel is not None:
+                self.oracle.cancel.check()
             examined += 1
             adapted = self._adapt_layout(sketch, layout)
             if adapted is None:

@@ -126,6 +126,10 @@ class Oracle:
     #: way, so this does not participate in cache keys
     batch_eval: bool = True
     cache: engine.OracleCache = field(default_factory=engine.OracleCache)
+    #: cooperative cancellation checked at every query boundary — a raised
+    #: cancellation happens *before* the differential pass starts, so the
+    #: verdict caches only ever see complete, sound entries
+    cancel: object = None  # CancelToken | None
     _counterexamples: dict = field(default_factory=dict)
     _bank_cache: dict = field(default_factory=dict)
     _spec_cache: dict = field(default_factory=dict)
@@ -278,6 +282,8 @@ class Oracle:
         ``candidate`` may be any expression kind, with ``layout`` applied
         when it is an HVX expression.
         """
+        if self.cancel is not None:
+            self.cancel.check()
         with self._stage_ctx():
             self.stats.count_query()
             key = self.query_key(spec, candidate, layout)
@@ -399,6 +405,8 @@ class Oracle:
         proves the candidate wrong; a pass just promotes it to the full
         check.
         """
+        if self.cancel is not None:
+            self.cancel.check()
         with self._stage_ctx():
             self.stats.count_query()
             key = self.query_key(spec, candidate, layout, tag="lane0")

@@ -117,6 +117,8 @@ def synthesize_swizzles(
 
     scored = []
     for combo in combos:
+        if oracle.cancel is not None:
+            oracle.cancel.check()
         mapping = dict(zip(placeholders, combo))
         # A swizzle's realization embeds its (placeholder) value; resolving
         # the mapping against itself first — realizations are small trees —

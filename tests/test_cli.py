@@ -36,6 +36,37 @@ class TestParser:
         assert args.stats_json is None
         assert args.cache_dir is None
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8347
+        assert args.port_file is None
+        assert not args.quiet
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--queue-size", "16",
+             "--cache-dir", "/tmp/c", "--port-file", "p.txt", "--quiet"])
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.queue_size == 16
+        assert args.port_file == "p.txt"
+        assert args.quiet
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "sobel", "--url", "http://127.0.0.1:9000",
+             "--priority", "3", "--deadline", "30", "--wait"])
+        assert args.workload == "sobel"
+        assert args.url == "http://127.0.0.1:9000"
+        assert args.priority == 3
+        assert args.deadline == 30.0
+        assert args.wait
+
+    def test_status_job_optional(self):
+        assert build_parser().parse_args(["status"]).job is None
+        assert build_parser().parse_args(["status", "abc123"]).job == "abc123"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -112,3 +143,66 @@ class TestCommands:
                      "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "cycles" in out
+
+
+class TestErrorHandling:
+    """Operator mistakes get one-line errors and a nonzero exit — never a
+    traceback."""
+
+    def _blocked_path(self, tmp_path, *more):
+        # A path whose parent is a *file*: unwritable even when the test
+        # runs as root (which ignores permission bits).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        return str(blocker.joinpath(*more))
+
+    def test_unknown_workload_message(self, capsys):
+        assert main(["compile", "nonexistent"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown workload")
+        assert "repro list" in err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_speedups_unknown_only(self, capsys):
+        assert main(["speedups", "--only", "mul", "nonexistent"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "nonexistent" in err
+        assert "Traceback" not in err
+
+    def test_unwritable_cache_dir(self, capsys, tmp_path):
+        bad = self._blocked_path(tmp_path, "cache")
+        assert main(["compile", "mul", "--cache-dir", bad]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_unwritable_stats_json(self, capsys, tmp_path):
+        bad = self._blocked_path(tmp_path, "stats.json")
+        assert main(["compile", "mul", "--stats-json", bad]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_stats_json_probe_keeps_existing_file(self, capsys, tmp_path):
+        # The writability probe must not clobber a file that already has
+        # content: probing opens in append mode.
+        stats = tmp_path / "stats.json"
+        stats.write_text("precious")
+        assert main(["compile", "nonexistent",
+                     "--stats-json", str(stats)]) == 2
+        assert stats.read_text() == "precious"
+
+    def test_submit_unreachable_server(self, capsys):
+        # Port 1 is reserved and closed; connection is refused instantly.
+        assert main(["submit", "mul", "--url", "http://127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot reach compile server")
+        assert "Traceback" not in err
+
+    def test_status_unreachable_server(self, capsys):
+        assert main(["status", "--url", "http://127.0.0.1:1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err

@@ -238,6 +238,93 @@ class TestOracleMemoization:
         assert oracle.stats.total_cache_hits == 1
 
 
+class TestConcurrentWriters:
+    """The service shares one store across workers and cache dirs across
+    processes; appends must interleave at line granularity."""
+
+    def test_threads_sharing_one_store(self, tmp_path):
+        import threading
+
+        path = tmp_path / "oracle.jsonl"
+        store = DiskStore(path)
+        barrier = threading.Barrier(8)
+
+        def writer(t):
+            barrier.wait()
+            for i in range(200):
+                store.put_verdict(f"k{t}-{i}", (t + i) % 2 == 0)
+                if i % 50 == 0:
+                    store.flush()
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(8)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        store.close()
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == 8 * 200  # no duplicates, no losses
+        for line in lines:
+            rec = json.loads(line)  # raises if any line tore
+            assert rec["t"] == "v"
+        reloaded = DiskStore(path)
+        assert len(reloaded) == 8 * 200
+        assert reloaded.get_verdict("k3-101") is ((3 + 101) % 2 == 0)
+
+    def test_two_stores_appending_to_one_file(self, tmp_path):
+        # Two *instances* on one path model two processes sharing a cache
+        # dir: each is blind to the other's in-memory state, so both may
+        # prove the same verdict — the duplicate must be idempotent.
+        path = tmp_path / "oracle.jsonl"
+        first, second = DiskStore(path), DiskStore(path)
+        first.put_verdict("shared", True)
+        second.put_verdict("shared", True)
+        first.put_verdict("first-only", False)
+        second.put_verdict("second-only", True)
+        second.add_counterexample("s", 7)
+        first.flush()
+        second.flush()
+
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+        merged = DiskStore(path)
+        assert merged.get_verdict("shared") is True
+        assert merged.get_verdict("first-only") is False
+        assert merged.get_verdict("second-only") is True
+        assert merged.counterexample_indices("s") == [7]
+        assert len(merged) == 3
+
+    def test_interleaved_flushes_from_competing_threads(self, tmp_path):
+        import threading
+
+        path = tmp_path / "oracle.jsonl"
+        barrier = threading.Barrier(4)
+
+        def hammer(t):
+            own = DiskStore(path)
+            barrier.wait()
+            for i in range(100):
+                own.put_verdict(f"w{t}-{i}", True)
+                own.flush()  # every record races with the other writers
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        keys = set()
+        for line in path.read_text().splitlines():
+            rec = json.loads(line)  # a torn write would fail here
+            keys.add(rec["k"])
+        assert keys == {f"w{t}-{i}" for t in range(4) for i in range(100)}
+
+
 class TestCacheDir:
     def test_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))

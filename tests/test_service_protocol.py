@@ -1,0 +1,120 @@
+"""Wire-protocol tests: round trips, validation, versioning."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    JOB_DONE,
+    JOB_QUEUED,
+    PROTOCOL_VERSION,
+    CompileRequest,
+    CompileResult,
+    JobView,
+)
+
+
+class TestCompileRequest:
+    def test_roundtrip(self):
+        req = CompileRequest(workload="sobel", backend="rake", width=128,
+                             height=32, priority=3, deadline_s=10.0, jobs=2,
+                             batch_eval=False)
+        data = req.to_dict()
+        assert data["v"] == PROTOCOL_VERSION
+        assert CompileRequest.from_dict(data) == req
+
+    def test_defaults(self):
+        req = CompileRequest.from_dict({"workload": "mul"})
+        assert req.backend == "rake"
+        assert req.width is None and req.height is None
+        assert req.priority == 10 and req.deadline_s is None
+        assert req.jobs == 1 and req.batch_eval is True
+
+    def test_unknown_fields_tolerated(self):
+        req = CompileRequest.from_dict(
+            {"workload": "mul", "future_flag": True})
+        assert req.workload == "mul"
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            CompileRequest.from_dict({"workload": "mul", "v": 99})
+
+    @pytest.mark.parametrize("patch", [
+        {"workload": ""},
+        {"backend": "llvm"},
+        {"width": -1},
+        {"height": 0},
+        {"priority": "high"},
+        {"deadline_s": -2},
+        {"jobs": 0},
+    ])
+    def test_invalid_fields_rejected(self, patch):
+        data = {"workload": "mul", **patch}
+        with pytest.raises(ProtocolError):
+            CompileRequest.from_dict(data)
+
+    def test_unknown_workload_with_registry(self):
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            CompileRequest(workload="nope").validate(
+                known_workloads={"mul", "sobel"})
+
+    def test_non_dict_body(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            CompileRequest.from_dict([1, 2, 3])
+
+
+class TestCompileResult:
+    def test_roundtrip(self):
+        result = CompileResult(
+            workload="mul", backend="rake", total_cycles=384,
+            stage_cycles=({"name": "out", "total": 384, "compute_ii": 2,
+                           "memory_cycles": 64, "bound": "compute"},),
+            programs=({"stage": "out", "selector": "rake",
+                       "listing": "v0 = vmpy(a, b)"},),
+            optimized_exprs=1, fallbacks=0,
+            stats={"totals": {"queries": 93}},
+        )
+        assert CompileResult.from_dict(result.to_dict()) == result
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing field"):
+            CompileResult.from_dict({"workload": "mul", "backend": "rake"})
+
+
+class TestJobView:
+    def _view(self, **kwargs):
+        defaults = dict(
+            id="abc123", state=JOB_QUEUED,
+            request=CompileRequest(workload="mul"),
+            key="deadbeef", submitted_at=1000.0,
+        )
+        defaults.update(kwargs)
+        return JobView(**defaults)
+
+    def test_roundtrip_queued(self):
+        view = self._view()
+        restored = JobView.from_dict(view.to_dict())
+        assert restored == view
+        assert not restored.terminal
+
+    def test_roundtrip_with_result(self):
+        result = CompileResult(workload="mul", backend="rake",
+                               total_cycles=384)
+        view = self._view(state=JOB_DONE, started_at=1000.5,
+                          finished_at=1001.0, wait_s=0.5, run_s=0.5,
+                          coalesced_waiters=2, result=result)
+        restored = JobView.from_dict(view.to_dict())
+        assert restored == view
+        assert restored.terminal
+        assert restored.result.total_cycles == 384
+
+    def test_unknown_state_rejected(self):
+        data = self._view().to_dict()
+        data["state"] = "exploded"
+        with pytest.raises(ProtocolError, match="unknown state"):
+            JobView.from_dict(data)
+
+    def test_version_mismatch_rejected(self):
+        data = self._view().to_dict()
+        data["v"] = 0
+        with pytest.raises(ProtocolError, match="version"):
+            JobView.from_dict(data)
