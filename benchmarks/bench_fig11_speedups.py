@@ -11,7 +11,8 @@ the regression case.
 
 import pytest
 
-from repro.reporting import SpeedupRow, geomean
+from repro.numerics import geomean
+from repro.reporting import SpeedupRow
 from repro.sim import measure
 from repro.workloads.base import all_workloads, get
 

@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 
 import repro.workloads  # noqa: F401 - populate the registry
+from repro.numerics import quantile
 from repro.service import CompileRequest, CompileServer, ServiceClient
 
 RESULTS = Path(__file__).parent / "results" / "service_throughput.json"
@@ -37,11 +38,8 @@ CONCURRENCY_LEVELS = [1, 4, 16]
 
 
 def _quantile(sorted_values, q):
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1,
-                max(0, int(round(q * len(sorted_values) + 0.5)) - 1))
-    return sorted_values[index]
+    value = quantile(sorted_values, q)
+    return 0.0 if value is None else value
 
 
 def _one_round(url, requests_total, clients):

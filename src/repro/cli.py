@@ -8,8 +8,13 @@ Commands:
 * ``isa`` — browse the registered instruction families (HVX and Neon).
 * ``speedups`` — the Figure 11 sweep over every workload (slow: full
   synthesis for the suite).
+* ``trace WORKLOAD`` — compile once with tracing on and render/export the
+  span tree (ASCII timeline, Chrome ``trace_event`` JSON, flamegraph).
 * ``serve`` — run the long-lived compilation server
   (:mod:`repro.service`); ``submit`` / ``status`` talk to it.
+
+``--log-level``/``--log-json`` (global, before the subcommand) configure
+the structured logger every component shares (:mod:`repro.trace.log`).
 
 Errors the user can act on (unknown workloads, unwritable paths, an
 unreachable server) are reported as a one-line message on stderr with a
@@ -37,7 +42,10 @@ from .reporting import (
 )
 from .sim import measure
 from .synthesis.engine import default_cache_dir
+from .trace import Tracer, configure_logging, get_logger, write_chrome_trace
 from .workloads.base import all_workloads, get, names
+
+_log = get_logger("repro.cli")
 
 
 def _fail(message: str) -> int:
@@ -89,10 +97,11 @@ def _cmd_list(args) -> int:
 def _compile_one(name: str, backend: str, show_programs: bool,
                  width: int | None, height: int | None, asm: bool = False,
                  jobs: int = 1, cache_dir: str | None = None,
-                 batch_eval: bool = True):
+                 batch_eval: bool = True, tracer=None):
     wl = get(name)
     compiled = compile_pipeline(wl.build(), backend=backend, jobs=jobs,
-                                cache_dir=cache_dir, batch_eval=batch_eval)
+                                cache_dir=cache_dir, batch_eval=batch_eval,
+                                tracer=tracer)
     cycles = measure(compiled, width or wl.width, height or wl.height)
     print(f"[{backend}] {name}: {cycles.total} cycles "
           f"({compiled.optimized_exprs} expressions synthesized, "
@@ -134,13 +143,19 @@ def _cmd_compile(args) -> int:
         problem = _writable_file_error(args.stats_json)
         if problem is not None:
             return _fail(f"--stats-json: {problem}")
+    tracer = None
+    if args.trace_out:
+        problem = _writable_file_error(args.trace_out)
+        if problem is not None:
+            return _fail(f"--trace-out: {problem}")
+        tracer = Tracer()
     totals = {}
     stats_by_backend = {}
     for backend in backends:
         totals[backend], stats_by_backend[backend] = _compile_one(
             args.workload, backend, args.show_programs, args.width,
             args.height, asm=args.asm, jobs=args.jobs, cache_dir=cache_dir,
-            batch_eval=not args.no_batch_eval,
+            batch_eval=not args.no_batch_eval, tracer=tracer,
         )
     rake_stats = stats_by_backend.get("rake")
     if rake_stats is not None and rake_stats.total_queries:
@@ -154,6 +169,14 @@ def _cmd_compile(args) -> int:
             return _fail(f"cannot write --stats-json {args.stats_json}: "
                          f"{exc.strerror or exc}")
         print(f"wrote synthesis stats to {args.stats_json}")
+    if tracer is not None:
+        try:
+            write_chrome_trace(tracer.tree(), args.trace_out)
+        except OSError as exc:
+            return _fail(f"cannot write --trace-out {args.trace_out}: "
+                         f"{exc.strerror or exc}")
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
     if len(totals) == 2:
         print(f"\nspeedup: {totals['baseline'] / totals['rake']:.2f}x "
               f"(baseline / rake)")
@@ -185,7 +208,7 @@ def _cmd_speedups(args) -> int:
     for wl in all_workloads():
         if args.only and wl.name not in args.only:
             continue
-        print(f"compiling {wl.name} ...", file=sys.stderr)
+        _log.info("compiling", workload=wl.name)
         rake = compile_pipeline(wl.build(), backend="rake", jobs=args.jobs,
                                 batch_eval=not args.no_batch_eval)
         base = compile_pipeline(wl.build(), backend="baseline")
@@ -197,6 +220,48 @@ def _cmd_speedups(args) -> int:
             paper_band=wl.paper_band,
         ))
     print(speedup_figure(sorted(rows, key=lambda r: r.name)))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .reporting import trace_timeline
+    from .trace import write_flamegraph
+
+    if args.workload not in names():
+        print(f"error: unknown workload {args.workload!r}; "
+              f"see `python -m repro list`", file=sys.stderr)
+        return 2
+    if args.trace_out:
+        problem = _writable_file_error(args.trace_out)
+        if problem is not None:
+            return _fail(f"--trace-out: {problem}")
+    wl = get(args.workload)
+    tracer = Tracer()
+    compiled = compile_pipeline(
+        wl.build(), backend=args.backend, jobs=args.jobs,
+        batch_eval=not args.no_batch_eval, tracer=tracer,
+    )
+    cycles = measure(compiled, args.width or wl.width,
+                     args.height or wl.height)
+    tree = tracer.tree()
+    print(trace_timeline(tree, max_depth=args.depth))
+    print(f"\n[{args.backend}] {args.workload}: {cycles.total} cycles "
+          f"({compiled.optimized_exprs} expressions synthesized, "
+          f"{compiled.fallbacks} fallbacks)")
+    if args.trace_out:
+        try:
+            if args.format == "flame":
+                write_flamegraph(tree, args.trace_out)
+            elif args.format == "timeline":
+                with open(args.trace_out, "w", encoding="utf-8") as fh:
+                    fh.write(trace_timeline(tree, max_depth=args.depth))
+                    fh.write("\n")
+            else:
+                write_chrome_trace(tree, args.trace_out)
+        except OSError as exc:
+            return _fail(f"cannot write --trace-out {args.trace_out}: "
+                         f"{exc.strerror or exc}")
+        print(f"wrote {args.format} trace to {args.trace_out}")
     return 0
 
 
@@ -241,7 +306,12 @@ def _cmd_submit(args) -> int:
         deadline_s=args.deadline,
         jobs=args.jobs,
         batch_eval=not args.no_batch_eval,
+        trace=bool(args.trace or args.trace_out),
     ).validate()
+    if args.trace_out:
+        problem = _writable_file_error(args.trace_out)
+        if problem is not None:
+            return _fail(f"--trace-out: {problem}")
     client = ServiceClient(args.url)
     submitted = client.submit(request)
     coalesced = " (coalesced onto an identical in-flight job)" if (
@@ -253,10 +323,24 @@ def _cmd_submit(args) -> int:
         return 0
     view = client.wait(submitted["id"], timeout=args.timeout)
     print(job_summary(view))
+    if view.trace_id:
+        print(f"    trace id: {view.trace_id}")
     if args.show_programs and view.result is not None:
         for prog in view.result.programs:
             print(f"\n-- {prog['stage']} [{prog['selector']}] --")
             print(prog["listing"])
+    if args.trace_out:
+        tree = client.trace(submitted["id"])
+        if tree is None:
+            print("no trace recorded for this job (it may have coalesced "
+                  "onto an untraced submission)", file=sys.stderr)
+        else:
+            try:
+                write_chrome_trace(tree, args.trace_out)
+            except OSError as exc:
+                return _fail(f"cannot write --trace-out {args.trace_out}: "
+                             f"{exc.strerror or exc}")
+            print(f"wrote Chrome trace to {args.trace_out}")
     return 0 if view.state == "done" else 1
 
 
@@ -277,6 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Rake (ASPLOS 2022) reproduction: synthesis-based "
                     "vector instruction selection",
     )
+    parser.add_argument("--log-level",
+                        choices=("debug", "info", "warning", "error"),
+                        default="info",
+                        help="structured-log verbosity (stderr)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines instead of text")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the 21 paper benchmarks")
@@ -306,6 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable the batched NumPy oracle and check "
                                 "every valuation through the scalar "
                                 "interpreters (identical verdicts, slower)")
+    p_compile.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="record a span trace of the compile and "
+                                "write it as Chrome trace_event JSON")
 
     p_isa = sub.add_parser("isa", help="browse the instruction registry")
     p_isa.add_argument("--target", choices=("all", "hvx", "neon"),
@@ -322,6 +415,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "rake backend")
     p_speed.add_argument("--no-batch-eval", action="store_true",
                          help="disable the batched NumPy oracle")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="compile one benchmark with tracing on and export the spans")
+    p_trace.add_argument("workload")
+    p_trace.add_argument("--backend", choices=("rake", "baseline"),
+                         default="rake")
+    p_trace.add_argument("--jobs", type=int, default=1,
+                         help="parallel equivalence-check workers")
+    p_trace.add_argument("--width", type=int, default=None)
+    p_trace.add_argument("--height", type=int, default=None)
+    p_trace.add_argument("--no-batch-eval", action="store_true")
+    p_trace.add_argument("--depth", type=int, default=4,
+                         help="timeline nesting depth shown on stdout")
+    p_trace.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write the trace to PATH (see --format)")
+    p_trace.add_argument("--format",
+                         choices=("chrome", "flame", "timeline"),
+                         default="chrome",
+                         help="--trace-out format: Chrome trace_event "
+                              "JSON, collapsed flamegraph stacks, or the "
+                              "ASCII timeline")
 
     p_serve = sub.add_parser(
         "serve", help="run the long-lived compilation server")
@@ -370,6 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="give up waiting after this many seconds")
     p_submit.add_argument("--show-programs", action="store_true",
                           help="with --wait: print the selected programs")
+    p_submit.add_argument("--trace", action="store_true",
+                          help="record a span trace server-side (fetch it "
+                               "with GET /jobs/<id>?trace=1)")
+    p_submit.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="with --wait: fetch the job's trace and "
+                               "write Chrome trace_event JSON (implies "
+                               "--trace)")
 
     p_status = sub.add_parser(
         "status", help="query a running server (or one job)")
@@ -382,11 +504,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     handler = {
         "list": _cmd_list,
         "compile": _cmd_compile,
         "isa": _cmd_isa,
         "speedups": _cmd_speedups,
+        "trace": _cmd_trace,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,

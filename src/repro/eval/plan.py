@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EvaluationError
+from ..trace.core import NULL_TRACER
 from ..types import ScalarType
 
 try:  # NumPy is optional at runtime; without it the engine disables itself.
@@ -247,6 +248,7 @@ class BatchedEvaluator:
     def __init__(self) -> None:
         self._nodes: Dict[object, CompiledNode] = {}
         self._plans: Dict[object, Optional[Plan]] = {}
+        self.tracer = NULL_TRACER
 
     # -- compilation -------------------------------------------------------
 
@@ -267,7 +269,14 @@ class BatchedEvaluator:
 
         if expr in self._plans:
             return self._plans[expr]
-        plan = self._build_plan(expr)
+        with self.tracer.span("eval.plan_compile") as sp:
+            plan = self._build_plan(expr)
+            if sp:
+                sp.set(
+                    batched=plan is not None,
+                    steps=len(plan.steps) if plan is not None else 0,
+                    pure=plan.pure if plan is not None else False,
+                )
         self._plans[expr] = plan
         return plan
 

@@ -1,0 +1,47 @@
+"""Shared numeric helpers: geometric means and nearest-rank quantiles.
+
+One implementation each, used by the reporting layer, the service's
+``/metrics`` histograms and every benchmark script — previously these
+were re-implemented per call site with subtly different rounding (the
+``round``-based rank in particular inherited Python's banker's rounding,
+so the median of ``[1, 2]`` came out as 1 or 2 depending on the window
+length's parity).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def geomean(values) -> float:
+    """Geometric mean of the positive entries of ``values`` (0.0 if none).
+
+    Non-positive entries are skipped rather than poisoning the product —
+    a benchmark that failed to speed up contributes nothing instead of a
+    domain error.
+    """
+    total, count = 0.0, 0
+    for v in values:
+        if v > 0:
+            total += math.log(v)
+            count += 1
+    if not count:
+        return 0.0
+    return math.exp(total / count)
+
+
+def quantile(ordered, q: float):
+    """Nearest-rank quantile of an ascending-sorted sequence.
+
+    ``q`` must lie in ``[0, 1]``: ``q=0`` is the minimum, ``q=1`` the
+    maximum, anything else the classic nearest-rank statistic
+    ``ordered[ceil(q * n) - 1]``.  Returns ``None`` for an empty
+    sequence (callers render that as "no data", not as 0).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile q must be in [0, 1], got {q!r}")
+    n = len(ordered)
+    if n == 0:
+        return None
+    rank = min(n - 1, max(0, math.ceil(q * n) - 1))
+    return ordered[rank]

@@ -24,6 +24,7 @@ from .synthesis import LoweringOptions, RakeSelector
 from .synthesis.engine import OracleCache
 from .synthesis.oracle import Oracle
 from .synthesis.stats import SynthesisStats
+from .trace.core import NULL_TRACER
 
 BACKEND_RAKE = "rake"
 BACKEND_BASELINE = "baseline"
@@ -90,6 +91,7 @@ def compile_pipeline(
     batch_eval: bool = True,
     deadline_s: float | None = None,
     cancel: CancelToken | None = None,
+    tracer=None,
 ) -> CompiledPipeline:
     """Compile a scheduled pipeline with the chosen instruction selector.
 
@@ -109,9 +111,17 @@ def compile_pipeline(
     :class:`~repro.errors.CancelledError` /
     :class:`~repro.errors.DeadlineExceededError` without ever writing a
     partial verdict to the caches.
+
+    ``tracer`` accepts a :class:`repro.trace.Tracer`; when given, the
+    whole compile is recorded as a hierarchical span tree (root span
+    ``pipeline.compile``) covering every stage, expression, lifting step,
+    sketch, swizzle search and oracle query.  ``None`` (the default) uses
+    the zero-cost null tracer.
     """
     if backend not in (BACKEND_RAKE, BACKEND_BASELINE):
         raise ReproError(f"unknown backend: {backend}")
+    if tracer is None:
+        tracer = NULL_TRACER
     if cancel is None and deadline_s is not None:
         cancel = CancelToken(timeout=deadline_s)
     lowered = lower_pipeline(output, lanes=lanes)
@@ -122,7 +132,8 @@ def compile_pipeline(
             cache = (OracleCache.with_disk(cache_dir) if cache_dir
                      else OracleCache())
         oracle = Oracle(stats=stats or SynthesisStats(), cache=cache,
-                        batch_eval=batch_eval, cancel=cancel)
+                        batch_eval=batch_eval, cancel=cancel,
+                        tracer=tracer)
         rake = RakeSelector(
             vbytes=vbytes, options=options or LoweringOptions(),
             oracle=oracle, jobs=jobs,
@@ -131,6 +142,8 @@ def compile_pipeline(
         rake = selector
         if cancel is not None:
             rake.oracle.cancel = cancel
+        if tracer is not NULL_TRACER:
+            rake.oracle.tracer = tracer
     # The selector's oracle doubles as the final verifier, so verification
     # queries share the memoization cache and show up under the ``verify``
     # stage of the statistics.
@@ -139,35 +152,51 @@ def compile_pipeline(
     compiled = CompiledPipeline(backend=backend, lowered=lowered,
                                 stats=rake.stats)
     try:
-        for stage in lowered.stages:
-            cstage = CompiledStage(stage=stage)
-            extents = [1] + list(stage.func.update_extents)
-            for expr, extent in zip(stage.exprs, extents):
-                if cancel is not None:
-                    cancel.check()
-                used = "trivial" if _is_trivial(expr) else backend
-                program = None
-                if used == BACKEND_RAKE:
-                    try:
-                        program = rake.select(expr).program
-                    except (SynthesisError, UnsupportedExpressionError):
-                        compiled.fallbacks += 1
-                        used = BACKEND_BASELINE
-                if program is None:
-                    program = baseline.optimize(expr)
-                if verifier is not None and not verifier.equivalent(
-                    expr, program
-                ):
-                    raise ReproError(
-                        f"selected program is not equivalent to the IR for "
-                        f"stage {stage.name} ({used})"
-                    )
-                cstage.exprs.append(CompiledExpr(
-                    source=expr, program=program, selector=used, extent=extent
-                ))
-            compiled.stages.append(cstage)
+        with tracer.span("pipeline.compile", backend=backend,
+                         lanes=lanes, jobs=jobs) as root:
+            for stage in lowered.stages:
+                cstage = CompiledStage(stage=stage)
+                extents = [1] + list(stage.func.update_extents)
+                with tracer.span("pipeline.stage", stage=stage.name):
+                    for expr, extent in zip(stage.exprs, extents):
+                        if cancel is not None:
+                            cancel.check()
+                        used = "trivial" if _is_trivial(expr) else backend
+                        program = None
+                        with tracer.span("pipeline.expr",
+                                         extent=extent) as esp:
+                            if used == BACKEND_RAKE:
+                                try:
+                                    program = rake.select(expr).program
+                                except (SynthesisError,
+                                        UnsupportedExpressionError):
+                                    compiled.fallbacks += 1
+                                    used = BACKEND_BASELINE
+                            if program is None:
+                                program = baseline.optimize(expr)
+                            if verifier is not None:
+                                with tracer.span("pipeline.verify"):
+                                    ok = verifier.equivalent(expr, program)
+                                if not ok:
+                                    raise ReproError(
+                                        f"selected program is not equivalent "
+                                        f"to the IR for stage {stage.name} "
+                                        f"({used})"
+                                    )
+                            if esp:
+                                esp.set(selector=used)
+                        cstage.exprs.append(CompiledExpr(
+                            source=expr, program=program, selector=used,
+                            extent=extent,
+                        ))
+                compiled.stages.append(cstage)
+            if root:
+                root.set(fallbacks=compiled.fallbacks,
+                         optimized=compiled.optimized_exprs)
     finally:
         if owns_selector:
             rake.close()
             rake.oracle.cache.flush()
+        elif tracer is not NULL_TRACER:
+            rake.oracle.tracer = NULL_TRACER
     return compiled

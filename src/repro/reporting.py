@@ -9,6 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# Re-exported for callers that historically imported it from here; the
+# single implementation lives in repro.numerics.
+from .numerics import geomean  # noqa: F401
+
 
 @dataclass
 class SpeedupRow:
@@ -25,16 +29,6 @@ class SpeedupRow:
         if self.rake_cycles <= 0:
             return 0.0
         return self.baseline_cycles / self.rake_cycles
-
-
-def geomean(values) -> float:
-    values = [v for v in values if v > 0]
-    if not values:
-        return 0.0
-    product = 1.0
-    for v in values:
-        product *= v
-    return product ** (1.0 / len(values))
 
 
 def speedup_figure(rows, width: int = 40) -> str:
@@ -221,3 +215,50 @@ def lifting_trace(steps) -> str:
         out.append(f"  Halide: {step.source}")
         out.append(f"  Lifted: {step.result}")
     return "\n".join(out)
+
+
+def _count_spans(span: dict) -> int:
+    return 1 + sum(_count_spans(c) for c in span.get("children", ()))
+
+
+def trace_timeline(tree: dict, width: int = 60, max_depth: int = 4) -> str:
+    """Render a serialized span tree as an indented ASCII timeline.
+
+    ``tree`` is :meth:`repro.trace.Tracer.tree`.  One line per span down
+    to ``max_depth``; deeper subtrees collapse into a ``(+N nested)``
+    marker so big compiles stay readable.  The bar shows each span's
+    position and extent relative to the whole trace.
+    """
+    from .trace.core import span_duration
+
+    spans = tree.get("spans") or []
+    if not spans:
+        return "trace: no spans recorded"
+    t0 = min(s["start_s"] for s in spans)
+    t1 = max(s["end_s"] for s in spans)
+    total = max(t1 - t0, 1e-9)
+    trace_id = tree.get("trace_id") or "?"
+    lines = [f"trace {trace_id}  total {total:.4f}s"]
+
+    def render(span: dict, depth: int) -> None:
+        lo = int((span["start_s"] - t0) / total * width)
+        hi = int(round((span["end_s"] - t0) / total * width))
+        lo = min(lo, width - 1)
+        hi = max(lo + 1, min(hi, width))
+        bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+        label = "  " * depth + span["name"]
+        children = span.get("children", ())
+        suffix = ""
+        if depth >= max_depth and children:
+            nested = sum(_count_spans(c) for c in children)
+            suffix = f"  (+{nested} nested)"
+        lines.append(
+            f"{label:<34.34} {span_duration(span):>9.4f}s |{bar}|{suffix}"
+        )
+        if depth < max_depth:
+            for child in children:
+                render(child, depth + 1)
+
+    for span in spans:
+        render(span, 0)
+    return "\n".join(lines)

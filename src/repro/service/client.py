@@ -97,6 +97,15 @@ class ServiceClient:
     def status(self, job_id: str) -> JobView:
         return JobView.from_dict(self._request_json("GET", f"/jobs/{job_id}"))
 
+    def trace(self, job_id: str) -> dict | None:
+        """The job's serialized span tree (``GET /jobs/<id>?trace=1``).
+
+        ``None`` when the job was submitted without ``trace=True`` or has
+        not finished compiling yet.
+        """
+        reply = self._request_json("GET", f"/jobs/{job_id}?trace=1")
+        return reply.get("trace")
+
     def cancel(self, job_id: str) -> bool:
         reply = self._request_json("POST", f"/jobs/{job_id}/cancel")
         return bool(reply.get("cancelled"))

@@ -16,8 +16,11 @@ ratios and per-stage latency lifted from the engine become visible at
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import deque
+
+from ..numerics import quantile as _nearest_rank
 
 #: histogram reservoir size — quantiles are computed over the most recent
 #: observations only
@@ -95,15 +98,14 @@ class Histogram:
     def quantile(self, q: float) -> float | None:
         """The q-quantile (0..1) of the reservoir, ``None`` when empty.
 
-        Nearest-rank on the sorted window: exact for windows smaller than
-        the reservoir, a recency-weighted estimate beyond it.
+        Nearest-rank on the sorted window (:func:`repro.numerics.quantile`):
+        exact for windows smaller than the reservoir, a recency-weighted
+        estimate beyond it.  ``q=0`` is the window minimum, ``q=1`` the
+        maximum; out-of-range ``q`` raises :class:`ValueError`.
         """
         with self._lock:
-            if not self._window:
-                return None
             ordered = sorted(self._window)
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
+        return _nearest_rank(ordered, q)
 
     def render(self) -> list:
         lines = []
@@ -227,3 +229,28 @@ def observe_synthesis_stats(registry: MetricsRegistry, stats: dict) -> None:
             f"repro_stage_{name}_queries_total",
             f"equivalence queries issued by the {name} stage",
         ).inc(stage.get("queries", 0))
+
+
+def _span_slug(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9]+", "_", name).strip("_").lower()
+
+
+def observe_trace(registry: MetricsRegistry, tree: dict) -> None:
+    """Fold one job's span tree into per-span-kind duration histograms.
+
+    ``tree`` is a serialized :meth:`repro.trace.Tracer.tree`.  Every span
+    contributes its inclusive duration to ``repro_span_<slug>_seconds``
+    (e.g. ``oracle.query`` → ``repro_span_oracle_query_seconds``), so a
+    handful of traced jobs is enough to see where service compile time
+    goes without pulling full traces.
+    """
+    from ..trace.core import iter_span_dicts, span_duration
+
+    for span, _depth in iter_span_dicts(tree):
+        slug = _span_slug(span.get("name", ""))
+        if not slug:
+            continue
+        registry.histogram(
+            f"repro_span_{slug}_seconds",
+            f"inclusive duration of {span['name']} spans from traced jobs",
+        ).observe(span_duration(span))

@@ -59,6 +59,10 @@ class CompileRequest:
     a client-facing SLA; past it, the job is cooperatively cancelled and
     reported as ``timeout`` (a lapsed job never starts compiling).  ``jobs`` is the per-job equivalence-check fan-out (the
     service's worker pool is the outer level of parallelism).
+
+    ``trace=True`` records a hierarchical span tree for the compilation
+    (see :mod:`repro.trace`); the job's ``trace_id`` appears in its
+    :class:`JobView` and ``GET /jobs/<id>?trace=1`` returns the tree.
     """
 
     workload: str
@@ -69,6 +73,7 @@ class CompileRequest:
     deadline_s: float | None = None
     jobs: int = 1
     batch_eval: bool = True
+    trace: bool = False
 
     def validate(self, known_workloads=None) -> "CompileRequest":
         if not self.workload or not isinstance(self.workload, str):
@@ -98,6 +103,8 @@ class CompileRequest:
             )
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise ProtocolError("compile request: jobs must be >= 1")
+        if not isinstance(self.trace, bool):
+            raise ProtocolError("compile request: trace must be a boolean")
         return self
 
     def to_dict(self) -> dict:
@@ -112,7 +119,7 @@ class CompileRequest:
         _require_version(data, "compile request")
         known = {f: data[f] for f in (
             "workload", "backend", "width", "height", "priority",
-            "deadline_s", "jobs", "batch_eval",
+            "deadline_s", "jobs", "batch_eval", "trace",
         ) if f in data}
         try:
             return cls(**known).validate()
@@ -182,6 +189,7 @@ class JobView:
     coalesced_waiters: int = 0
     error: str | None = None
     result: CompileResult | None = None
+    trace_id: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -198,6 +206,7 @@ class JobView:
             "coalesced_waiters": self.coalesced_waiters,
             "error": self.error,
             "result": self.result.to_dict() if self.result else None,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -223,6 +232,7 @@ class JobView:
                 coalesced_waiters=data.get("coalesced_waiters", 0),
                 error=data.get("error"),
                 result=CompileResult.from_dict(result) if result else None,
+                trace_id=data.get("trace_id"),
             )
         except KeyError as exc:
             raise ProtocolError(f"job view: missing field {exc}") from exc

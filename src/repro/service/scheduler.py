@@ -27,6 +27,7 @@ directly, the server wraps it.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 import uuid
@@ -42,8 +43,10 @@ from ..errors import (
     ServiceError,
 )
 from ..synthesis.engine import OracleCache
+from ..trace.core import Tracer
+from ..trace.log import get_logger
 from .coalesce import Coalescer, request_key
-from .metrics import MetricsRegistry, observe_synthesis_stats
+from .metrics import MetricsRegistry, observe_synthesis_stats, observe_trace
 from .protocol import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -60,6 +63,8 @@ from .protocol import (
 
 #: terminal jobs retained for ``GET /jobs/<id>`` after completion
 MAX_RETAINED = 512
+
+_log = get_logger("repro.service.scheduler")
 
 
 @dataclass
@@ -79,6 +84,8 @@ class Job:
     coalesced_waiters: int = 0
     error: str | None = None
     result: CompileResult | None = None
+    trace_id: str | None = None
+    trace: dict | None = None  # serialized span tree (Tracer.tree())
     cancel_token: CancelToken = field(default_factory=CancelToken)
     done: threading.Event = field(default_factory=threading.Event)
 
@@ -96,11 +103,13 @@ class Job:
             coalesced_waiters=self.coalesced_waiters,
             error=self.error,
             result=self.result,
+            trace_id=self.trace_id,
         )
 
 
 def default_compile_fn(request: CompileRequest, cancel: CancelToken,
-                       cache: OracleCache, stats_sink=None) -> CompileResult:
+                       cache: OracleCache, stats_sink=None,
+                       tracer=None) -> CompileResult:
     """Compile one workload request against the shared verdict cache.
 
     This is the serving path's equivalent of the CLI's ``_compile_one``:
@@ -124,6 +133,7 @@ def default_compile_fn(request: CompileRequest, cancel: CancelToken,
         cache=cache,
         batch_eval=request.batch_eval,
         cancel=cancel,
+        tracer=tracer,
     )
     cycles = measure(
         compiled, request.width or wl.width, request.height or wl.height
@@ -163,11 +173,15 @@ class JobScheduler:
         self.cache = cache if cache is not None else (
             OracleCache.with_disk(cache_dir) if cache_dir else OracleCache()
         )
-        self.compile_fn = compile_fn or (
-            lambda request, cancel, cache: default_compile_fn(
-                request, cancel, cache
-            )
-        )
+        self.compile_fn = compile_fn or default_compile_fn
+        # Stubs injected by tests keep the legacy 3-arg signature; only
+        # pass a tracer to compile functions that declare the keyword.
+        try:
+            self._compile_takes_tracer = "tracer" in inspect.signature(
+                self.compile_fn
+            ).parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            self._compile_takes_tracer = False
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queue_size = queue_size
         self.aging_rate = aging_rate
@@ -374,11 +388,25 @@ class JobScheduler:
     def _run_job(self, job: Job) -> None:
         start = time.monotonic()
         state, error, result = JOB_DONE, None, None
+        tracer = None
+        if job.request.trace and self._compile_takes_tracer:
+            tracer = Tracer()
+            job.trace_id = tracer.trace_id
+        _log.info("job started", job=job.id, workload=job.request.workload,
+                  backend=job.request.backend, wait_s=round(job.wait_s, 4),
+                  trace_id=job.trace_id)
         try:
             # A job whose deadline lapsed (or that was cancelled) while
             # queued must never start compiling.
             job.cancel_token.check()
-            result = self.compile_fn(job.request, job.cancel_token, self.cache)
+            if tracer is not None:
+                result = self.compile_fn(
+                    job.request, job.cancel_token, self.cache, tracer=tracer
+                )
+            else:
+                result = self.compile_fn(
+                    job.request, job.cancel_token, self.cache
+                )
         except DeadlineExceededError as exc:
             state, error = JOB_TIMEOUT, str(exc)
         except CancelledError as exc:
@@ -388,6 +416,8 @@ class JobScheduler:
         except Exception as exc:  # worker must survive any job
             state, error = JOB_FAILED, f"{type(exc).__name__}: {exc}"
         run_s = time.monotonic() - start
+        if tracer is not None:
+            job.trace = tracer.tree()
         with self._cond:
             job.run_s = run_s
             self._inflight -= 1
@@ -396,6 +426,14 @@ class JobScheduler:
         self.metrics.histogram("repro_job_run_seconds").observe(run_s)
         if result is not None and result.stats:
             observe_synthesis_stats(self.metrics, result.stats)
+        if job.trace is not None:
+            observe_trace(self.metrics, job.trace)
+        if error is None:
+            _log.info("job finished", job=job.id, state=state,
+                      run_s=round(run_s, 4))
+        else:
+            _log.warning("job finished", job=job.id, state=state,
+                         run_s=round(run_s, 4), error=error)
 
     def _finish_locked(self, job: Job, state: str, error: str | None = None,
                        result: CompileResult | None = None) -> None:

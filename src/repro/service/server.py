@@ -28,11 +28,20 @@ import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from ..errors import ProtocolError, QueueFullError, ServiceError
+from ..trace.log import get_logger
 from .protocol import PROTOCOL_VERSION, CompileRequest
 from .scheduler import JobScheduler
+
+_log = get_logger("repro.service.server")
+
+
+def _wants_trace(query: str | None) -> bool:
+    """``?trace=1`` (also ``true``/``yes``) on ``GET /jobs/<id>``."""
+    values = parse_qs(query or "").get("trace", [])
+    return any(v.lower() in ("1", "true", "yes") for v in values)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -91,7 +100,10 @@ class _Handler(BaseHTTPRequestHandler):
                 if job is None:
                     self._send_json(404, {"error": f"unknown job {parts[1]}"})
                 else:
-                    self._send_json(200, job.view().to_dict())
+                    payload = job.view().to_dict()
+                    if _wants_trace(url.query):
+                        payload["trace"] = job.trace
+                    self._send_json(200, payload)
             else:
                 self._send_json(404, {"error": f"no route GET {url.path}"})
         except Exception as exc:  # never kill the connection thread
@@ -277,8 +289,8 @@ def serve(
     if port_file:
         with open(port_file, "w", encoding="utf-8") as fh:
             fh.write(f"{bound_host} {bound_port}\n")
-    print(f"repro.service listening on http://{bound_host}:{bound_port} "
-          f"({workers} workers, queue {queue_size})", flush=True)
+    _log.info("listening", url=f"http://{bound_host}:{bound_port}",
+              workers=workers, queue_size=queue_size)
     server.serve_forever()
-    print("repro.service: drained and stopped", flush=True)
+    _log.info("drained and stopped")
     return 0

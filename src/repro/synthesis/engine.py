@@ -44,6 +44,7 @@ from pathlib import Path
 
 from ..hvx import isa as hvx_isa
 from ..ir import expr as ir_expr
+from ..trace.core import NULL_SPAN as _NULL_CTX
 from ..types import ScalarType, VectorType
 from ..uber import instructions as uber_instr
 
@@ -316,16 +317,27 @@ class OracleCache:
 _worker_local = threading.local()
 
 
-def _pure_check(payload) -> bool:
+def _pure_check(payload):
     """Worker entry point: one equivalence query with a per-worker oracle.
 
     Oracles are kept per ``(seed, rounds, batch_eval)`` in worker-local
     storage so the valuation banks they build amortize across batches.  The verdict is a
     pure function of the payload, which is what makes fan-out sound.
+
+    ``payload`` is ``(spec, candidate, layout, seed, rounds, batch_eval)``
+    plus an optional trailing *trace context* (``Tracer.context()``).
+    Without one — the default — the return value is the bare verdict.
+    With one, the worker records its oracle spans under a local tracer
+    that shares the parent's ``trace_id`` and returns
+    ``(verdict, span_dicts)``; the dispatching :class:`ParallelChecker`
+    reattaches the subtree under the batch span.  The same payload shape
+    crosses the whole process → thread → serial fallback ladder.
     """
+    from ..trace.core import NULL_TRACER, Tracer
     from .oracle import Oracle  # deferred: avoid a cycle at import time
 
-    spec, candidate, layout, seed, rounds, batch_eval = payload
+    spec, candidate, layout, seed, rounds, batch_eval = payload[:6]
+    trace_ctx = payload[6] if len(payload) > 6 else None
     oracles = getattr(_worker_local, "oracles", None)
     if oracles is None:
         oracles = _worker_local.oracles = {}
@@ -334,7 +346,16 @@ def _pure_check(payload) -> bool:
         oracle = oracles[(seed, rounds, batch_eval)] = Oracle(
             seed=seed, extra_random_rounds=rounds, batch_eval=batch_eval
         )
-    return bool(oracle.equivalent(spec, candidate, layout))
+    if trace_ctx is None:
+        return bool(oracle.equivalent(spec, candidate, layout))
+    tracer = Tracer(trace_id=trace_ctx[0])
+    oracle.tracer = tracer
+    try:
+        with tracer.span("engine.worker", pid=os.getpid()):
+            verdict = bool(oracle.equivalent(spec, candidate, layout))
+    finally:
+        oracle.tracer = NULL_TRACER
+    return verdict, tracer.tree()["spans"]
 
 
 MODE_PROCESS = "process"
@@ -409,33 +430,48 @@ class ParallelChecker:
         if self.mode == MODE_SERIAL or n < self.min_batch:
             return [oracle.equivalent(spec, c, layout) for c in candidates]
 
-        verdicts: list = [None] * n
-        to_run = []
-        for i, cand in enumerate(candidates):
-            key = oracle.query_key(spec, cand, layout)
-            hit = oracle.cache.lookup(key)
-            if hit is not None:
-                oracle.note_cached_query(hit=True)
-                verdicts[i] = hit
-            else:
-                to_run.append((i, key, cand))
+        tracer = getattr(oracle, "tracer", None)
+        trace_ctx = tracer.context() if tracer is not None else None
+        with (tracer.span("engine.batch", n=n, mode=self.mode)
+              if trace_ctx is not None else _NULL_CTX) as batch_span:
+            verdicts: list = [None] * n
+            to_run = []
+            for i, cand in enumerate(candidates):
+                key = oracle.query_key(spec, cand, layout)
+                hit = oracle.cache.lookup(key)
+                if hit is not None:
+                    oracle.note_cached_query(hit=True)
+                    verdicts[i] = hit
+                else:
+                    to_run.append((i, key, cand))
+            if batch_span:
+                batch_span.set(cached=n - len(to_run), dispatched=len(to_run))
 
-        if to_run:
-            payloads = [
-                (spec, cand, layout, oracle.seed, oracle.extra_random_rounds,
-                 getattr(oracle, "batch_eval", True))
-                for _i, _key, cand in to_run
-            ]
-            results = self._dispatch(payloads)
-            if results is None:
-                # Pool is gone; the degraded (eventually serial) retry below
-                # keeps verdicts identical.
-                return self.check_batch(oracle, spec, candidates, layout)
-            for (i, key, _cand), verdict in zip(to_run, results):
-                oracle.note_cached_query(hit=False)
-                oracle.cache.record(key, verdict)
-                verdicts[i] = verdict
-        return verdicts
+            if to_run:
+                payloads = [
+                    (spec, cand, layout, oracle.seed,
+                     oracle.extra_random_rounds,
+                     getattr(oracle, "batch_eval", True), trace_ctx)
+                    for _i, _key, cand in to_run
+                ]
+                results = self._dispatch(payloads)
+                if results is None:
+                    # Pool is gone; the degraded (eventually serial) retry
+                    # below keeps verdicts identical.
+                    if batch_span:
+                        batch_span.set(degraded_to=self.mode)
+                    return self.check_batch(oracle, spec, candidates, layout)
+                for (i, key, _cand), result in zip(to_run, results):
+                    if isinstance(result, tuple):
+                        verdict, spans = result
+                        if tracer is not None:
+                            tracer.attach(spans)
+                    else:
+                        verdict = result
+                    oracle.note_cached_query(hit=False)
+                    oracle.cache.record(key, verdict)
+                    verdicts[i] = verdict
+            return verdicts
 
     def first_equivalent(self, oracle, spec, candidates, layout):
         """Index of the first equivalent candidate, or ``None``.

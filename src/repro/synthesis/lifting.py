@@ -66,8 +66,15 @@ class Lifter:
         (greedy lifting with lowering-failure backtracking).
         """
         expr = ir_simplify(expr)
-        with self.oracle.stats.stage("lifting"):
+        with self.oracle.stats.stage("lifting"), \
+                self.oracle.tracer.span("lifting") as sp:
+            if sp:
+                sp.set(expr_hash=f"{hash(expr) & 0xFFFFFFFF:08x}",
+                       expr=ir_printer.to_string(expr),
+                       banned=len(banned))
             lifted = self._lift(expr, banned)
+            if sp:
+                sp.set(steps=len(self.trace), lifted=lifted is not None)
         if lifted is None:
             raise UnsupportedExpressionError(
                 f"cannot lift: {ir_printer.to_string(expr)}"
@@ -80,31 +87,40 @@ class Lifter:
               banned: frozenset = frozenset()) -> U.UberExpr | None:
         if not banned and e in self._cache:
             return self._cache[e]
-        for child in e.children:
-            self._lift(child)
+        with self.oracle.tracer.span(
+            "lifting.node", node=type(e).__name__
+        ) as sp:
+            for child in e.children:
+                self._lift(child)
 
-        lifted = self._lift_leaf(e)
-        rule_used = "extend"
-        if lifted is None:
-            batch = []
-            for rule, candidate in self._safe_candidates(e):
-                if candidate is None or candidate in banned:
-                    continue
-                if candidate.type.lanes != E.lanes_of(e.type):
-                    continue
-                batch.append((rule, candidate))
-            checker = self.checker or _SERIAL_CHECKER
-            chosen = checker.first_equivalent(
-                self.oracle, e, [c for _rule, c in batch], LAYOUT_INORDER
-            )
-            if chosen is not None:
-                rule_used, lifted = batch[chosen]
-        if lifted is not None:
-            self.trace.append(LiftStep(
-                rule=rule_used,
-                source=ir_printer.to_string(e),
-                result=uber_printer.to_string(lifted),
-            ))
+            lifted = self._lift_leaf(e)
+            rule_used = "extend" if lifted is None else "leaf"
+            if lifted is None:
+                batch = []
+                for rule, candidate in self._safe_candidates(e):
+                    if candidate is None or candidate in banned:
+                        continue
+                    if candidate.type.lanes != E.lanes_of(e.type):
+                        continue
+                    batch.append((rule, candidate))
+                if sp:
+                    sp.set(candidates=len(batch))
+                checker = self.checker or _SERIAL_CHECKER
+                chosen = checker.first_equivalent(
+                    self.oracle, e, [c for _rule, c in batch], LAYOUT_INORDER
+                )
+                if chosen is not None:
+                    rule_used, lifted = batch[chosen]
+            if lifted is not None:
+                if sp:
+                    sp.set(rule=rule_used)
+                if rule_used == "leaf":
+                    rule_used = "extend"
+                self.trace.append(LiftStep(
+                    rule=rule_used,
+                    source=ir_printer.to_string(e),
+                    result=uber_printer.to_string(lifted),
+                ))
         self._cache[e] = lifted
         return lifted
 

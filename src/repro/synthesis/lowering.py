@@ -79,39 +79,56 @@ class Lowerer:
         beta = INFINITE_COST
         examined = 0
         sketches = self.sketches_fn or grammar.sketches
-        try:
-            sketch_iter = sketches(e, self._child, self.vbytes)
-        except UnsupportedExpressionError:
-            return None
+        tracer = self.oracle.tracer
+        with tracer.span("lowering", layout=layout) as lsp:
+            if lsp:
+                lsp.set(uber=U.uber_name(e))
+            try:
+                sketch_iter = sketches(e, self._child, self.vbytes)
+            except UnsupportedExpressionError:
+                if lsp:
+                    lsp.set(unsupported=True)
+                return None
 
-        for sketch in sketch_iter:
-            if examined >= self.options.max_sketches:
-                break
-            if self.oracle.cancel is not None:
-                self.oracle.cancel.check()
-            examined += 1
-            adapted = self._adapt_layout(sketch, layout)
-            if adapted is None:
-                continue
-            with self.oracle.stats.stage("sketching"):
-                if self.options.lane0_pruning and not self.oracle.equivalent_lane0(
-                    e, adapted, layout
-                ):
+            for sketch in sketch_iter:
+                if examined >= self.options.max_sketches:
+                    break
+                if self.oracle.cancel is not None:
+                    self.oracle.cancel.check()
+                examined += 1
+                adapted = self._adapt_layout(sketch, layout)
+                if adapted is None:
                     continue
-                if not self.oracle.equivalent(e, adapted, layout):
-                    continue
-            with self.oracle.stats.stage("swizzling"):
-                result = synthesize_swizzles(
-                    e, adapted, layout, self.oracle, beta,
-                    checker=self.checker,
-                )
-            if result is None:
-                continue
-            impl, impl_cost = result
-            best = impl
-            beta = impl_cost
-            if not self.options.backtracking:
-                break
+                with tracer.span("sketch", index=examined) as ssp:
+                    with self.oracle.stats.stage("sketching"):
+                        if self.options.lane0_pruning and (
+                            not self.oracle.equivalent_lane0(e, adapted, layout)
+                        ):
+                            if ssp:
+                                ssp.set(pruned="lane0")
+                            continue
+                        if not self.oracle.equivalent(e, adapted, layout):
+                            if ssp:
+                                ssp.set(pruned="full")
+                            continue
+                    with self.oracle.stats.stage("swizzling"):
+                        result = synthesize_swizzles(
+                            e, adapted, layout, self.oracle, beta,
+                            checker=self.checker,
+                        )
+                    if result is None:
+                        if ssp:
+                            ssp.set(swizzle="unsat")
+                        continue
+                    impl, impl_cost = result
+                    if ssp:
+                        ssp.set(accepted=True, cost=list(impl_cost.key))
+                    best = impl
+                    beta = impl_cost
+                if not self.options.backtracking:
+                    break
+            if lsp:
+                lsp.set(sketches=examined, found=best is not None)
         self._memo[key] = best
         return best
 

@@ -37,6 +37,7 @@ from ..hvx import isa as hvx_isa
 from ..hvx import values as hvx_values
 from ..ir import expr as ir_expr
 from ..ir import interp as ir_interp
+from ..trace.core import NULL_TRACER
 from ..uber import instructions as uber_instr
 from ..uber import interp as uber_interp
 from . import engine, valuation
@@ -130,6 +131,10 @@ class Oracle:
     #: cancellation happens *before* the differential pass starts, so the
     #: verdict caches only ever see complete, sound entries
     cancel: object = None  # CancelToken | None
+    #: hierarchical tracer (``repro.trace``); the default no-op tracer makes
+    #: every span a shared null context manager, so instrumentation costs
+    #: one attribute load + one call when tracing is disabled
+    tracer: object = NULL_TRACER  # Tracer | NullTracer
     _counterexamples: dict = field(default_factory=dict)
     _bank_cache: dict = field(default_factory=dict)
     _spec_cache: dict = field(default_factory=dict)
@@ -177,6 +182,9 @@ class Oracle:
             return None
         if self._batch_evaluator is None:
             self._batch_evaluator = batch_plan.BatchedEvaluator()
+        # Keep the evaluator on the oracle's tracer (it may be swapped in
+        # after construction, e.g. by a traced service job).
+        self._batch_evaluator.tracer = self.tracer
         return self._batch_evaluator
 
     def _bank_data(self, spec):
@@ -284,16 +292,20 @@ class Oracle:
         """
         if self.cancel is not None:
             self.cancel.check()
-        with self._stage_ctx():
+        with self._stage_ctx(), self.tracer.span(
+            "oracle.query", tag="full", layout=layout
+        ) as sp:
             self.stats.count_query()
             key = self.query_key(spec, candidate, layout)
             cached = self.cache.lookup(key)
             if cached is not None:
                 self.stats.count_cache_hit()
+                sp.set(cache="hit", verdict=bool(cached))
                 return cached
             self.stats.count_cache_miss()
             verdict = self._check_full(spec, candidate, layout)
             self.cache.record(key, verdict)
+            sp.set(cache="miss", verdict=bool(verdict))
             return verdict
 
     def _check_full(self, spec, candidate, layout: str) -> bool:
@@ -334,6 +346,7 @@ class Oracle:
                 if len(replay) > 8:
                     replay.pop(0)
                 self.stats.count_counterexample()
+                self.tracer.event("oracle.counterexample", index=index)
                 self.cache.record_counterexample(self._spec_key(spec), index)
                 return False
         return True
@@ -395,6 +408,7 @@ class Oracle:
         if len(replay) > 8:
             replay.pop(0)
         self.stats.count_counterexample()
+        self.tracer.event("oracle.counterexample", index=first)
         self.cache.record_counterexample(self._spec_key(spec), first)
         return False
 
@@ -407,16 +421,20 @@ class Oracle:
         """
         if self.cancel is not None:
             self.cancel.check()
-        with self._stage_ctx():
+        with self._stage_ctx(), self.tracer.span(
+            "oracle.query", tag="lane0", layout=layout
+        ) as sp:
             self.stats.count_query()
             key = self.query_key(spec, candidate, layout, tag="lane0")
             cached = self.cache.lookup(key)
             if cached is not None:
                 self.stats.count_cache_hit()
+                sp.set(cache="hit", verdict=bool(cached))
                 return cached
             self.stats.count_cache_miss()
             verdict = self._check_lane0(spec, candidate, layout)
             self.cache.record(key, verdict)
+            sp.set(cache="miss", verdict=bool(verdict))
             return verdict
 
     def _check_lane0(self, spec, candidate, layout: str) -> bool:

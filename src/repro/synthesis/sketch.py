@@ -246,3 +246,16 @@ def placeholders_of(expr: H.HvxExpr) -> list[H.HvxExpr]:
 def is_concrete(expr: H.HvxExpr) -> bool:
     """True when the expression contains no abstract placeholders."""
     return not placeholders_of(expr)
+
+
+def placeholder_summary(expr: H.HvxExpr) -> dict[str, int]:
+    """Placeholder counts by kind, e.g. ``{"AbstractWindow": 2}``.
+
+    Cheap JSON-friendly shape used as trace-span attributes by the
+    swizzle synthesizer.
+    """
+    out: dict[str, int] = {}
+    for ph in placeholders_of(expr):
+        name = type(ph).__name__
+        out[name] = out.get(name, 0) + 1
+    return out

@@ -17,7 +17,7 @@ from ..hvx import isa as H
 from ..hvx.cost import Cost, cost_of
 from .engine import ParallelChecker
 from .oracle import Oracle
-from .sketch import is_concrete, placeholders_of
+from .sketch import is_concrete, placeholder_summary, placeholders_of
 
 #: cap on realization combinations tried per sketch
 MAX_COMBOS = 64
@@ -109,6 +109,18 @@ def synthesize_swizzles(
             return sketch_expr, impl_cost
         return None
 
+    with oracle.tracer.span("swizzle") as sp:
+        if sp:
+            sp.set(placeholders=placeholder_summary(sketch_expr))
+        result = _synthesize(spec, sketch_expr, layout, oracle, budget,
+                             checker, placeholders, sp)
+        if sp:
+            sp.set(found=result is not None)
+        return result
+
+
+def _synthesize(spec, sketch_expr, layout, oracle, budget, checker,
+                placeholders, sp):
     option_lists = [_ranked_realizations(ph) for ph in placeholders]
     # islice, not [:MAX_COMBOS]: slicing a list(...) would materialize the
     # full cartesian product (easily millions of tuples for multi-window
@@ -144,6 +156,8 @@ def synthesize_swizzles(
         scored.append((impl_cost.key, expr, impl_cost))
 
     scored.sort(key=lambda item: item[0])
+    if sp:
+        sp.set(combos=len(combos), scored=len(scored))
 
     # The under-budget prefix of the cost-ranked candidates; reaching an
     # over-budget entry is Algorithm 2's "cannot be implemented within
@@ -155,6 +169,8 @@ def synthesize_swizzles(
             over_budget = True
             break
         eligible.append((expr, impl_cost))
+    if sp:
+        sp.set(eligible=len(eligible), over_budget=over_budget)
 
     if checker is not None and checker.mode != "serial":
         chosen = checker.first_equivalent(

@@ -1,0 +1,167 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and collapsed flamegraphs.
+
+Both exporters consume the serialized tree produced by
+:meth:`repro.trace.Tracer.tree` (plain dicts, so a tree that travelled
+through the service protocol exports identically to a local one).
+
+* :func:`chrome_trace` — the Chrome/Perfetto ``trace_event`` format
+  (open the file at ``chrome://tracing`` or https://ui.perfetto.dev).
+  Spans become complete (``"ph": "X"``) events with microsecond
+  timestamps, span attributes ride in ``args``, and span events become
+  thread-scoped instant (``"ph": "i"``) events.
+* :func:`flamegraph_lines` — Brendan Gregg's collapsed-stack text format
+  (one ``root;child;leaf <self-time-µs>`` line per unique stack), ready
+  for ``flamegraph.pl`` or speedscope.
+* :func:`validate_chrome_trace` — a dependency-free structural check of
+  the Chrome JSON, used by the tests and the CI trace-smoke gate.
+
+The ASCII timeline rendering lives in :func:`repro.reporting.trace_timeline`
+with the other terminal reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import iter_span_dicts, span_duration
+
+
+def _tid_mapper():
+    """Map arbitrary thread idents to small stable ints (tid 1, 2, ...)."""
+    seen: dict = {}
+
+    def tid_of(ident) -> int:
+        if ident not in seen:
+            seen[ident] = len(seen) + 1
+        return seen[ident]
+
+    return tid_of
+
+
+def chrome_trace(tree: dict) -> dict:
+    """Render a serialized trace tree as a Chrome ``trace_event`` document."""
+    tid_of = _tid_mapper()
+    events: list = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": {"name": f"repro trace {tree.get('trace_id') or '?'}"},
+    }]
+    for span, _depth in iter_span_dicts(tree):
+        tid = tid_of(span.get("tid", 0))
+        start_us = float(span.get("start_s", 0.0)) * 1e6
+        events.append({
+            "name": span.get("name", "?"),
+            "ph": "X",
+            "ts": round(start_us, 3),
+            "dur": round(span_duration(span) * 1e6, 3),
+            "pid": 1,
+            "tid": tid,
+            "args": dict(span.get("attrs", {})),
+        })
+        for ev in span.get("events", ()):
+            events.append({
+                "name": ev.get("name", "?"),
+                "ph": "i",
+                "ts": round(float(ev.get("ts_s", 0.0)) * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "s": "t",
+                "args": dict(ev.get("attrs", {})),
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": tree.get("trace_id"),
+            "wall_epoch": tree.get("wall_epoch"),
+        },
+    }
+
+
+def write_chrome_trace(tree: dict, path) -> None:
+    """Serialize :func:`chrome_trace` output to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tree), fh, default=str)
+        fh.write("\n")
+
+
+def flamegraph_lines(tree: dict) -> list:
+    """Collapsed-stack lines (``a;b;c <self-µs>``), alphabetically sorted.
+
+    The weight of each unique stack is *self time* in microseconds —
+    inclusive duration minus the children's inclusive durations — so the
+    flamegraph's widths sum to wall-clock time without double counting.
+    """
+    weights: dict = {}
+
+    def walk(span: dict, prefix: str) -> None:
+        frame = span.get("name", "?").replace(";", ":")
+        stack = f"{prefix};{frame}" if prefix else frame
+        child_s = sum(span_duration(c) for c in span.get("children", ()))
+        self_us = max(0.0, (span_duration(span) - child_s) * 1e6)
+        weights[stack] = weights.get(stack, 0) + int(round(self_us))
+        for child in span.get("children", ()):
+            walk(child, stack)
+
+    for root in tree.get("spans", ()):
+        walk(root, "")
+    return [f"{stack} {weight}" for stack, weight in sorted(weights.items())]
+
+
+def write_flamegraph(tree: dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(flamegraph_lines(tree)) + "\n")
+
+
+#: phases a valid event may carry (the subset this exporter emits)
+_KNOWN_PHASES = ("X", "M", "i", "B", "E")
+
+
+def validate_chrome_trace(payload) -> list:
+    """Structural problems in a Chrome ``trace_event`` document.
+
+    Returns a list of human-readable problem strings — empty when the
+    document is loadable by ``chrome://tracing``/Perfetto.  Checks the
+    envelope, per-event required fields, phase-specific fields (complete
+    events need a non-negative ``dur``), and JSON-serializability.
+    """
+    problems: list = []
+    if not isinstance(payload, dict):
+        return [f"document must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"{where}: missing name")
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata events carry no timestamps
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                problems.append(f"{where}: missing integer {field}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs dur >= 0")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    try:
+        json.dumps(payload, default=str)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        problems.append(f"document is not JSON-serializable: {exc}")
+    return problems

@@ -1,0 +1,111 @@
+"""Structured logging for the CLI and the compilation service.
+
+A tiny, dependency-free logger in the spirit of structlog: every record
+is a message plus key=value fields, rendered either as aligned plain text
+(the default, for humans watching a terminal) or as one JSON object per
+line (``--log-json``, for log shippers).  Replaces the ad-hoc
+``print(..., file=sys.stderr)`` progress messages that used to be
+scattered through the CLI and service.
+
+Configuration is process-global (:func:`configure`) because the CLI owns
+the process; libraries call :func:`get_logger` and never configure.
+Records below the configured level are dropped before any formatting
+work happens, so a ``debug`` call in a hot path costs one comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+
+LEVELS = {"debug": DEBUG, "info": INFO, "warning": WARNING, "error": ERROR}
+_NAMES = {v: k for k, v in LEVELS.items()}
+
+_lock = threading.Lock()
+
+
+class _Config:
+    __slots__ = ("level", "json_mode", "stream")
+
+    def __init__(self):
+        self.level = INFO
+        self.json_mode = False
+        self.stream = None  # None -> sys.stderr at emit time
+
+
+_config = _Config()
+
+
+def configure(level: str = "info", json_mode: bool = False,
+              stream=None) -> None:
+    """Set the process-wide log level, format and destination.
+
+    ``level`` is one of ``debug``/``info``/``warning``/``error``;
+    ``stream=None`` resolves to ``sys.stderr`` at emit time (so pytest's
+    capsys and late redirections are honoured).
+    """
+    key = str(level).lower()
+    if key not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (expected one of "
+            f"{', '.join(LEVELS)})"
+        )
+    _config.level = LEVELS[key]
+    _config.json_mode = json_mode
+    _config.stream = stream
+
+
+def current_level() -> str:
+    return _NAMES[_config.level]
+
+
+class Logger:
+    """A named logger; cheap to construct, safe to share across threads."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _log(self, levelno: int, msg: str, fields: dict) -> None:
+        if levelno < _config.level:
+            return
+        stream = _config.stream or sys.stderr
+        now = time.time()
+        if _config.json_mode:
+            record = {
+                "ts": round(now, 6),
+                "level": _NAMES[levelno],
+                "logger": self.name,
+                "msg": msg,
+            }
+            record.update(fields)
+            line = json.dumps(record, separators=(",", ":"), default=str)
+        else:
+            stamp = time.strftime("%H:%M:%S", time.localtime(now))
+            extras = " ".join(f"{k}={v}" for k, v in fields.items())
+            line = f"{stamp} {_NAMES[levelno]:<7} {self.name}: {msg}"
+            if extras:
+                line = f"{line}  [{extras}]"
+        with _lock:
+            print(line, file=stream, flush=True)
+
+    def debug(self, msg: str, **fields) -> None:
+        self._log(DEBUG, msg, fields)
+
+    def info(self, msg: str, **fields) -> None:
+        self._log(INFO, msg, fields)
+
+    def warning(self, msg: str, **fields) -> None:
+        self._log(WARNING, msg, fields)
+
+    def error(self, msg: str, **fields) -> None:
+        self._log(ERROR, msg, fields)
+
+
+def get_logger(name: str) -> Logger:
+    return Logger(name)

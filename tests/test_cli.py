@@ -206,3 +206,63 @@ class TestErrorHandling:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "Traceback" not in err
+
+
+class TestTraceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "mul"])
+        assert args.backend == "rake"
+        assert args.jobs == 1
+        assert args.depth == 4
+        assert args.format == "chrome"
+        assert args.trace_out is None
+
+    def test_global_logging_flags(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--log-json", "list"])
+        assert args.log_level == "debug"
+        assert args.log_json
+
+    def test_trace_prints_timeline(self, capsys):
+        assert main(["trace", "mul"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert "pipeline.compile" in out
+        assert "lifting" in out
+
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        from repro.trace.export import validate_chrome_trace
+
+        path = tmp_path / "t.json"
+        assert main(["trace", "mul", "--trace-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"pipeline.compile", "lifting", "sketch", "swizzle",
+                "oracle.query"} <= names
+
+    def test_trace_flame_format(self, capsys, tmp_path):
+        path = tmp_path / "flame.txt"
+        assert main(["trace", "mul", "--trace-out", str(path),
+                     "--format", "flame"]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_trace_unknown_workload(self, capsys):
+        assert main(["trace", "nonexistent"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+
+    def test_compile_trace_out(self, capsys, tmp_path):
+        import json
+
+        from repro.trace.export import validate_chrome_trace
+
+        path = tmp_path / "c.json"
+        assert main(["compile", "mul", "--backend", "rake",
+                     "--trace-out", str(path)]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        assert validate_chrome_trace(json.loads(path.read_text())) == []

@@ -1,0 +1,173 @@
+"""Direct unit tests for the service metrics registry.
+
+Pins the pieces the service tests only exercise indirectly: the
+nearest-rank quantile edge cases on :class:`Histogram` (empty reservoir,
+``q=0``/``q=1``, out-of-range ``q``), the shared :mod:`repro.numerics`
+helpers, and the two fold-in functions ``observe_synthesis_stats`` and
+``observe_trace``.
+"""
+
+import math
+
+import pytest
+
+from repro.numerics import geomean, quantile
+from repro.service.metrics import (
+    MetricsRegistry,
+    _span_slug,
+    observe_synthesis_stats,
+    observe_trace,
+)
+
+
+class TestNumericsQuantile:
+    def test_empty_returns_none(self):
+        assert quantile([], 0.5) is None
+
+    def test_singleton(self):
+        for q in (0.0, 0.5, 1.0):
+            assert quantile([7.0], q) == 7.0
+
+    def test_bounds_are_min_and_max(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(data, 0.0) == 1.0
+        assert quantile(data, 1.0) == 4.0
+
+    def test_nearest_rank_median_of_two(self):
+        # nearest-rank picks an element of the data, never interpolates:
+        # ceil(0.5 * 2) = 1 -> the first element
+        assert quantile([1.0, 2.0], 0.5) == 1.0
+
+    def test_nearest_rank_percentiles(self):
+        data = list(range(1, 101))  # 1..100
+        assert quantile(data, 0.50) == 50
+        assert quantile(data, 0.90) == 90
+        assert quantile(data, 0.99) == 99
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.1)
+
+
+class TestNumericsGeomean:
+    def test_matches_log_identity(self):
+        vals = [1.0, 2.0, 4.0]
+        assert geomean(vals) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, -3.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+        assert geomean([0.0]) == 0.0
+
+    def test_large_values_do_not_overflow(self):
+        big = [1e300, 1e300]
+        assert math.isfinite(geomean(big))
+        assert geomean(big) == pytest.approx(1e300, rel=1e-9)
+
+
+class TestHistogramQuantile:
+    def test_empty_reservoir_returns_none(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(0.0) is None
+
+    def test_extremes(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in (5.0, 1.0, 3.0):
+            hist.observe(v)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 5.0
+
+    def test_out_of_range_raises(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(2.0)
+
+    def test_render_skips_quantiles_when_empty(self):
+        hist = MetricsRegistry().histogram("h")
+        lines = hist.render()
+        assert lines == ["h_count 0", "h_sum 0"]
+
+    def test_as_dict_quantiles_none_when_empty(self):
+        d = MetricsRegistry().histogram("h").as_dict()
+        assert d["count"] == 0
+        assert d["p50"] is None
+
+
+class TestObserveSynthesisStats:
+    def _stats(self):
+        return {
+            "totals": {"queries": 10, "cache_hits": 6, "cache_misses": 4,
+                       "counterexamples": 2},
+            "stages": {
+                "lifting": {"time_s": 0.5, "queries": 3},
+                "swizzling": {"time_s": 1.25, "queries": 7},
+            },
+        }
+
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        observe_synthesis_stats(reg, self._stats())
+        observe_synthesis_stats(reg, self._stats())
+        d = reg.as_dict()
+        assert d["repro_oracle_queries_total"] == 20
+        assert d["repro_oracle_cache_hits_total"] == 12
+        assert d["repro_oracle_cache_misses_total"] == 8
+        assert d["repro_oracle_counterexamples_total"] == 4
+
+    def test_stage_histograms_and_counters(self):
+        reg = MetricsRegistry()
+        observe_synthesis_stats(reg, self._stats())
+        d = reg.as_dict()
+        assert d["repro_stage_lifting_seconds"]["count"] == 1
+        assert d["repro_stage_lifting_seconds"]["sum"] == pytest.approx(0.5)
+        assert d["repro_stage_swizzling_queries_total"] == 7
+        # absent stages create no metrics
+        assert "repro_stage_verify_seconds" not in d
+
+    def test_empty_stats_is_harmless(self):
+        reg = MetricsRegistry()
+        observe_synthesis_stats(reg, {})
+        assert reg.as_dict()["repro_oracle_queries_total"] == 0
+
+
+class TestObserveTrace:
+    def test_slugging(self):
+        assert _span_slug("oracle.query") == "oracle_query"
+        assert _span_slug("pipeline.compile") == "pipeline_compile"
+        assert _span_slug("Engine Worker!") == "engine_worker"
+        assert _span_slug("...") == ""
+
+    def test_folds_span_durations(self):
+        tree = {"trace_id": "t", "spans": [
+            {"name": "pipeline.compile", "start_s": 0.0, "end_s": 2.0,
+             "children": [
+                 {"name": "oracle.query", "start_s": 0.5, "end_s": 1.0,
+                  "children": []},
+                 {"name": "oracle.query", "start_s": 1.0, "end_s": 1.25,
+                  "children": []},
+             ]},
+        ]}
+        reg = MetricsRegistry()
+        observe_trace(reg, tree)
+        d = reg.as_dict()
+        assert d["repro_span_pipeline_compile_seconds"]["count"] == 1
+        assert d["repro_span_oracle_query_seconds"]["count"] == 2
+        assert d["repro_span_oracle_query_seconds"]["sum"] == \
+            pytest.approx(0.75)
+
+    def test_nameless_spans_skipped(self):
+        reg = MetricsRegistry()
+        observe_trace(reg, {"spans": [
+            {"name": "", "start_s": 0.0, "end_s": 1.0, "children": []}]})
+        assert reg.as_dict() == {}
+
+    def test_empty_tree(self):
+        reg = MetricsRegistry()
+        observe_trace(reg, {"trace_id": None, "spans": []})
+        assert reg.as_dict() == {}

@@ -1,0 +1,188 @@
+"""Tests for trace exporters, the timeline renderer and the logger."""
+
+import json
+
+import pytest
+
+from repro.reporting import trace_timeline
+from repro.trace import (
+    Tracer,
+    chrome_trace,
+    flamegraph_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from repro.trace.log import (
+    Logger,
+    configure,
+    current_level,
+    get_logger,
+)
+
+
+def _sample_tree():
+    tr = Tracer(trace_id="feedbeef")
+    with tr.span("pipeline", backend="rake") as sp:
+        sp.event("marker", n=3)
+        with tr.span("lifting"):
+            pass
+        with tr.span("lowering"):
+            with tr.span("oracle.query", cache="miss"):
+                pass
+    return tr.tree()
+
+
+class TestChromeTrace:
+    def test_valid_and_complete(self):
+        payload = chrome_trace(_sample_tree())
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases.count("M") == 1
+        assert phases.count("X") == 4
+        assert phases.count("i") == 1
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["pipeline"]["args"] == {"backend": "rake"}
+        assert by_name["oracle.query"]["args"] == {"cache": "miss"}
+        # spans nest in time: children start at/after the parent
+        assert by_name["lifting"]["ts"] >= by_name["pipeline"]["ts"]
+
+    def test_instant_events_are_thread_scoped(self):
+        payload = chrome_trace(_sample_tree())
+        (instant,) = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "marker"
+        assert instant["s"] == "t"
+        assert instant["args"] == {"n": 3}
+
+    def test_trace_id_in_metadata(self):
+        payload = chrome_trace(_sample_tree())
+        assert payload["otherData"]["trace_id"] == "feedbeef"
+
+    def test_write_is_json_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_sample_tree(), path)
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_envelope(self):
+        assert validate_chrome_trace({}) == ["missing traceEvents array"]
+
+    def test_flags_empty(self):
+        assert "traceEvents is empty" in validate_chrome_trace(
+            {"traceEvents": []}
+        )
+
+    def test_flags_bad_events(self):
+        payload = {"traceEvents": [
+            {"ph": "X", "ts": -1, "pid": 1, "tid": 1, "dur": 2},  # no name
+            {"name": "a", "ph": "Z", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 0, "pid": 1, "tid": 1},  # no dur
+            {"name": "c", "ph": "X", "ts": 0, "pid": "x", "tid": 1, "dur": 1},
+        ]}
+        problems = validate_chrome_trace(payload)
+        assert any("missing name" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("unknown phase" in p for p in problems)
+        assert any("dur" in p for p in problems)
+        assert any("integer pid" in p for p in problems)
+
+    def test_accepts_generated_output(self):
+        assert validate_chrome_trace(chrome_trace(_sample_tree())) == []
+
+
+class TestFlamegraph:
+    def test_stacks_and_self_time(self):
+        lines = flamegraph_lines(_sample_tree())
+        stacks = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in lines
+        )
+        assert "pipeline" in stacks
+        assert "pipeline;lifting" in stacks
+        assert "pipeline;lowering;oracle.query" in stacks
+        assert all(weight >= 0 for weight in stacks.values())
+
+    def test_semicolons_in_names_are_escaped(self):
+        tr = Tracer()
+        with tr.span("a;b"):
+            pass
+        (line,) = flamegraph_lines(tr.tree())
+        assert line.startswith("a:b ")
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "flame.txt"
+        write_flamegraph(_sample_tree(), path)
+        assert len(path.read_text().strip().splitlines()) == 4
+
+
+class TestTimeline:
+    def test_renders_all_spans(self):
+        text = trace_timeline(_sample_tree())
+        assert "trace feedbeef" in text
+        for name in ("pipeline", "lifting", "lowering", "oracle.query"):
+            assert name in text
+
+    def test_depth_limit_aggregates(self):
+        text = trace_timeline(_sample_tree(), max_depth=1)
+        assert "oracle.query" not in text
+        assert "(+1 nested)" in text
+
+    def test_empty_tree(self):
+        assert "no spans" in trace_timeline({"trace_id": "x", "spans": []})
+
+
+class TestLogger:
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        yield
+        configure(level="info", json_mode=False, stream=None)
+
+    def test_plain_format(self, capsys):
+        configure(level="info")
+        get_logger("test.plain").info("hello", n=7, s="x")
+        err = capsys.readouterr().err
+        assert "test.plain: hello" in err
+        assert "[n=7 s=x]" in err
+        assert "INFO".lower() in err.lower()
+
+    def test_json_format(self, capsys):
+        configure(level="info", json_mode=True)
+        get_logger("test.json").warning("w", job="j1")
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["level"] == "warning"
+        assert record["logger"] == "test.json"
+        assert record["msg"] == "w"
+        assert record["job"] == "j1"
+        assert isinstance(record["ts"], float)
+
+    def test_level_filtering(self, capsys):
+        configure(level="warning")
+        log = get_logger("test.filter")
+        log.debug("dropped")
+        log.info("dropped too")
+        log.error("kept")
+        err = capsys.readouterr().err
+        assert "dropped" not in err
+        assert "kept" in err
+
+    def test_level_case_insensitive(self):
+        configure(level="DEBUG")
+        assert current_level() == "debug"
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure(level="loud")
+
+    def test_custom_stream(self):
+        import io
+
+        buf = io.StringIO()
+        configure(level="info", stream=buf)
+        Logger("test.stream").info("to-buffer")
+        assert "to-buffer" in buf.getvalue()
