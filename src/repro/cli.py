@@ -30,7 +30,9 @@ import sys
 
 from . import workloads  # noqa: F401 - populate the registry
 from . import neon  # noqa: F401 - register the Neon instruction families
+from . import faults
 from .errors import ReproError
+from .fsutil import atomic_write_json, atomic_write_text
 from .hvx import all_instructions, program_listing, to_assembly
 from .pipeline import compile_pipeline
 from .reporting import (
@@ -143,6 +145,16 @@ def _cmd_compile(args) -> int:
         problem = _writable_file_error(args.stats_json)
         if problem is not None:
             return _fail(f"--stats-json: {problem}")
+    plan = None
+    if args.fault_plan:
+        try:
+            plan = faults.load_plan(args.fault_plan)
+        except ValueError as exc:
+            return _fail(f"--fault-plan: {exc}")
+        faults.activate(plan)
+        print(f"fault injection active: plan "
+              f"{plan.name or args.fault_plan!r} (seed {plan.seed}, "
+              f"{len(plan.rules)} rules)")
     tracer = None
     if args.trace_out:
         problem = _writable_file_error(args.trace_out)
@@ -151,20 +163,32 @@ def _cmd_compile(args) -> int:
         tracer = Tracer()
     totals = {}
     stats_by_backend = {}
-    for backend in backends:
-        totals[backend], stats_by_backend[backend] = _compile_one(
-            args.workload, backend, args.show_programs, args.width,
-            args.height, asm=args.asm, jobs=args.jobs, cache_dir=cache_dir,
-            batch_eval=not args.no_batch_eval, tracer=tracer,
-        )
+    try:
+        for backend in backends:
+            totals[backend], stats_by_backend[backend] = _compile_one(
+                args.workload, backend, args.show_programs, args.width,
+                args.height, asm=args.asm, jobs=args.jobs,
+                cache_dir=cache_dir, batch_eval=not args.no_batch_eval,
+                tracer=tracer,
+            )
+    finally:
+        if plan is not None:
+            faults.deactivate()
+            injected = plan.by_site()
+            if injected:
+                sites = ", ".join(
+                    f"{site} x{count}"
+                    for site, count in sorted(injected.items())
+                )
+                print(f"faults injected: {plan.injected_total()} ({sites})")
+            else:
+                print("faults injected: 0")
     rake_stats = stats_by_backend.get("rake")
     if rake_stats is not None and rake_stats.total_queries:
         print(engine_summary(rake_stats))
     if args.stats_json and rake_stats is not None:
         try:
-            with open(args.stats_json, "w", encoding="utf-8") as fh:
-                json.dump(rake_stats.as_dict(), fh, indent=2)
-                fh.write("\n")
+            atomic_write_json(args.stats_json, rake_stats.as_dict(), indent=2)
         except OSError as exc:
             return _fail(f"cannot write --stats-json {args.stats_json}: "
                          f"{exc.strerror or exc}")
@@ -253,9 +277,10 @@ def _cmd_trace(args) -> int:
             if args.format == "flame":
                 write_flamegraph(tree, args.trace_out)
             elif args.format == "timeline":
-                with open(args.trace_out, "w", encoding="utf-8") as fh:
-                    fh.write(trace_timeline(tree, max_depth=args.depth))
-                    fh.write("\n")
+                atomic_write_text(
+                    args.trace_out,
+                    trace_timeline(tree, max_depth=args.depth) + "\n",
+                )
             else:
                 write_chrome_trace(tree, args.trace_out)
         except OSError as exc:
@@ -290,6 +315,9 @@ def _cmd_serve(args) -> int:
         aging_rate=args.aging_rate,
         port_file=args.port_file,
         quiet=args.quiet,
+        fault_plan=args.fault_plan,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
 
 
@@ -396,6 +424,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable the batched NumPy oracle and check "
                                 "every valuation through the scalar "
                                 "interpreters (identical verdicts, slower)")
+    p_compile.add_argument("--fault-plan", default=None, metavar="PLAN",
+                           help="activate deterministic fault injection for "
+                                "this compile: a built-in plan name "
+                                "(worker-crash, torn-cache, slow-oracle, "
+                                "socket-reset) or a FaultPlan JSON file")
     p_compile.add_argument("--trace-out", default=None, metavar="PATH",
                            help="record a span trace of the compile and "
                                 "write it as Chrome trace_event JSON")
@@ -461,6 +494,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "(how scripts learn an ephemeral port)")
     p_serve.add_argument("--quiet", action="store_true",
                          help="suppress per-request access logs")
+    p_serve.add_argument("--fault-plan", default=None, metavar="PLAN",
+                         help="activate deterministic fault injection for "
+                              "the server's lifetime (chaos testing): a "
+                              "built-in plan name or a FaultPlan JSON file")
+    p_serve.add_argument("--breaker-threshold", type=int, default=5,
+                         help="consecutive job crashes before the circuit "
+                              "breaker opens and sheds load (default 5)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         help="seconds the breaker stays open before "
+                              "admitting a half-open probe (default 30)")
 
     p_submit = sub.add_parser(
         "submit", help="submit one compile to a running server")

@@ -61,3 +61,20 @@ class ServiceError(ReproError):
 
 class QueueFullError(ServiceError):
     """The service job queue is at capacity; retry later."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The server stayed unreachable across the client's retry budget."""
+
+
+class CircuitOpenError(ServiceError):
+    """The scheduler's circuit breaker is open and shedding load.
+
+    ``retry_after_s`` tells clients when a half-open probe will next be
+    admitted; the HTTP server surfaces it as a ``Retry-After`` header on
+    the 503 response.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..errors import EvaluationError
 from ..trace.core import NULL_TRACER
 from ..types import ScalarType
@@ -249,6 +250,7 @@ class BatchedEvaluator:
         self._nodes: Dict[object, CompiledNode] = {}
         self._plans: Dict[object, Optional[Plan]] = {}
         self.tracer = NULL_TRACER
+        self.compile_errors = 0
 
     # -- compilation -------------------------------------------------------
 
@@ -262,15 +264,25 @@ class BatchedEvaluator:
     def plan_for(self, expr) -> Optional[Plan]:
         """Compile ``expr`` to a plan; ``None`` when batching cannot apply.
 
-        ``None`` is returned only for roots outside the three expression
-        families or roots whose read-back cannot be represented (unsigned
-        64-bit results); callers then use the scalar path unchanged.
+        ``None`` is returned for roots outside the three expression
+        families, roots whose read-back cannot be represented (unsigned
+        64-bit results), and — defensively — any compilation failure: the
+        batched engine is a pure accelerator, so a broken lowering (or an
+        injected ``eval.plan_compile`` fault) degrades that expression to
+        the scalar interpreters rather than failing the query.
         """
 
         if expr in self._plans:
             return self._plans[expr]
         with self.tracer.span("eval.plan_compile") as sp:
-            plan = self._build_plan(expr)
+            try:
+                faults.fire(faults.SITE_PLAN_COMPILE, tracer=self.tracer)
+                plan = self._build_plan(expr)
+            except Exception as exc:
+                plan = None
+                self.compile_errors += 1
+                if sp:
+                    sp.set(error=type(exc).__name__)
             if sp:
                 sp.set(
                     batched=plan is not None,

@@ -1,0 +1,151 @@
+"""A circuit breaker for the compilation scheduler.
+
+The classic three-state machine, tuned for a job queue rather than an
+RPC fan-out:
+
+* **closed** — jobs are admitted; ``threshold`` *consecutive* crashes
+  (unexpected exceptions, not typed job failures) trip the breaker.
+* **open** — admission is shed (the server answers ``503`` with a
+  ``Retry-After``) until ``cooldown_s`` elapses.
+* **half-open** — one probe job is admitted; success closes the breaker,
+  another crash re-opens it with a fresh cooldown, and a probe that ends
+  neither way (cancelled, timed out) releases the slot so the next
+  submission probes again.
+
+State changes invoke ``on_change(state)`` under no lock, which is how the
+scheduler mirrors the breaker into the ``repro_breaker_state`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+#: gauge encoding for ``/metrics``: closed=0, half-open=1, open=2
+BREAKER_STATE_VALUES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_HALF_OPEN: 1,
+    BREAKER_OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Consecutive-crash breaker with a half-open probe."""
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 30.0,
+                 clock=time.monotonic, on_change=None):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._on_change = on_change
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.trips = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_locked()
+
+    def _peek_locked(self) -> str:
+        """Current state with the open → half-open clock applied."""
+        if self._state == BREAKER_OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            return BREAKER_HALF_OPEN
+        return self._state
+
+    def _set_locked(self, state: str) -> bool:
+        changed = state != self._state
+        self._state = state
+        return changed
+
+    def _announce(self, state: str) -> None:
+        if self._on_change is not None:
+            self._on_change(state)
+
+    # -- admission ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether to admit one submission right now.
+
+        In half-open, exactly one caller wins the probe slot until the
+        probe resolves through :meth:`record_success` /
+        :meth:`record_failure` / :meth:`release_probe`.
+        """
+        with self._lock:
+            state = self._peek_locked()
+            if state == BREAKER_CLOSED:
+                return True
+            if state == BREAKER_HALF_OPEN:
+                changed = self._set_locked(BREAKER_HALF_OPEN)
+                if self._probe_inflight:
+                    return False
+                self._probe_inflight = True
+            else:
+                return False
+        if changed:
+            self._announce(BREAKER_HALF_OPEN)
+        return True
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker would admit a probe (0 when closed)."""
+        with self._lock:
+            if self._peek_locked() != BREAKER_OPEN:
+                return 0.0
+            return max(
+                0.0, self.cooldown_s - (self._clock() - self._opened_at)
+            )
+
+    # -- outcomes ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        """One job finished healthy; closes a half-open breaker."""
+        with self._lock:
+            self._failures = 0
+            self._probe_inflight = False
+            changed = self._set_locked(BREAKER_CLOSED)
+        if changed:
+            self._announce(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        """One job crashed; trips a closed breaker past the threshold and
+        re-opens a half-open one immediately."""
+        with self._lock:
+            state = self._peek_locked()
+            self._probe_inflight = False
+            if state == BREAKER_HALF_OPEN or (
+                state == BREAKER_CLOSED
+                and self._bump_failures_locked() >= self.threshold
+            ):
+                self._opened_at = self._clock()
+                self._failures = 0
+                self.trips += 1
+                changed = self._set_locked(BREAKER_OPEN)
+            else:
+                changed = False
+        if changed:
+            self._announce(BREAKER_OPEN)
+
+    def _bump_failures_locked(self) -> int:
+        self._failures += 1
+        return self._failures
+
+    def release_probe(self) -> None:
+        """A probe ended without proving anything (cancelled/timed out);
+        free the slot so the next submission probes again."""
+        with self._lock:
+            self._probe_inflight = False

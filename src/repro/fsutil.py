@@ -1,0 +1,43 @@
+"""Crash-safe file writes shared by the CLI, exporters and cache stores.
+
+Every user-facing artifact the stack dumps — ``--stats-json`` payloads,
+Chrome traces, flamegraphs, compacted verdict stores — goes through
+``write-to-temp + os.replace``: a crash mid-dump leaves either the old
+file or no file, never a half-written one.  The temp file lives in the
+destination's directory so the final rename stays on one filesystem
+(``os.replace`` is only atomic within a filesystem).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path, payload, indent: int | None = None,
+                      default=None) -> None:
+    """Serialize ``payload`` as JSON and write it atomically."""
+    text = json.dumps(payload, indent=indent, default=default)
+    atomic_write_text(path, text + "\n")

@@ -16,7 +16,13 @@ from dataclasses import dataclass, field
 
 from .baseline import HalideOptimizer
 from .cancel import CancelToken
-from .errors import ReproError, SynthesisError, UnsupportedExpressionError
+from .errors import (
+    CancelledError,
+    ReproError,
+    SynthesisError,
+    UnsupportedExpressionError,
+)
+from .trace.log import get_logger
 from .frontend import Func, LoweredPipeline, Stage, lower_pipeline
 from .hvx import isa as H
 from .ir import expr as E
@@ -28,6 +34,8 @@ from .trace.core import NULL_TRACER
 
 BACKEND_RAKE = "rake"
 BACKEND_BASELINE = "baseline"
+
+_log = get_logger("repro.pipeline")
 
 
 @dataclass
@@ -61,6 +69,10 @@ class CompiledPipeline:
     stages: list = field(default_factory=list)  # list[CompiledStage]
     stats: SynthesisStats = field(default_factory=SynthesisStats)
     fallbacks: int = 0
+    #: expressions that fell back to the baseline because synthesis
+    #: *crashed* (not the typed it-cannot-handle-this fallbacks) — the
+    #: result is still verified-correct, just not the optimized lowering
+    degraded_exprs: int = 0
 
     @property
     def optimized_exprs(self) -> int:
@@ -68,6 +80,10 @@ class CompiledPipeline:
             1 for cs in self.stages for ce in cs.exprs
             if ce.selector == BACKEND_RAKE
         )
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_exprs > 0
 
 
 def _is_trivial(e: E.Expr) -> bool:
@@ -172,6 +188,30 @@ def compile_pipeline(
                                         UnsupportedExpressionError):
                                     compiled.fallbacks += 1
                                     used = BACKEND_BASELINE
+                                except CancelledError:
+                                    # Cancellation/deadline is a caller
+                                    # decision, never a degraded result.
+                                    raise
+                                except Exception as exc:
+                                    # Synthesis *crashed* (an injected
+                                    # fault past its retry budget, or a
+                                    # real bug).  Degrade this expression
+                                    # to the baseline lowering — still
+                                    # verified below — instead of failing
+                                    # the whole compile.
+                                    compiled.fallbacks += 1
+                                    compiled.degraded_exprs += 1
+                                    used = BACKEND_BASELINE
+                                    tracer.event(
+                                        "pipeline.degraded",
+                                        error=type(exc).__name__,
+                                    )
+                                    _log.warning(
+                                        "synthesis crashed; degrading "
+                                        "expression to baseline",
+                                        stage=stage.name,
+                                        error=f"{type(exc).__name__}: {exc}",
+                                    )
                             if program is None:
                                 program = baseline.optimize(expr)
                             if verifier is not None:
@@ -192,7 +232,8 @@ def compile_pipeline(
                 compiled.stages.append(cstage)
             if root:
                 root.set(fallbacks=compiled.fallbacks,
-                         optimized=compiled.optimized_exprs)
+                         optimized=compiled.optimized_exprs,
+                         degraded=compiled.degraded_exprs)
     finally:
         if owns_selector:
             rake.close()

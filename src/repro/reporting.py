@@ -116,6 +116,11 @@ def engine_summary(stats) -> str:
         f"{stats.total_cache_misses} misses, {rate:.0%} hit rate)",
         f"    counterexamples: {stats.total_counterexamples}",
     ]
+    if getattr(stats, "retries", 0):
+        lines.append(
+            f"    worker-pool retries: {stats.retries} "
+            f"(crashed dispatches resubmitted)"
+        )
     for name, stage in stats.stages.items():
         if stage.queries == 0:
             continue
@@ -129,8 +134,14 @@ def engine_summary(stats) -> str:
 def job_summary(view) -> str:
     """Render one service job (a :class:`~repro.service.protocol.JobView`)
     for the CLI's ``status``/``submit --wait`` output."""
-    lines = [f"job {view.id}: {view.state}  "
+    degraded = " (degraded)" if getattr(view, "degraded", False) else ""
+    lines = [f"job {view.id}: {view.state}{degraded}  "
              f"[{view.request.workload} / {view.request.backend}]"]
+    if degraded:
+        lines.append(
+            "    synthesis crashed past its retry budget on >= 1 "
+            "expression; the verified baseline lowering was substituted"
+        )
     if view.wait_s is not None:
         timing = f"    queued {view.wait_s:.3f}s"
         if view.run_s is not None:
@@ -182,6 +193,24 @@ def service_summary(health: dict, metrics: dict) -> str:
         f"{metric('repro_jobs_cancelled_total')} cancelled, "
         f"{metric('repro_jobs_timeout_total')} timed out",
     ]
+    breaker_names = {0: "closed", 1: "half-open", 2: "open"}
+    breaker = breaker_names.get(int(metric("repro_breaker_state")), "?")
+    resilience = (
+        f"    resilience: breaker {breaker}, "
+        f"{metric('repro_retries_total')} pool retries, "
+        f"{metric('repro_degraded_jobs_total')} degraded jobs"
+    )
+    shed = metric("repro_jobs_shed_total")
+    if shed:
+        resilience += f", {shed} shed"
+    faults_injected = sum(
+        value for name, value in metrics.items()
+        if name.startswith("repro_faults_injected_total")
+        and isinstance(value, (int, float))
+    )
+    if faults_injected:
+        resilience += f", {int(faults_injected)} faults injected"
+    lines.append(resilience)
     hits = metric("repro_oracle_cache_hits_total")
     misses = metric("repro_oracle_cache_misses_total")
     lookups = hits + misses

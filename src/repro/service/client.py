@@ -10,6 +10,13 @@ wire format has exactly one reader and one writer.
 Transport errors surface as :class:`~repro.errors.ServiceError`; protocol
 violations (bad JSON, version mismatch) as
 :class:`~repro.errors.ProtocolError`.
+
+Transient connection failures during **GET** requests — a polling client
+racing a server restart, a reset socket — are retried with capped
+exponential backoff before surfacing as the typed
+:class:`~repro.errors.ServiceUnavailable`.  POSTs are never retried:
+``POST /compile`` is not idempotent (a retry could double-submit), so
+its transport errors raise immediately.
 """
 
 from __future__ import annotations
@@ -19,7 +26,14 @@ import time
 import urllib.error
 import urllib.request
 
-from ..errors import ProtocolError, QueueFullError, ServiceError
+from ..errors import (
+    CircuitOpenError,
+    ProtocolError,
+    QueueFullError,
+    ServiceError,
+    ServiceUnavailable,
+)
+from ..faults import RetryPolicy
 from .protocol import CompileRequest, JobView
 
 #: polling schedule for :meth:`ServiceClient.wait`
@@ -28,12 +42,21 @@ POLL_MAX_S = 1.0
 POLL_BACKOFF = 1.5
 
 
-class ServiceClient:
-    """Talks to one server at ``base_url`` (e.g. ``http://127.0.0.1:8347``)."""
+def _default_retry() -> RetryPolicy:
+    return RetryPolicy(attempts=3, base_s=0.05, max_s=0.5)
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+
+class ServiceClient:
+    """Talks to one server at ``base_url`` (e.g. ``http://127.0.0.1:8347``).
+
+    ``retry`` governs the transient-connection retry for GET requests
+    (default: 3 retries, 50 ms base backoff capped at 0.5 s)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retry: RetryPolicy | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else _default_retry()
 
     # -- transport ---------------------------------------------------------
 
@@ -44,19 +67,30 @@ class ServiceClient:
             url, data=data, method=method,
             headers={"Content-Type": "application/json"} if data else {},
         )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                body = resp.read().decode()
-                status = resp.status
-        except urllib.error.HTTPError as exc:
-            body = exc.read().decode()
-            status = exc.code
-        except (urllib.error.URLError, OSError) as exc:
-            raise ServiceError(
-                f"cannot reach compile server at {self.base_url}: "
-                f"{getattr(exc, 'reason', exc)}"
-            ) from exc
-        return status, body
+        attempts = self.retry.attempts if method == "GET" else 0
+        last: Exception | None = None
+        for attempt in range(attempts + 1):
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    return resp.status, resp.read().decode()
+            except urllib.error.HTTPError as exc:
+                # The server answered; HTTP-level errors are never
+                # transport failures and are mapped by the caller.
+                return exc.code, exc.read().decode()
+            except (urllib.error.URLError, OSError) as exc:
+                # urllib wraps ConnectionResetError & friends in URLError.
+                last = exc
+                if attempt < attempts:
+                    self.retry.sleep(attempt)
+        reason = getattr(last, "reason", last)
+        if method == "GET":
+            raise ServiceUnavailable(
+                f"cannot reach compile server at {self.base_url} "
+                f"after {attempts + 1} attempts: {reason}"
+            ) from last
+        raise ServiceError(
+            f"cannot reach compile server at {self.base_url}: {reason}"
+        ) from last
 
     def _request_json(self, method: str, path: str,
                       payload: dict | None = None) -> dict:
@@ -68,6 +102,11 @@ class ServiceClient:
                 f"server returned invalid JSON for {method} {path}: {exc}"
             ) from exc
         if status == 503:
+            if "retry_after_s" in decoded:
+                raise CircuitOpenError(
+                    decoded.get("error", "server is shedding load"),
+                    retry_after_s=float(decoded["retry_after_s"]),
+                )
             raise QueueFullError(decoded.get("error", "server queue full"))
         if status >= 400:
             raise ServiceError(

@@ -30,14 +30,25 @@ RESERVOIR = 1024
 QUANTILES = (0.5, 0.9, 0.95, 0.99)
 
 
+def _label_str(labels: dict | None) -> str:
+    """Prometheus label rendering: ``{a="x",b="y"}`` (sorted), or ``""``."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
 class Counter:
     """A monotonically increasing counter."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help_text: str, lock: threading.RLock):
+    def __init__(self, name: str, help_text: str, lock: threading.RLock,
+                 labels: dict | None = None):
         self.name = name
         self.help = help_text
+        self.labels = dict(labels) if labels else {}
+        self.full_name = name + _label_str(self.labels)
         self._lock = lock
         self._value = 0.0
 
@@ -53,7 +64,7 @@ class Counter:
             return self._value
 
     def render(self) -> list:
-        return [f"{self.name} {_fmt(self.value)}"]
+        return [f"{self.full_name} {_fmt(self.value)}"]
 
     def as_dict(self):
         return self.value
@@ -81,9 +92,12 @@ class Histogram:
 
     kind = "histogram"
 
-    def __init__(self, name: str, help_text: str, lock: threading.RLock):
+    def __init__(self, name: str, help_text: str, lock: threading.RLock,
+                 labels: dict | None = None):
         self.name = name
         self.help = help_text
+        self.labels = dict(labels) if labels else {}
+        self.full_name = name + _label_str(self.labels)
         self._lock = lock
         self.count = 0
         self.sum = 0.0
@@ -109,14 +123,17 @@ class Histogram:
 
     def render(self) -> list:
         lines = []
+        suffix = _label_str(self.labels)
         for q in QUANTILES:
             value = self.quantile(q)
             if value is not None:
+                merged = dict(self.labels)
+                merged["quantile"] = str(q)
                 lines.append(
-                    f'{self.name}{{quantile="{q}"}} {_fmt(value)}'
+                    f"{self.name}{_label_str(merged)} {_fmt(value)}"
                 )
-        lines.append(f"{self.name}_count {self.count}")
-        lines.append(f"{self.name}_sum {_fmt(self.sum)}")
+        lines.append(f"{self.name}_count{suffix} {self.count}")
+        lines.append(f"{self.name}_sum{suffix} {_fmt(self.sum)}")
         return lines
 
     def as_dict(self):
@@ -142,48 +159,73 @@ class MetricsRegistry:
     ``counter``/``gauge``/``histogram`` are get-or-create and therefore
     safe to call from any thread at any time; re-registering a name with a
     different kind is a programming error and raises.
+
+    Metrics may carry **labels** (``labels={"site": "engine.batch"}``):
+    each distinct label set is its own child series under the family
+    name, rendered Prometheus-style as ``name{site="engine.batch"}``.
+    The kind check applies to the whole family, and ``HELP``/``TYPE``
+    lines are emitted once per family.
     """
 
     def __init__(self):
         self._lock = threading.RLock()
-        self._metrics: dict = {}
+        self._metrics: dict = {}  # (name, sorted label items) -> metric
+        self._kinds: dict = {}  # family name -> metric class
 
-    def _get_or_create(self, cls, name: str, help_text: str):
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labels: dict | None = None):
+        key = (name, tuple(sorted((labels or {}).items())))
         with self._lock:
-            metric = self._metrics.get(name)
-            if metric is None:
-                metric = self._metrics[name] = cls(name, help_text, self._lock)
-            elif not isinstance(metric, cls) or type(metric) is not cls:
+            registered = self._kinds.get(name)
+            if registered is None:
+                self._kinds[name] = cls
+            elif registered is not cls:
                 raise ValueError(
-                    f"metric {name!r} already registered as {metric.kind}"
+                    f"metric {name!r} already registered as "
+                    f"{registered.kind}"
+                )
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(
+                    name, help_text, self._lock, labels
                 )
             return metric
 
-    def counter(self, name: str, help_text: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help_text)
+    def counter(self, name: str, help_text: str = "",
+                labels: dict | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labels)
 
-    def gauge(self, name: str, help_text: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help_text)
+    def gauge(self, name: str, help_text: str = "",
+              labels: dict | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labels)
 
-    def histogram(self, name: str, help_text: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, help_text)
+    def histogram(self, name: str, help_text: str = "",
+                  labels: dict | None = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, labels)
 
     def render_text(self) -> str:
         """Prometheus-style exposition text."""
         out = []
         with self._lock:
-            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+            metrics = sorted(
+                self._metrics.values(), key=lambda m: (m.name, m.full_name)
+            )
+        previous = None
         for metric in metrics:
-            if metric.help:
-                out.append(f"# HELP {metric.name} {metric.help}")
-            out.append(f"# TYPE {metric.name} {metric.kind}")
+            if metric.name != previous:
+                if metric.help:
+                    out.append(f"# HELP {metric.name} {metric.help}")
+                out.append(f"# TYPE {metric.name} {metric.kind}")
+                previous = metric.name
             out.extend(metric.render())
         return "\n".join(out) + "\n"
 
     def as_dict(self) -> dict:
         with self._lock:
-            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
-        return {metric.name: metric.as_dict() for metric in metrics}
+            metrics = sorted(
+                self._metrics.values(), key=lambda m: (m.name, m.full_name)
+            )
+        return {metric.full_name: metric.as_dict() for metric in metrics}
 
 
 #: synthesis stages mirrored into per-stage latency/query metrics
@@ -216,6 +258,10 @@ def observe_synthesis_stats(registry: MetricsRegistry, stats: dict) -> None:
         "repro_oracle_counterexamples_total",
         "new refuting valuations discovered",
     ).inc(totals.get("counterexamples", 0))
+    registry.counter(
+        "repro_retries_total",
+        "worker-pool batch resubmissions after a crashed dispatch",
+    ).inc(totals.get("retries", 0))
     stages = stats.get("stages", {})
     for name in _STAGE_METRICS:
         stage = stages.get(name)

@@ -144,6 +144,10 @@ class CompileResult:
     programs: tuple = ()  # tuple[dict]: stage/selector/listing
     optimized_exprs: int = 0
     fallbacks: int = 0
+    #: synthesis crashed past its retry budget on >= 1 expression and the
+    #: pipeline substituted the (verified) baseline lowering — the result
+    #: is correct but not the optimized program the client asked for
+    degraded: bool = False
     stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -167,6 +171,7 @@ class CompileResult:
                 programs=tuple(data.get("programs", ())),
                 optimized_exprs=int(data.get("optimized_exprs", 0)),
                 fallbacks=int(data.get("fallbacks", 0)),
+                degraded=bool(data.get("degraded", False)),
                 stats=dict(data.get("stats", {})),
             )
         except KeyError as exc:
@@ -190,6 +195,9 @@ class JobView:
     error: str | None = None
     result: CompileResult | None = None
     trace_id: str | None = None
+    #: mirrors ``result.degraded`` at the job level so clients can gate
+    #: on it without unpacking the result payload
+    degraded: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -207,6 +215,7 @@ class JobView:
             "error": self.error,
             "result": self.result.to_dict() if self.result else None,
             "trace_id": self.trace_id,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -233,6 +242,7 @@ class JobView:
                 error=data.get("error"),
                 result=CompileResult.from_dict(result) if result else None,
                 trace_id=data.get("trace_id"),
+                degraded=bool(data.get("degraded", False)),
             )
         except KeyError as exc:
             raise ProtocolError(f"job view: missing field {exc}") from exc
@@ -280,5 +290,6 @@ def result_from_compiled(request: CompileRequest, compiled,
         programs=tuple(programs),
         optimized_exprs=compiled.optimized_exprs,
         fallbacks=compiled.fallbacks,
+        degraded=bool(getattr(compiled, "degraded", False)),
         stats=compiled.stats.as_dict(),
     )

@@ -33,15 +33,18 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..cancel import CancelToken
 from ..errors import (
     CancelledError,
+    CircuitOpenError,
     DeadlineExceededError,
     ProtocolError,
     QueueFullError,
     ReproError,
     ServiceError,
 )
+from ..faults import BREAKER_STATE_VALUES, CircuitBreaker
 from ..synthesis.engine import OracleCache
 from ..trace.core import Tracer
 from ..trace.log import get_logger
@@ -104,6 +107,7 @@ class Job:
             error=self.error,
             result=self.result,
             trace_id=self.trace_id,
+            degraded=bool(self.result.degraded) if self.result else False,
         )
 
 
@@ -165,6 +169,8 @@ class JobScheduler:
         metrics: MetricsRegistry | None = None,
         aging_rate: float = 1.0,
         paused: bool = False,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 30.0,
     ):
         if workers < 1:
             raise ValueError("scheduler needs at least one worker")
@@ -186,6 +192,16 @@ class JobScheduler:
         self.queue_size = queue_size
         self.aging_rate = aging_rate
         self.coalescer = Coalescer()
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+            on_change=self._on_breaker_change,
+        )
+        # Every injection from an active fault plan lands in
+        # repro_faults_injected_total{site=...} — chaos runs are visible
+        # at /metrics, not just in the plan's own trace.
+        self._fault_listener = self._on_fault_injected
+        faults.add_listener(self._fault_listener)
 
         self._cond = threading.Condition()
         self._pending: list[Job] = []
@@ -214,6 +230,10 @@ class JobScheduler:
         m.gauge("repro_workers", "compilation worker threads").set(workers)
         m.gauge("repro_queue_depth", "jobs waiting for a worker")
         m.gauge("repro_jobs_inflight", "jobs currently compiling")
+        m.gauge(
+            "repro_breaker_state",
+            "scheduler circuit breaker (0=closed, 1=half-open, 2=open)",
+        ).set(BREAKER_STATE_VALUES[self.breaker.state])
         for name, help_text in (
             ("repro_jobs_submitted_total", "jobs admitted to the queue"),
             ("repro_jobs_coalesced_total",
@@ -224,10 +244,32 @@ class JobScheduler:
             ("repro_jobs_failed_total", "jobs that raised an error"),
             ("repro_jobs_cancelled_total", "jobs cancelled before finishing"),
             ("repro_jobs_timeout_total", "jobs that exceeded their deadline"),
+            ("repro_jobs_shed_total",
+             "submissions shed by the open circuit breaker"),
+            ("repro_retries_total",
+             "worker-pool batch resubmissions after a crashed dispatch"),
+            ("repro_degraded_jobs_total",
+             "jobs that completed with a degraded (baseline) result"),
+            ("repro_faults_injected_total",
+             "faults injected by the active fault plan"),
         ):
             m.counter(name, help_text)
         m.histogram("repro_job_wait_seconds", "queue wait per started job")
         m.histogram("repro_job_run_seconds", "compile time per finished job")
+
+    def _on_breaker_change(self, state: str) -> None:
+        self.metrics.gauge("repro_breaker_state").set(
+            BREAKER_STATE_VALUES[state]
+        )
+        _log.warning("circuit breaker state change", state=state,
+                     trips=self.breaker.trips)
+
+    def _on_fault_injected(self, record: dict) -> None:
+        self.metrics.counter(
+            "repro_faults_injected_total",
+            "faults injected by the active fault plan",
+            labels={"site": record.get("site", "?")},
+        ).inc()
 
     # -- admission ---------------------------------------------------------
 
@@ -236,10 +278,30 @@ class JobScheduler:
 
         A coalesced submission returns the in-flight leader job for an
         identical request instead of queueing a duplicate.  Raises
-        :class:`QueueFullError` when the queue is at capacity and
-        :class:`ServiceError` after shutdown began.
+        :class:`QueueFullError` when the queue is at capacity,
+        :class:`CircuitOpenError` while the circuit breaker is shedding
+        load after repeated worker crashes, and :class:`ServiceError`
+        after shutdown began.
         """
         request.validate()
+        if not self.breaker.allow():
+            self.metrics.counter("repro_jobs_shed_total").inc()
+            self.metrics.counter("repro_jobs_rejected_total").inc()
+            raise CircuitOpenError(
+                "circuit breaker open after repeated job crashes; "
+                "shedding load",
+                retry_after_s=max(0.1, self.breaker.retry_after_s()),
+            )
+        try:
+            return self._submit_admitted(request)
+        except Exception:
+            # If this submission held the half-open probe slot and never
+            # became a job (full queue, shutdown), free the slot so the
+            # next submission can probe.
+            self.breaker.release_probe()
+            raise
+
+    def _submit_admitted(self, request: CompileRequest) -> tuple[Job, bool]:
         key = request_key(request)
         with self._cond:
             if not self._accepting:
@@ -395,10 +457,12 @@ class JobScheduler:
         _log.info("job started", job=job.id, workload=job.request.workload,
                   backend=job.request.backend, wait_s=round(job.wait_s, 4),
                   trace_id=job.trace_id)
+        crashed = False
         try:
             # A job whose deadline lapsed (or that was cancelled) while
             # queued must never start compiling.
             job.cancel_token.check()
+            faults.fire(faults.SITE_SCHEDULER_JOB, tracer=tracer)
             if tracer is not None:
                 result = self.compile_fn(
                     job.request, job.cancel_token, self.cache, tracer=tracer
@@ -415,7 +479,18 @@ class JobScheduler:
             state, error = JOB_FAILED, str(exc)
         except Exception as exc:  # worker must survive any job
             state, error = JOB_FAILED, f"{type(exc).__name__}: {exc}"
+            crashed = True
         run_s = time.monotonic() - start
+        # Breaker accounting: only *crashes* (untyped exceptions — the
+        # infrastructure failing, not the request) count as failures.
+        # Typed job failures prove the worker is healthy and close a
+        # half-open breaker; neutral outcomes free the probe slot.
+        if crashed:
+            self.breaker.record_failure()
+        elif state in (JOB_DONE, JOB_FAILED):
+            self.breaker.record_success()
+        else:
+            self.breaker.release_probe()
         if tracer is not None:
             job.trace = tracer.tree()
         with self._cond:
@@ -424,6 +499,8 @@ class JobScheduler:
             self.metrics.gauge("repro_jobs_inflight").set(self._inflight)
             self._finish_locked(job, state, error=error, result=result)
         self.metrics.histogram("repro_job_run_seconds").observe(run_s)
+        if result is not None and result.degraded:
+            self.metrics.counter("repro_degraded_jobs_total").inc()
         if result is not None and result.stats:
             observe_synthesis_stats(self.metrics, result.stats)
         if job.trace is not None:
@@ -450,6 +527,10 @@ class JobScheduler:
             JOB_TIMEOUT: "repro_jobs_timeout_total",
         }[state]
         self.metrics.counter(counter).inc()
+        if state in (JOB_CANCELLED, JOB_TIMEOUT):
+            # A cancelled/timed-out job proves nothing about worker
+            # health; if it held the half-open probe slot, free it.
+            self.breaker.release_probe()
         job.done.set()
         self._cond.notify_all()
 
@@ -502,5 +583,6 @@ class JobScheduler:
             self._cond.notify_all()
         for t in self._threads:
             t.join(timeout=5.0)
+        faults.remove_listener(self._fault_listener)
         self.cache.flush()
         return clean

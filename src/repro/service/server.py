@@ -30,7 +30,15 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from ..errors import ProtocolError, QueueFullError, ServiceError
+import math
+
+from .. import faults
+from ..errors import (
+    CircuitOpenError,
+    ProtocolError,
+    QueueFullError,
+    ServiceError,
+)
 from ..trace.log import get_logger
 from .protocol import PROTOCOL_VERSION, CompileRequest
 from .scheduler import JobScheduler
@@ -56,13 +64,31 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.service.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _inject_request_fault(self) -> bool:
+        """Fire the ``server.request`` site; ``True`` when the connection
+        was reset and the handler must bail out without responding."""
+        rule = faults.fire(faults.SITE_SERVER_REQUEST)
+        if rule is not None and rule.kind == faults.KIND_SOCKET_RESET:
+            # Tear the TCP connection down mid-exchange: the client sees
+            # a reset/empty response, exactly like a crashed server.
+            self.close_connection = True
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+            return True
+        return False
 
     def _send_text(self, status: int, text: str) -> None:
         body = text.encode()
@@ -88,6 +114,8 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
+            if self._inject_request_fault():
+                return
             if parts == ["healthz"]:
                 self._send_json(200, self.service.health())
             elif parts == ["metrics"]:
@@ -113,6 +141,8 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
+            if self._inject_request_fault():
+                return
             if parts == ["compile"]:
                 self._post_compile()
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
@@ -125,6 +155,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no route POST {url.path}"})
         except ProtocolError as exc:
             self._send_json(400, {"error": str(exc)})
+        except CircuitOpenError as exc:
+            self._send_json(
+                503,
+                {
+                    "error": str(exc),
+                    "retry": True,
+                    "retry_after_s": round(exc.retry_after_s, 3),
+                },
+                headers={"Retry-After": str(math.ceil(exc.retry_after_s))},
+            )
         except QueueFullError as exc:
             self._send_json(503, {"error": str(exc), "retry": True})
         except ServiceError as exc:
@@ -167,6 +207,8 @@ class CompileServer:
         aging_rate: float = 1.0,
         quiet: bool = True,
         grace_s: float = 2.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 30.0,
     ):
         self.scheduler = JobScheduler(
             workers=workers,
@@ -175,6 +217,8 @@ class CompileServer:
             cache_dir=cache_dir,
             compile_fn=compile_fn,
             aging_rate=aging_rate,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
         )
         self.metrics = self.scheduler.metrics
         self.quiet = quiet
@@ -267,16 +311,27 @@ def serve(
     aging_rate: float = 1.0,
     port_file: str | None = None,
     quiet: bool = False,
+    fault_plan: str | None = None,
+    breaker_threshold: int = 5,
+    breaker_cooldown_s: float = 30.0,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM or ``POST /shutdown``.
 
     ``port_file`` (for scripts and CI) receives ``host port\\n`` once the
     socket is bound — with ``port=0`` that is the only way to learn the
-    ephemeral port.
+    ephemeral port.  ``fault_plan`` (a built-in plan name or JSON file)
+    activates deterministic fault injection for the server's lifetime —
+    chaos testing, never production.
     """
+    if fault_plan:
+        plan = faults.activate(faults.load_plan(fault_plan))
+        _log.warning("fault injection active", plan=plan.name or fault_plan,
+                     rules=len(plan.rules), seed=plan.seed)
     server = CompileServer(
         host=host, port=port, workers=workers, queue_size=queue_size,
         cache_dir=cache_dir, aging_rate=aging_rate, quiet=quiet,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown_s=breaker_cooldown_s,
     )
     bound_host, bound_port = server.address
 

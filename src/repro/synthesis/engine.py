@@ -39,9 +39,12 @@ import hashlib
 import json
 import os
 import threading
+import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 
+from .. import faults
+from ..faults import RetryPolicy
 from ..hvx import isa as hvx_isa
 from ..ir import expr as ir_expr
 from ..trace.core import NULL_SPAN as _NULL_CTX
@@ -132,6 +135,40 @@ def spec_key(spec, seed: int = 0, rounds: int = 0) -> str:
 # ---------------------------------------------------------------------------
 
 
+def encode_record(rec: dict) -> str:
+    """One JSONL line for ``rec``, stamped with a CRC-32 of its body.
+
+    The checksum covers the canonical serialization of the record *without*
+    the ``crc`` field (compact separators, sorted keys), so any decoder can
+    recompute it without caring about field order.
+    """
+    body = json.dumps(rec, separators=(",", ":"), sort_keys=True)
+    stamped = dict(rec)
+    stamped["crc"] = zlib.crc32(body.encode())
+    return json.dumps(stamped, separators=(",", ":"), sort_keys=True)
+
+
+def decode_record(line: str):
+    """Parse one JSONL line; ``None`` if torn, merged or CRC-mismatched.
+
+    Lines without a ``crc`` field (stores written before checksumming) are
+    accepted as-is — the old best-effort trust level, kept so warm caches
+    survive the upgrade.
+    """
+    try:
+        rec = json.loads(line)
+    except (json.JSONDecodeError, ValueError):
+        return None
+    if not isinstance(rec, dict):
+        return None
+    if "crc" in rec:
+        crc = rec.pop("crc")
+        body = json.dumps(rec, separators=(",", ":"), sort_keys=True)
+        if crc != zlib.crc32(body.encode()):
+            return None
+    return rec
+
+
 class DiskStore:
     """Append-only JSONL store for verdicts and counterexample indices.
 
@@ -146,11 +183,16 @@ class DiskStore:
     ``os.write`` on an ``O_APPEND`` descriptor, so batches from different
     processes interleave at line-batch granularity rather than mid-line;
     the loader additionally tolerates the failure modes concurrency can
-    still produce — torn or merged lines never parse and are skipped, and
-    duplicate records (two processes proving the same verdict) are
-    idempotent.  A truncated final line from an interrupted run is
-    likewise skipped, never poisoning the store.  Writes are buffered and
-    flushed periodically, on :meth:`close` and at interpreter exit.
+    still produce — torn or merged lines never parse (and new records
+    carry a per-line CRC-32, so even a corruption that *does* parse is
+    caught), and duplicate records (two processes proving the same
+    verdict) are idempotent.  A store found corrupt at load time is
+    quarantined: the damaged file moves aside to ``<path>.quarantine``
+    and the surviving records are rewritten atomically, so a bad line is
+    scrubbed once instead of re-skipped forever.  Writes are buffered and
+    flushed periodically, on :meth:`close` and at interpreter exit; a
+    flush that fails with ``OSError`` re-queues its records rather than
+    losing them or crashing synthesis.
     """
 
     FLUSH_EVERY = 128
@@ -161,22 +203,28 @@ class DiskStore:
         self._counterexamples: dict[str, list[int]] = {}
         self._pending: list[str] = []
         self._lock = threading.RLock()
+        self.corrupt_lines = 0
+        self.load_errors = 0
+        self.write_errors = 0
+        self.quarantined: Path | None = None
         self._load()
         atexit.register(self.close)
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
         try:
+            faults.fire(faults.SITE_CACHE_LOAD)
+            if not self.path.exists():
+                return
             text = self.path.read_text()
         except OSError:
+            self.load_errors += 1
             return
         for line in text.splitlines():
-            try:
-                rec = json.loads(line)
-            except (json.JSONDecodeError, ValueError):
-                continue  # torn/merged line from a concurrent writer
-            if not isinstance(rec, dict):
+            if not line.strip():
+                continue
+            rec = decode_record(line)
+            if rec is None:
+                self.corrupt_lines += 1
                 continue
             if rec.get("t") == "v" and "k" in rec and "v" in rec:
                 self._verdicts[rec["k"]] = bool(rec["v"])
@@ -184,6 +232,45 @@ class DiskStore:
                 bucket = self._counterexamples.setdefault(rec["k"], [])
                 if rec["i"] not in bucket:
                     bucket.append(rec["i"])
+            else:
+                self.corrupt_lines += 1
+        if self.corrupt_lines:
+            self._quarantine_and_compact()
+
+    def _quarantine_and_compact(self) -> None:
+        """Move a damaged store aside and rewrite the surviving records.
+
+        The quarantine rename and the compacted rewrite both go through
+        ``os.replace``, so a crash at any point leaves either the old
+        file, the quarantined copy, or the fully compacted store — never
+        a half-written one.
+        """
+        quarantine = self.path.with_name(self.path.name + ".quarantine")
+        try:
+            os.replace(self.path, quarantine)
+        except OSError:
+            self.load_errors += 1
+            return
+        self.quarantined = quarantine
+        lines = [
+            encode_record({"t": "v", "k": key, "v": int(verdict)})
+            for key, verdict in self._verdicts.items()
+        ]
+        lines.extend(
+            encode_record({"t": "c", "k": key, "i": index})
+            for key, bucket in self._counterexamples.items()
+            for index in bucket
+        )
+        try:
+            from ..fsutil import atomic_write_text
+
+            atomic_write_text(
+                self.path, "\n".join(lines) + "\n" if lines else ""
+            )
+        except OSError:
+            # The quarantined copy still holds the data; appends resume
+            # into a fresh file on the next flush.
+            self.write_errors += 1
 
     def __len__(self) -> int:
         with self._lock:
@@ -198,10 +285,9 @@ class DiskStore:
             if key in self._verdicts:
                 return
             self._verdicts[key] = verdict
-            self._pending.append(json.dumps(
-                {"t": "v", "k": key, "v": int(verdict)},
-                separators=(",", ":")
-            ))
+            self._pending.append(
+                encode_record({"t": "v", "k": key, "v": int(verdict)})
+            )
             if len(self._pending) >= self.FLUSH_EVERY:
                 self.flush()
 
@@ -215,9 +301,9 @@ class DiskStore:
             if index in bucket:
                 return
             bucket.append(index)
-            self._pending.append(json.dumps(
-                {"t": "c", "k": key, "i": index}, separators=(",", ":")
-            ))
+            self._pending.append(
+                encode_record({"t": "c", "k": key, "i": index})
+            )
             if len(self._pending) >= self.FLUSH_EVERY:
                 self.flush()
 
@@ -225,19 +311,31 @@ class DiskStore:
         with self._lock:
             if not self._pending:
                 return
-            payload = ("\n".join(self._pending) + "\n").encode()
+            pending = self._pending
             self._pending = []
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            # One O_APPEND write per batch: the kernel appends atomically
-            # with respect to other appenders, so concurrent processes
-            # sharing a cache dir interleave whole batches, not bytes.
-            fd = os.open(
-                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-            )
+            payload = ("\n".join(pending) + "\n").encode()
             try:
-                os.write(fd, payload)
-            finally:
-                os.close(fd)
+                # Fault site cache.flush: a torn_write rule truncates the
+                # payload (simulating a crash mid-append); an oserror rule
+                # raises before the write, exercising the re-queue path.
+                payload = faults.corrupt(faults.SITE_CACHE_FLUSH, payload)
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                # One O_APPEND write per batch: the kernel appends
+                # atomically with respect to other appenders, so concurrent
+                # processes sharing a cache dir interleave whole batches,
+                # not bytes.
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
+                try:
+                    os.write(fd, payload)
+                finally:
+                    os.close(fd)
+            except OSError:
+                # Keep the records queued; the next flush (or close at
+                # exit) retries.  Synthesis never fails over cache I/O.
+                self.write_errors += 1
+                self._pending = pending + self._pending
 
     def close(self) -> None:
         self.flush()
@@ -336,6 +434,11 @@ def _pure_check(payload):
     from ..trace.core import NULL_TRACER, Tracer
     from .oracle import Oracle  # deferred: avoid a cycle at import time
 
+    # Fault site engine.worker: only observable in thread/serial modes —
+    # process workers live in separate interpreters and never see the
+    # parent's active plan (process crashes are injected at engine.batch).
+    faults.fire(faults.SITE_ENGINE_WORKER)
+
     spec, candidate, layout, seed, rounds, batch_eval = payload[:6]
     trace_ctx = payload[6] if len(payload) > 6 else None
     oracles = getattr(_worker_local, "oracles", None)
@@ -370,13 +473,16 @@ class ParallelChecker:
     ``jobs <= 1`` (or batches below ``min_batch``) run serially through the
     caller's oracle — the exact code path the serial engine uses.  Larger
     batches are dispatched to a process pool; any pool failure (spawn error,
-    unpicklable candidate, worker crash) degrades the checker one step
+    unpicklable candidate, worker crash) is first retried in the same mode
+    — the pool is rebuilt and the batch resubmitted up to
+    ``retry.attempts`` times with exponential backoff — and only a failure
+    that outlives the retry budget degrades the checker one step
     (process → thread → serial) and transparently re-runs the batch, so a
     crash never changes results, only speed.
     """
 
     def __init__(self, jobs: int = 1, mode: str | None = None,
-                 min_batch: int = 2):
+                 min_batch: int = 2, retry: RetryPolicy | None = None):
         if mode is not None and mode not in (
             MODE_PROCESS, MODE_THREAD, MODE_SERIAL
         ):
@@ -386,7 +492,9 @@ class ParallelChecker:
             MODE_SERIAL if self.jobs <= 1 else (mode or MODE_PROCESS)
         )
         self.min_batch = min_batch
+        self.retry = retry if retry is not None else RetryPolicy()
         self.fallbacks = 0
+        self.retries = 0
         self._executor = None
         self._executor_mode = None
 
@@ -454,7 +562,9 @@ class ParallelChecker:
                      getattr(oracle, "batch_eval", True), trace_ctx)
                     for _i, _key, cand in to_run
                 ]
-                results = self._dispatch(payloads)
+                results = self._dispatch(
+                    payloads, getattr(oracle, "stats", None)
+                )
                 if results is None:
                     # Pool is gone; the degraded (eventually serial) retry
                     # below keeps verdicts identical.
@@ -501,14 +611,33 @@ class ParallelChecker:
                     return start + i
         return None
 
-    def _dispatch(self, payloads) -> list | None:
-        """Run payloads on the current pool; degrade and retry on failure."""
+    def _dispatch(self, payloads, stats=None) -> list | None:
+        """Run payloads on the current pool; retry, then degrade, on failure.
+
+        Each mode gets ``retry.attempts`` resubmissions with a rebuilt pool
+        and exponential backoff before the checker steps down the
+        process → thread → serial ladder.  A transient worker crash (OOM
+        kill, injected ``BrokenProcessPool``) therefore costs one pool
+        rebuild, not the whole process tier.
+        """
         while self.mode != MODE_SERIAL:
-            try:
-                chunk = max(1, len(payloads) // (self.jobs * 2) or 1)
-                return list(
-                    self._pool().map(_pure_check, payloads, chunksize=chunk)
-                )
-            except Exception:
-                self._degrade()
+            for attempt in range(self.retry.attempts + 1):
+                try:
+                    faults.fire(faults.SITE_ENGINE_BATCH)
+                    chunk = max(1, len(payloads) // (self.jobs * 2) or 1)
+                    return list(
+                        self._pool().map(
+                            _pure_check, payloads, chunksize=chunk
+                        )
+                    )
+                except Exception:
+                    # The pool may be broken (dead worker, unpicklable
+                    # payload); tear it down so a retry starts fresh.
+                    self.close()
+                    if attempt < self.retry.attempts:
+                        self.retries += 1
+                        if stats is not None:
+                            stats.count_retry()
+                        self.retry.sleep(attempt)
+            self._degrade()
         return None

@@ -30,6 +30,7 @@ import hashlib
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..errors import EvaluationError
 from ..eval import plan as batch_plan
 from ..hvx import interp as hvx_interp
@@ -295,6 +296,7 @@ class Oracle:
         with self._stage_ctx(), self.tracer.span(
             "oracle.query", tag="full", layout=layout
         ) as sp:
+            faults.fire(faults.SITE_ORACLE_QUERY, tracer=self.tracer)
             self.stats.count_query()
             key = self.query_key(spec, candidate, layout)
             cached = self.cache.lookup(key)

@@ -39,6 +39,7 @@ class SynthesisStats:
         default_factory=lambda: {name: StageStats() for name in STAGES}
     )
     expressions: int = 0
+    retries: int = 0
     _active: list = field(default_factory=list)
 
     @contextmanager
@@ -82,6 +83,11 @@ class SynthesisStats:
         stage = self._innermost()
         if stage is not None:
             stage.counterexamples += 1
+
+    def count_retry(self) -> None:
+        """Record one worker-pool batch resubmission (a retried dispatch
+        after a crash, before any process → thread → serial degrade)."""
+        self.retries += 1
 
     def count_batched_eval(self) -> None:
         """Record one full check answered by a pure batched plan."""
@@ -143,6 +149,7 @@ class SynthesisStats:
                 mine.fallback_evals + theirs.fallback_evals
             )
         out.expressions = self.expressions + other.expressions
+        out.retries = self.retries + other.retries
         return out
 
     def summary(self) -> dict:
@@ -182,5 +189,6 @@ class SynthesisStats:
                 "counterexamples": self.total_counterexamples,
                 "batched_evals": self.total_batched_evals,
                 "fallback_evals": self.total_fallback_evals,
+                "retries": self.retries,
             },
         }

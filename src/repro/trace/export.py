@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 
+from ..fsutil import atomic_write_text
 from .core import iter_span_dicts, span_duration
 
 
@@ -81,10 +82,14 @@ def chrome_trace(tree: dict) -> dict:
 
 
 def write_chrome_trace(tree: dict, path) -> None:
-    """Serialize :func:`chrome_trace` output to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace(tree), fh, default=str)
-        fh.write("\n")
+    """Serialize :func:`chrome_trace` output to ``path`` as JSON.
+
+    The write is atomic (temp file + ``os.replace``): a crash mid-export
+    leaves either the previous file or the complete new one, never a
+    truncated JSON document.
+    """
+    text = json.dumps(chrome_trace(tree), default=str) + "\n"
+    atomic_write_text(path, text)
 
 
 def flamegraph_lines(tree: dict) -> list:
@@ -111,8 +116,7 @@ def flamegraph_lines(tree: dict) -> list:
 
 
 def write_flamegraph(tree: dict, path) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write("\n".join(flamegraph_lines(tree)) + "\n")
+    atomic_write_text(path, "\n".join(flamegraph_lines(tree)) + "\n")
 
 
 #: phases a valid event may carry (the subset this exporter emits)

@@ -130,7 +130,10 @@ class TestDiskStore:
         assert not path.exists()  # buffered
         store.flush()
         assert path.exists()
-        assert json.loads(path.read_text()) == {"t": "v", "k": "k", "v": 1}
+        rec = json.loads(path.read_text())
+        crc = rec.pop("crc")
+        assert isinstance(crc, int)  # every new record is checksummed
+        assert rec == {"t": "v", "k": "k", "v": 1}
 
     def test_flush_every_threshold(self, tmp_path):
         path = tmp_path / "oracle.jsonl"

@@ -1,0 +1,277 @@
+"""Engine resilience under injected faults.
+
+Two hardening layers under test: the ParallelChecker's bounded retry +
+process→thread→serial degrade ladder (verdicts must never change, only
+the execution mode), and the DiskStore's CRC-checksummed records with
+quarantine + compaction of corrupt stores.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro import faults
+from repro import workloads  # noqa: F401 - populate the registry
+from repro.faults import FaultPlan, FaultRule, RetryPolicy
+from repro.ir import builder as B
+from repro.synthesis.engine import (
+    MODE_SERIAL,
+    MODE_THREAD,
+    DiskStore,
+    ParallelChecker,
+    decode_record,
+    encode_record,
+)
+from repro.synthesis.oracle import LAYOUT_INORDER, Oracle
+from repro.types import U8, U16
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def u8v(offset=0, lanes=8):
+    return B.load("in", offset, lanes, U8)
+
+
+def _spec_and_candidates():
+    spec = B.widen(u8v()) * 2
+    candidates = [
+        B.widen(u8v()) * 3,                              # wrong
+        B.shl(B.widen(u8v()), B.broadcast(1, 8, U16)),   # right
+        B.widen(u8v()) * 2,                              # right (later)
+    ]
+    return spec, candidates
+
+
+def fast_retry(attempts=2):
+    return RetryPolicy(attempts=attempts, base_s=0.0, jitter=0.0)
+
+
+class TestRetryLadder:
+    def test_single_crash_is_retried_not_degraded(self):
+        """One injected pool crash: the resubmit succeeds and the checker
+        keeps its mode — the ladder is a last resort, not a first move."""
+        spec, candidates = _spec_and_candidates()
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD,
+                                  retry=fast_retry())
+        with faults.injected(FaultPlan(rules=[
+            FaultRule(site=faults.SITE_ENGINE_BATCH, kind="crash",
+                      on_nth=1, max_fires=1),
+        ])):
+            verdicts = checker.check_batch(
+                Oracle(), spec, candidates, LAYOUT_INORDER)
+        assert verdicts == [False, True, True]
+        assert checker.mode == MODE_THREAD
+        assert checker.retries == 1
+        checker.close()
+
+    def test_retries_counted_in_oracle_stats(self):
+        spec, candidates = _spec_and_candidates()
+        oracle = Oracle()
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD,
+                                  retry=fast_retry())
+        with faults.injected(FaultPlan(rules=[
+            FaultRule(site=faults.SITE_ENGINE_BATCH, kind="crash",
+                      on_nth=1, max_fires=1),
+        ])):
+            checker.check_batch(oracle, spec, candidates, LAYOUT_INORDER)
+        assert oracle.stats.retries == 1
+        assert oracle.stats.as_dict()["totals"]["retries"] == 1
+        checker.close()
+
+    def test_persistent_crashes_exhaust_retries_then_degrade_to_serial(self):
+        """Every dispatch crashes: the retry budget is spent at each rung,
+        the ladder walks thread → serial, and serial still produces the
+        right verdicts (the injection site is the pool dispatch, which
+        serial mode never reaches)."""
+        spec, candidates = _spec_and_candidates()
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD,
+                                  retry=fast_retry(attempts=2))
+        plan = FaultPlan(rules=[
+            FaultRule(site=faults.SITE_ENGINE_BATCH, kind="crash", every=1),
+        ])
+        with faults.injected(plan):
+            verdicts = checker.check_batch(
+                Oracle(), spec, candidates, LAYOUT_INORDER)
+        assert verdicts == [False, True, True]
+        assert checker.mode == MODE_SERIAL
+        # one rung (thread), 1 initial + 2 retries = 3 dispatch attempts,
+        # of which 2 were counted as retries
+        assert checker.retries == 2
+        assert plan.calls(faults.SITE_ENGINE_BATCH) == 3
+        checker.close()
+
+    def test_process_rung_degrades_through_thread(self):
+        """From process mode, a persistent crash walks both rungs.  The
+        injection fires in the parent before submission, so this pins the
+        ladder order without the cost of real pool crashes."""
+        spec, candidates = _spec_and_candidates()
+        checker = ParallelChecker(jobs=2, retry=fast_retry(attempts=0))
+        plan = FaultPlan(rules=[
+            FaultRule(site=faults.SITE_ENGINE_BATCH, kind="crash", every=1),
+        ])
+        with faults.injected(plan):
+            verdicts = checker.check_batch(
+                Oracle(), spec, candidates, LAYOUT_INORDER)
+        assert verdicts == [False, True, True]
+        assert checker.mode == MODE_SERIAL
+        # attempts=0: one dispatch per rung (process, thread), no retries
+        assert plan.calls(faults.SITE_ENGINE_BATCH) == 2
+        assert checker.retries == 0
+        checker.close()
+
+    def test_worker_site_errors_degrade_without_changing_verdicts(self):
+        """An injected in-worker error (thread mode shares the plan) is
+        just another pool failure: retried, then degraded, never a wrong
+        verdict."""
+        spec, candidates = _spec_and_candidates()
+        checker = ParallelChecker(jobs=2, mode=MODE_THREAD,
+                                  retry=fast_retry(attempts=0))
+        with faults.injected(FaultPlan(rules=[
+            FaultRule(site=faults.SITE_ENGINE_WORKER, kind="error",
+                      on_nth=1, max_fires=1),
+        ])):
+            verdicts = checker.check_batch(
+                Oracle(), spec, candidates, LAYOUT_INORDER)
+        assert verdicts == [False, True, True]
+        checker.close()
+
+
+class TestCrcRecords:
+    def test_round_trip(self):
+        line = encode_record({"t": "v", "k": "key", "v": 1})
+        assert decode_record(line) == {"t": "v", "k": "key", "v": 1}
+
+    def test_crc_mismatch_rejected(self):
+        rec = json.loads(encode_record({"t": "v", "k": "key", "v": 1}))
+        rec["v"] = 0  # flip the verdict without restamping
+        assert decode_record(json.dumps(rec)) is None
+
+    def test_unparseable_and_non_dict_rejected(self):
+        assert decode_record("{torn off mid-li") is None
+        assert decode_record("[1, 2, 3]") is None
+
+    def test_legacy_record_without_crc_still_loads(self):
+        legacy = json.dumps({"t": "v", "k": "key", "v": 1})
+        assert decode_record(legacy) == {"t": "v", "k": "key", "v": 1}
+
+    def test_crc_matches_zlib_of_canonical_body(self):
+        body = {"t": "v", "k": "key", "v": 1}
+        rec = json.loads(encode_record(body))
+        expected = zlib.crc32(
+            json.dumps(body, separators=(",", ":"), sort_keys=True).encode()
+        )
+        assert rec["crc"] == expected
+
+
+class TestDiskStoreResilience:
+    def write_store(self, path, verdicts):
+        store = DiskStore(path)
+        for key, verdict in verdicts.items():
+            store.put_verdict(key, verdict)
+        store.flush()
+        return store
+
+    def test_corrupt_line_is_quarantined_and_compacted(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        self.write_store(path, {"a": True, "b": False})
+        # Corrupt record "a" in a way that still parses as JSON.
+        lines = path.read_text().splitlines()
+        damaged = []
+        for line in lines:
+            rec = json.loads(line)
+            if rec["k"] == "a":
+                rec["v"] = 1 - rec["v"]  # bit flip, stale CRC
+                line = json.dumps(rec)
+            damaged.append(line)
+        path.write_text("\n".join(damaged) + "\n")
+
+        store = DiskStore(path)
+        assert store.corrupt_lines == 1
+        assert store.get_verdict("a") is None      # never a wrong verdict
+        assert store.get_verdict("b") is False     # survivor kept
+        quarantine = tmp_path / "oracle.jsonl.quarantine"
+        assert store.quarantined == quarantine and quarantine.exists()
+        # The compacted store is fully valid: every line decodes.
+        for line in path.read_text().splitlines():
+            assert decode_record(line) is not None
+
+    def test_torn_tail_line_is_dropped(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        self.write_store(path, {"a": True})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": "v", "k": "torn')  # crashed writer's tail
+        store = DiskStore(path)
+        assert store.corrupt_lines == 1
+        assert store.get_verdict("a") is True
+
+    def test_duplicate_records_are_idempotent(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        line = encode_record({"t": "v", "k": "a", "v": 1})
+        path.write_text(line + "\n" + line + "\n")
+        store = DiskStore(path)
+        assert store.corrupt_lines == 0
+        assert store.get_verdict("a") is True
+
+    def test_legacy_store_without_crcs_warm_loads(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        path.write_text(
+            json.dumps({"t": "v", "k": "old", "v": 1}) + "\n"
+            + json.dumps({"t": "c", "k": "spec", "i": 4}) + "\n"
+        )
+        store = DiskStore(path)
+        assert store.corrupt_lines == 0
+        assert store.get_verdict("old") is True
+        assert store.counterexample_indices("spec") == [4]
+
+    def test_injected_torn_flush_never_corrupts_reload(self, tmp_path):
+        """A flush torn mid-line costs at most the torn record: the next
+        load skips it, quarantines, and compacts to a fully valid file."""
+        path = tmp_path / "oracle.jsonl"
+        store = DiskStore(path)
+        for i in range(8):
+            store.put_verdict(f"k{i}", i % 2 == 0)
+        with faults.injected(FaultPlan(rules=[
+            FaultRule(site=faults.SITE_CACHE_FLUSH, kind="torn_write",
+                      every=1),
+        ])):
+            store.flush()
+
+        reloaded = DiskStore(path)
+        assert reloaded.corrupt_lines == 1     # exactly the torn tail
+        for i in range(8):
+            verdict = reloaded.get_verdict(f"k{i}")
+            assert verdict in (None, i % 2 == 0)   # right or absent
+        for line in path.read_text().splitlines():
+            assert decode_record(line) is not None
+
+    def test_injected_flush_oserror_requeues_pending(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        store = DiskStore(path)
+        store.put_verdict("a", True)
+        with faults.injected(FaultPlan(rules=[
+            FaultRule(site=faults.SITE_CACHE_FLUSH, kind="oserror",
+                      every=1),
+        ])):
+            store.flush()
+        assert store.write_errors == 1
+        assert not path.exists()
+        store.flush()  # fault cleared: the re-queued record lands
+        assert DiskStore(path).get_verdict("a") is True
+
+    def test_injected_load_oserror_starts_empty_not_crashed(self, tmp_path):
+        path = tmp_path / "oracle.jsonl"
+        self.write_store(path, {"a": True})
+        with faults.injected(FaultPlan(rules=[
+            FaultRule(site=faults.SITE_CACHE_LOAD, kind="oserror",
+                      every=1),
+        ])):
+            store = DiskStore(path)
+        assert store.load_errors == 1
+        assert store.get_verdict("a") is None
+        assert len(store) == 0
