@@ -99,13 +99,15 @@ def _cmd_list(args) -> int:
 def _compile_one(name: str, backend: str, show_programs: bool,
                  width: int | None, height: int | None, asm: bool = False,
                  jobs: int = 1, cache_dir: str | None = None,
-                 batch_eval: bool = True, tracer=None):
+                 batch_eval: bool = True, tracer=None,
+                 target: str = "hvx"):
     wl = get(name)
     compiled = compile_pipeline(wl.build(), backend=backend, jobs=jobs,
                                 cache_dir=cache_dir, batch_eval=batch_eval,
-                                tracer=tracer)
+                                tracer=tracer, target=target)
     cycles = measure(compiled, width or wl.width, height or wl.height)
-    print(f"[{backend}] {name}: {cycles.total} cycles "
+    label = backend if target == "hvx" else f"{backend}/{target}"
+    print(f"[{label}] {name}: {cycles.total} cycles "
           f"({compiled.optimized_exprs} expressions synthesized, "
           f"{compiled.fallbacks} fallbacks)")
     for sc in cycles.stages:
@@ -169,7 +171,7 @@ def _cmd_compile(args) -> int:
                 args.workload, backend, args.show_programs, args.width,
                 args.height, asm=args.asm, jobs=args.jobs,
                 cache_dir=cache_dir, batch_eval=not args.no_batch_eval,
-                tracer=tracer,
+                tracer=tracer, target=args.target,
             )
     finally:
         if plan is not None:
@@ -328,6 +330,7 @@ def _cmd_submit(args) -> int:
     request = CompileRequest(
         workload=args.workload,
         backend=args.backend,
+        target=args.target,
         width=args.width,
         height=args.height,
         priority=args.priority,
@@ -403,6 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("workload")
     p_compile.add_argument("--backend", choices=("rake", "baseline", "both"),
                            default="both")
+    p_compile.add_argument("--target", choices=("hvx", "neon"),
+                           default="hvx",
+                           help="target ISA: HVX (128-byte vectors) or "
+                                "ARM Neon (16-byte Q registers)")
     p_compile.add_argument("--show-programs", action="store_true")
     p_compile.add_argument("--asm", action="store_true",
                            help="print register-allocated assembly listings")
@@ -512,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="server base URL")
     p_submit.add_argument("--backend", choices=("rake", "baseline"),
                           default="rake")
+    p_submit.add_argument("--target", choices=("hvx", "neon"),
+                          default="hvx",
+                          help="target ISA for the server-side compile")
     p_submit.add_argument("--width", type=int, default=None)
     p_submit.add_argument("--height", type=int, default=None)
     p_submit.add_argument("--priority", type=int, default=10,

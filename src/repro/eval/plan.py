@@ -293,11 +293,14 @@ class BatchedEvaluator:
         return plan
 
     def _build_plan(self, expr) -> Optional[Plan]:
-        from . import lower_hvx, lower_ir
+        from . import lower_ir
+        from .. import targets
 
         kind = lower_ir.family_of(expr)
+        machine = False
         if kind is None:
-            kind = lower_hvx.family_of(expr)
+            kind = targets.machine_family_of(expr)
+            machine = kind is not None
         if kind is None:
             return None
         root = self.node_for(expr)
@@ -305,19 +308,24 @@ class BatchedEvaluator:
         if elem is not None and elem.bits > 32 and not elem.signed:
             # uint64 typed values cannot live in an int64 matrix.
             return None
-        return Plan(root, _postorder(root), is_hvx=(kind == "hvx"),
+        # ``is_hvx`` historically meant "machine expression" (as opposed
+        # to IR/uber); every target's family qualifies, so the layout
+        # handling in denote_bank is unchanged for HVX roots.
+        return Plan(root, _postorder(root), is_hvx=machine,
                     claims=collect_load_claims(expr))
 
     def _compile(self, expr) -> CompiledNode:
-        from . import lower_hvx, lower_ir
+        from . import lower_ir
+        from .. import targets
 
         family = lower_ir.family_of(expr)
         if family == "ir":
             return lower_ir.compile_ir(expr, self)
         if family == "uber":
             return lower_ir.compile_uber(expr, self)
-        if lower_hvx.family_of(expr) == "hvx":
-            return lower_hvx.compile_hvx(expr, self)
+        family = targets.machine_family_of(expr)
+        if family is not None:
+            return targets.machine_compile(expr, self, family)
         raise EvaluationError(
             f"cannot compile expression of type {type(expr).__name__}"
         )

@@ -133,11 +133,19 @@ class LoweredPipeline:
         return out
 
 
+#: The vector width schedules are authored against.  ``vectorize(n)``
+#: directives in workload schedules mean "n lanes on a 128-byte machine";
+#: lowering for a narrower target rescales them proportionally.
+SCHEDULE_VBYTES = 128
+
+
 class _Lowerer:
-    def __init__(self, lanes: int, row_stride: int, plane_stride: int):
+    def __init__(self, lanes: int, row_stride: int, plane_stride: int,
+                 vector_bytes: int = SCHEDULE_VBYTES):
         self.lanes = lanes
         self.row_stride = row_stride
         self.plane_stride = plane_stride
+        self.vector_bytes = vector_bytes
 
     def _strides(self, dims: int) -> list[int]:
         return [1, self.row_stride, self.plane_stride][:dims]
@@ -145,7 +153,11 @@ class _Lowerer:
     # -- value lowering ------------------------------------------------------
 
     def lower_stage(self, func: Func) -> Stage:
-        lanes = func.schedule.vectorize_lanes or self.lanes
+        scheduled = func.schedule.vectorize_lanes
+        if scheduled:
+            lanes = max(1, scheduled * self.vector_bytes // SCHEDULE_VBYTES)
+        else:
+            lanes = self.lanes
         stage = Stage(func=func, lanes=lanes)
         if func.body is None:
             raise LoweringError(f"{func.name} has no definition")
@@ -310,9 +322,16 @@ def lower_pipeline(
     lanes: int = 128,
     row_stride: int = DEFAULT_ROW_STRIDE,
     plane_stride: int = DEFAULT_PLANE_STRIDE,
+    vector_bytes: int = SCHEDULE_VBYTES,
 ) -> LoweredPipeline:
-    """Lower a scheduled pipeline to its vector-IR stages."""
-    lowerer = _Lowerer(lanes, row_stride, plane_stride)
+    """Lower a scheduled pipeline to its vector-IR stages.
+
+    ``vector_bytes`` is the target's vector register width; per-func
+    ``vectorize(n)`` schedule directives (authored against 128-byte HVX
+    vectors) are rescaled to it, so the same scheduled workload lowers to
+    full native vectors on any registered target.
+    """
+    lowerer = _Lowerer(lanes, row_stride, plane_stride, vector_bytes)
     stages = []
     for func in reachable_funcs(output):
         if func is output or func.schedule.compute_root:

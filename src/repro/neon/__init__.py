@@ -15,15 +15,14 @@ from __future__ import annotations
 
 from ..ir import expr as ir_expr
 from ..synthesis import LoweringOptions, RakeSelector, SelectionResult
-from .grammar import NEON_VBYTES, sketches
+from .grammar import NEON_VBYTES, sketches  # noqa: F401 - re-export
 
 
 def neon_selector(options: LoweringOptions | None = None) -> RakeSelector:
     """A Rake selector retargeted to ARM Neon (128-bit Q registers)."""
     return RakeSelector(
-        vbytes=NEON_VBYTES,
         options=options or LoweringOptions(),
-        sketches_fn=sketches,
+        target="neon",
     )
 
 

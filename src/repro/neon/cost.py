@@ -1,0 +1,104 @@
+"""Cost model for Neon expressions (paper Section 6, retargeted).
+
+Same structure as :mod:`repro.hvx.cost` — per-resource instruction counts
+with total/load tie-breakers, shared subtrees counted once — specialized
+to the Neon machine model:
+
+* Cortex-A class cores dual-issue rather than packing 4-wide VLIW
+  packets, but the *relative* ranking the search needs is still "spread
+  work across the multiply, shift and permute pipes", so the primary
+  max-per-resource term carries over unchanged.
+* Unaligned loads are first-class on Neon (``vld1`` takes any address
+  with no extra slot occupancy), so they cost the same as aligned loads —
+  unlike HVX, where ``vmemu`` counts double.  This is what makes a plain
+  unaligned load rank ahead of the two-loads-plus-``vext`` realization.
+* ``neon.vpair`` is register allocation, not an instruction (resource
+  ``none``), and is excluded like HVX's lo/hi renames.
+
+The memo is separate from HVX's: the models disagree on loads, and a
+shared table keyed only by expression would let one target's ranking
+leak into the other's.
+"""
+
+from __future__ import annotations
+
+from ..hvx.cost import INFINITE_COST, Cost  # noqa: F401 - shared shape
+from ..hvx.isa import HvxExpr, HvxInstr, HvxLoad, HvxSplat
+
+
+def _unique_nodes(expr: HvxExpr) -> list[HvxExpr]:
+    seen: set = set()
+    ordered: list[HvxExpr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        ordered.append(node)
+        stack.extend(node.children)
+    return ordered
+
+
+def cost_of(expr: HvxExpr) -> Cost:
+    """Cost of an expression tree under the Neon model (memoized)."""
+    memo = cost_of._memo
+    cached = memo.get(expr)
+    if cached is not None:
+        return cached
+    counts: dict[str, int] = {}
+    total = 0
+    loads = 0
+    splats = 0
+    for node in _unique_nodes(expr):
+        if isinstance(node, HvxLoad):
+            loads += 1  # vld1 handles unaligned addresses natively
+        elif isinstance(node, HvxSplat):
+            splats += 1
+        elif isinstance(node, HvxInstr):
+            resource = node.descriptor.resource
+            if resource in ("none",):
+                continue
+            counts[resource] = counts.get(resource, 0) + 1
+            total += 1
+    result = Cost(
+        per_resource=tuple(sorted(counts.items())),
+        total=total,
+        loads=loads,
+        splats=splats,
+    )
+    memo[expr] = result
+    return result
+
+
+cost_of._memo = {}
+
+
+def display_latency(expr: HvxExpr) -> int:
+    """Instruction count, Figure 4/12 style (renames/splats excluded)."""
+    return cost_of(expr).total
+
+
+def load_count(expr: HvxExpr) -> int:
+    """Number of distinct vector loads."""
+    return sum(1 for n in _unique_nodes(expr) if isinstance(n, HvxLoad))
+
+
+def critical_path(expr: HvxExpr) -> int:
+    """Latency-weighted depth of the expression DAG."""
+    memo: dict[HvxExpr, int] = {}
+
+    def walk(node: HvxExpr) -> int:
+        if node in memo:
+            return memo[node]
+        child_depth = max((walk(c) for c in node.children), default=0)
+        if isinstance(node, HvxInstr):
+            own = node.descriptor.latency
+        elif isinstance(node, HvxLoad):
+            own = 1
+        else:
+            own = 0
+        memo[node] = child_depth + own
+        return memo[node]
+
+    return walk(expr)

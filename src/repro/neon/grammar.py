@@ -12,8 +12,13 @@ that show up directly in the grammar:
 * the fused narrow family is ``vqrshrun``/``vrshrn`` (Neon's counterpart
   of HVX's vasr-rnd-sat).
 
-This is a *preliminary* port, mirroring the paper's own status: the
-fixed-point core (load/broadcast/widen/vs-mpy-add/vv-mpy-add/narrow/
+Like the HVX grammar, sketches are *swizzle-free*: data movement stays
+behind the abstract placeholders of :mod:`repro.synthesis.sketch`, and
+stage 3 concretizes them from the Neon swizzle grammar
+(:meth:`repro.targets.neon.NeonTarget.realizations` — ``vext`` splices,
+free ``vpair`` register pairs, ``vuzp``/``vzip`` permutes).
+
+The fixed-point core (load/broadcast/widen/vs-mpy-add/vv-mpy-add/narrow/
 elementwise/shift) is covered; mux lowering is left to future work.
 """
 
@@ -21,10 +26,11 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..hvx import isa as H
 from ..ir import expr as ir_expr
 from ..synthesis.grammar import ChildFn, Sketch, safe_instr, shape_of
 from ..synthesis.oracle import LAYOUT_INORDER
+from ..synthesis.sketch import AbstractPairWindow, AbstractWindow
+from ..targets import nodes as H
 from ..types import ScalarType
 from ..uber import instructions as U
 from .semantics import NEON_VBYTES  # noqa: F401 - registers the ISA
@@ -34,31 +40,14 @@ MAX_CHAINS = 32
 
 def window(buffer: str, offset: int, lanes: int, elem: ScalarType,
            stride: int = 1) -> H.HvxExpr | None:
-    """A concrete Neon load sequence for an element window."""
-    if stride == 1:
-        if offset % lanes == 0:
-            return H.HvxLoad(buffer, offset, lanes, elem)
-        base = (offset // lanes) * lanes
-        return safe_instr("neon.vext", (
-            H.HvxLoad(buffer, base, lanes, elem),
-            H.HvxLoad(buffer, base + lanes, lanes, elem),
-        ), (offset - base,))
-    if stride == 2:
-        dense = offset if offset % 2 == 0 else offset - 1
-        half = "lo" if offset % 2 == 0 else "hi"
-        w0 = window(buffer, dense, lanes, elem)
-        w1 = window(buffer, dense + lanes, lanes, elem)
-        dealt = safe_instr("neon.vuzp", (safe_instr("neon.vpair", (w0, w1)),))
-        return safe_instr(half, (dealt,))
+    """An abstract ``??load`` of an element window (realized in stage 3)."""
+    if stride in (1, 2, 4):
+        return AbstractWindow(buffer, offset, lanes, elem, stride)
     return None
 
 
 def _pair_window(buffer: str, offset: int, lanes: int, elem: ScalarType):
-    half = lanes // 2
-    return safe_instr("neon.vpair", (
-        window(buffer, offset, half, elem),
-        window(buffer, offset + half, half, elem),
-    ))
+    return AbstractPairWindow(buffer, offset, lanes, elem)
 
 
 def _dup(scalar: ir_expr.Expr, elem: ScalarType, lanes: int, vbytes: int):

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .baseline import HalideOptimizer
 from .cancel import CancelToken
 from .errors import (
     CancelledError,
@@ -24,8 +23,8 @@ from .errors import (
 )
 from .trace.log import get_logger
 from .frontend import Func, LoweredPipeline, Stage, lower_pipeline
-from .hvx import isa as H
 from .ir import expr as E
+from .targets import nodes as N, resolve_target
 from .synthesis import LoweringOptions, RakeSelector
 from .synthesis.engine import OracleCache
 from .synthesis.oracle import Oracle
@@ -40,10 +39,10 @@ _log = get_logger("repro.pipeline")
 
 @dataclass
 class CompiledExpr:
-    """One vector expression with its selected HVX program."""
+    """One vector expression with its selected machine program."""
 
     source: E.Expr
-    program: H.HvxExpr
+    program: N.HvxExpr
     selector: str  # "rake" | "baseline" | "trivial"
     extent: int = 1  # reduction trip count (1 for pure definitions)
 
@@ -68,6 +67,7 @@ class CompiledPipeline:
     lowered: LoweredPipeline
     stages: list = field(default_factory=list)  # list[CompiledStage]
     stats: SynthesisStats = field(default_factory=SynthesisStats)
+    target: str = "hvx"  # registered TargetDescription name
     fallbacks: int = 0
     #: expressions that fell back to the baseline because synthesis
     #: *crashed* (not the typed it-cannot-handle-this fallbacks) — the
@@ -95,8 +95,8 @@ def _is_trivial(e: E.Expr) -> bool:
 def compile_pipeline(
     output: Func,
     backend: str = BACKEND_RAKE,
-    lanes: int = 128,
-    vbytes: int = 128,
+    lanes: int | None = None,
+    vbytes: int | None = None,
     options: LoweringOptions | None = None,
     verify: bool = True,
     selector: RakeSelector | None = None,
@@ -108,8 +108,14 @@ def compile_pipeline(
     deadline_s: float | None = None,
     cancel: CancelToken | None = None,
     tracer=None,
+    target: str = "hvx",
 ) -> CompiledPipeline:
     """Compile a scheduled pipeline with the chosen instruction selector.
+
+    ``target`` names a registered :class:`~repro.targets.TargetDescription`
+    (``"hvx"`` or ``"neon"``); it decides the vector width (``lanes`` /
+    ``vbytes`` default to the target's), the sketch and swizzle grammars,
+    the cost model and the simulator machine model.
 
     ``jobs`` fans candidate equivalence checks over a worker pool (output is
     identical to serial mode).  ``stats`` supplies an external
@@ -136,12 +142,21 @@ def compile_pipeline(
     """
     if backend not in (BACKEND_RAKE, BACKEND_BASELINE):
         raise ReproError(f"unknown backend: {backend}")
+    tgt = resolve_target(target)
+    if selector is not None and target == "hvx":
+        # A caller-provided selector knows its own target; honor it when
+        # the target argument was left at the default.
+        tgt = getattr(selector, "target", None) or tgt
+    if lanes is None:
+        lanes = tgt.lanes
+    if vbytes is None:
+        vbytes = tgt.vbytes
     if tracer is None:
         tracer = NULL_TRACER
     if cancel is None and deadline_s is not None:
         cancel = CancelToken(timeout=deadline_s)
-    lowered = lower_pipeline(output, lanes=lanes)
-    baseline = HalideOptimizer(vbytes=vbytes)
+    lowered = lower_pipeline(output, lanes=lanes, vector_bytes=vbytes)
+    baseline = tgt.baseline(vbytes)
     owns_selector = selector is None
     if owns_selector:
         if cache is None:
@@ -152,7 +167,7 @@ def compile_pipeline(
                         tracer=tracer)
         rake = RakeSelector(
             vbytes=vbytes, options=options or LoweringOptions(),
-            oracle=oracle, jobs=jobs,
+            oracle=oracle, jobs=jobs, target=tgt,
         )
     else:
         rake = selector
@@ -166,7 +181,7 @@ def compile_pipeline(
     verifier = rake.oracle if verify else None
 
     compiled = CompiledPipeline(backend=backend, lowered=lowered,
-                                stats=rake.stats)
+                                stats=rake.stats, target=tgt.name)
     try:
         with tracer.span("pipeline.compile", backend=backend,
                          lanes=lanes, jobs=jobs) as root:

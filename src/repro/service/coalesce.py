@@ -24,22 +24,30 @@ import threading
 
 from ..frontend import lower_pipeline
 from ..synthesis.engine import canonical_expr
+from ..targets import resolve_target
 from ..workloads.base import get
 from .protocol import CompileRequest
 
-#: canonical spec renderings are deterministic per (workload, dims); memoize
+#: canonical spec renderings are deterministic per (workload, target);
+#: memoize
 _SPEC_HASH_CACHE: dict = {}
 _SPEC_HASH_LOCK = threading.Lock()
 
 
-def _spec_hash(workload: str, lanes: int = 128) -> str:
-    """Canonical hash of every vector expression the workload compiles."""
-    cache_key = (workload, lanes)
+def _spec_hash(workload: str, target: str = "hvx") -> str:
+    """Canonical hash of every vector expression the workload compiles.
+
+    The target decides the lowering width, so the same workload hashes
+    differently per target — HVX and Neon submissions never share a key.
+    """
+    cache_key = (workload, target)
     with _SPEC_HASH_LOCK:
         cached = _SPEC_HASH_CACHE.get(cache_key)
     if cached is not None:
         return cached
-    lowered = lower_pipeline(get(workload).build(), lanes=lanes)
+    tgt = resolve_target(target)
+    lowered = lower_pipeline(get(workload).build(), lanes=tgt.lanes,
+                             vector_bytes=tgt.vbytes)
     parts = []
     for stage in lowered.stages:
         for expr in stage.exprs:
@@ -53,8 +61,9 @@ def _spec_hash(workload: str, lanes: int = 128) -> str:
 def request_key(request: CompileRequest) -> str:
     """Coalescing key: canonical spec hash x result-affecting knobs."""
     raw = "|".join((
-        _spec_hash(request.workload),
+        _spec_hash(request.workload, request.target),
         request.backend,
+        request.target,
         str(request.width),
         str(request.height),
         str(bool(request.batch_eval)),

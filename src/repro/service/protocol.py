@@ -18,10 +18,14 @@ from dataclasses import asdict, dataclass, field
 from ..errors import ProtocolError
 
 #: bump when a message's meaning changes; additions of optional fields
-#: with safe defaults do NOT require a bump
-PROTOCOL_VERSION = 1
+#: with safe defaults do NOT require a bump.
+#: v2: requests carry a ``target`` ISA — a v1 server would silently
+#: compile for HVX, a different result, so this is a meaning change.
+PROTOCOL_VERSION = 2
 
 BACKENDS = ("rake", "baseline")
+
+TARGETS = ("hvx", "neon")
 
 # -- job lifecycle states ----------------------------------------------------
 
@@ -67,6 +71,7 @@ class CompileRequest:
 
     workload: str
     backend: str = "rake"
+    target: str = "hvx"
     width: int | None = None
     height: int | None = None
     priority: int = 10
@@ -86,6 +91,11 @@ class CompileRequest:
             raise ProtocolError(
                 f"compile request: unknown backend {self.backend!r} "
                 f"(expected one of {', '.join(BACKENDS)})"
+            )
+        if self.target not in TARGETS:
+            raise ProtocolError(
+                f"compile request: unknown target {self.target!r} "
+                f"(expected one of {', '.join(TARGETS)})"
             )
         for name in ("width", "height"):
             value = getattr(self, name)
@@ -118,7 +128,7 @@ class CompileRequest:
             raise ProtocolError("compile request: body must be a JSON object")
         _require_version(data, "compile request")
         known = {f: data[f] for f in (
-            "workload", "backend", "width", "height", "priority",
+            "workload", "backend", "target", "width", "height", "priority",
             "deadline_s", "jobs", "batch_eval", "trace",
         ) if f in data}
         try:
@@ -140,6 +150,7 @@ class CompileResult:
     workload: str
     backend: str
     total_cycles: int
+    target: str = "hvx"
     stage_cycles: tuple = ()  # tuple[dict]: name/total/compute_ii/...
     programs: tuple = ()  # tuple[dict]: stage/selector/listing
     optimized_exprs: int = 0
@@ -167,6 +178,7 @@ class CompileResult:
                 workload=data["workload"],
                 backend=data["backend"],
                 total_cycles=int(data["total_cycles"]),
+                target=data.get("target", "hvx"),
                 stage_cycles=tuple(data.get("stage_cycles", ())),
                 programs=tuple(data.get("programs", ())),
                 optimized_exprs=int(data.get("optimized_exprs", 0)),
@@ -286,6 +298,7 @@ def result_from_compiled(request: CompileRequest, compiled,
         workload=request.workload,
         backend=request.backend,
         total_cycles=cycles.total,
+        target=getattr(compiled, "target", request.target),
         stage_cycles=stage_cycles,
         programs=tuple(programs),
         optimized_exprs=compiled.optimized_exprs,

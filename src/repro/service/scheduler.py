@@ -138,6 +138,7 @@ def default_compile_fn(request: CompileRequest, cancel: CancelToken,
         batch_eval=request.batch_eval,
         cancel=cancel,
         tracer=tracer,
+        target=request.target,
     )
     cycles = measure(
         compiled, request.width or wl.width, request.height or wl.height

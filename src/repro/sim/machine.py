@@ -48,3 +48,29 @@ class MachineConfig:
 
 
 DEFAULT_MACHINE = MachineConfig()
+
+
+def _neon_caps() -> dict:
+    # A Cortex-A-class Neon unit: dual-issue with a single multiply pipe,
+    # one shifter, one permute network, simple ALU ops on either pipe, and
+    # one load/store unit.
+    return {
+        "mpy": 1,
+        "shift": 1,
+        "permute": 1,
+        "alu": 2,
+        "load": 1,
+        "store": 1,
+    }
+
+
+#: A Neon core: 16-byte Q registers, dual-issue, 16 B/cycle to memory.
+#: vld1 handles unaligned addresses natively, so unaligned loads cost the
+#: same slot as aligned ones.
+NEON_MACHINE = MachineConfig(
+    vbytes=16,
+    slots=2,
+    caps=_neon_caps(),
+    bytes_per_cycle=16,
+    unaligned_load_cost=1,
+)

@@ -127,9 +127,18 @@ def measure(
     pipeline: CompiledPipeline,
     width: int = 256,
     height: int = 64,
-    machine: MachineConfig = DEFAULT_MACHINE,
+    machine: MachineConfig | None = None,
 ) -> PipelineCycles:
-    """Total simulated cycles for a compiled pipeline over an image."""
+    """Total simulated cycles for a compiled pipeline over an image.
+
+    When ``machine`` is omitted, the machine model is resolved from the
+    pipeline's compilation target (HVX core for ``hvx``, Neon core for
+    ``neon``).
+    """
+    if machine is None:
+        from ..targets import resolve_target
+
+        machine = resolve_target(getattr(pipeline, "target", None)).machine()
     result = PipelineCycles()
     for cstage in pipeline.stages:
         sc = stage_cycles(cstage, width, height, machine)

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..hvx import isa as H
 from ..ir import expr as ir_expr
+from ..targets import nodes as N, resolve_target
 from .engine import DiskStore, OracleCache, ParallelChecker
 from .lifting import Lifter, LiftStep, lift
 from .lowering import Lowerer, LoweringOptions, lower
@@ -31,7 +31,7 @@ class SelectionResult:
 
     source: ir_expr.Expr
     lifted: object  # UberExpr
-    program: H.HvxExpr
+    program: N.HvxExpr
     trace: list  # LiftSteps, for Figure 9-style reporting
 
 
@@ -40,7 +40,11 @@ class RakeSelector:
     """End-to-end synthesis-based instruction selection (Figure 1's Rake box).
 
     Reusable across expressions; accumulates statistics for Table 1.
-    ``sketches_fn`` retargets the lowering grammars (default: HVX).
+    ``target`` retargets the whole lowering — sketch grammar, swizzle
+    grammar, cost model and vector width — via a registered
+    :class:`~repro.targets.TargetDescription` (name or instance).
+    ``sketches_fn`` overrides just the sketch grammar (the pre-target
+    retargeting hook; still honored when given).
     ``jobs > 1`` fans candidate equivalence checks over a worker pool
     (see :mod:`repro.synthesis.engine`); output is identical to serial.
     """
@@ -51,8 +55,17 @@ class RakeSelector:
     sketches_fn: object = None
     jobs: int = 1
     checker: ParallelChecker | None = None
+    target: object = None
 
     def __post_init__(self) -> None:
+        if self.target is not None:
+            self.target = resolve_target(self.target)
+            if self.vbytes == RakeSelector.vbytes:
+                # vbytes left at the class default: the target decides.
+                # An explicit width (and an explicit sketches_fn) wins.
+                self.vbytes = self.target.vbytes
+        else:
+            self.target = resolve_target(None)
         if self.checker is None:
             self.checker = ParallelChecker(jobs=self.jobs)
 
@@ -81,7 +94,8 @@ class RakeSelector:
             lowerer = Lowerer(self.oracle, vbytes=self.vbytes,
                               options=self.options,
                               sketches_fn=self.sketches_fn,
-                              checker=self.checker)
+                              checker=self.checker,
+                              target=self.target)
             try:
                 program = lowerer.lower(lifted)
             except SynthesisError as err:
@@ -106,11 +120,13 @@ def select_instructions(
     vbytes: int = 128,
     options: LoweringOptions | None = None,
     oracle: Oracle | None = None,
+    target=None,
 ) -> SelectionResult:
     """Run Rake on a single Halide IR vector expression."""
     selector = RakeSelector(
         vbytes=vbytes,
         options=options or LoweringOptions(),
         oracle=oracle or Oracle(),
+        target=target,
     )
     return selector.select(expr)

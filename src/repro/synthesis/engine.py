@@ -431,8 +431,14 @@ def _pure_check(payload):
     reattaches the subtree under the batch span.  The same payload shape
     crosses the whole process → thread → serial fallback ladder.
     """
+    from ..targets import ensure_semantics
     from ..trace.core import NULL_TRACER, Tracer
     from .oracle import Oracle  # deferred: avoid a cycle at import time
+
+    # Process-pool workers unpickle machine instructions that look their
+    # descriptors up lazily by op name — make sure every target's ISA
+    # semantics are registered in this interpreter first.
+    ensure_semantics()
 
     # Fault site engine.worker: only observable in thread/serial modes —
     # process workers live in separate interpreters and never see the

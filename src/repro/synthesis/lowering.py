@@ -14,10 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SynthesisError, UnsupportedExpressionError
-from ..hvx import isa as H
-from ..hvx.cost import Cost, INFINITE_COST, cost_of
+from ..targets import nodes as N, resolve_target
 from ..uber import instructions as U
-from . import grammar
 from .engine import ParallelChecker
 from .oracle import LAYOUT_DEINTERLEAVED, LAYOUT_INORDER, Oracle
 from .sketch import AbstractSwizzle, SWIZZLE_DEINTERLEAVE, SWIZZLE_INTERLEAVE
@@ -38,10 +36,11 @@ class LoweringOptions:
 class Lowerer:
     """Runs Algorithm 2 over one lifted expression.
 
-    ``sketches_fn`` supplies the per-uber-instruction grammars and thereby
-    selects the target ISA; the default is the HVX grammar.  Retargeting
-    (paper Section 6) means providing a different grammar — see
-    :mod:`repro.neon` for the preliminary ARM Neon port.
+    ``target`` selects the backend: its sketch grammar, swizzle grammar
+    and cost model (paper Section 6's retargeting).  ``sketches_fn``
+    overrides just the sketch grammar, which is how the original Neon
+    port retargeted before full target descriptions existed; it still
+    wins over ``target.sketches`` when both are given.
     """
 
     oracle: Oracle
@@ -49,22 +48,27 @@ class Lowerer:
     options: LoweringOptions = field(default_factory=LoweringOptions)
     sketches_fn: object = None
     checker: ParallelChecker | None = None
+    target: object = None
     _memo: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.target = resolve_target(self.target)
 
     # -- public API ---------------------------------------------------------
 
-    def lower(self, e: U.UberExpr) -> H.HvxExpr:
-        """Lower a lifted expression to a concrete in-order HVX program."""
+    def lower(self, e: U.UberExpr) -> N.HvxExpr:
+        """Lower a lifted expression to a concrete in-order program."""
         impl = self._lower(e, LAYOUT_INORDER)
         if impl is None:
             raise SynthesisError(
-                f"no HVX implementation found for {U.uber_name(e)} expression"
+                f"no {self.target.name} implementation found for "
+                f"{U.uber_name(e)} expression"
             )
         return impl
 
     # -- Algorithm 2 ---------------------------------------------------------
 
-    def _lower(self, e: U.UberExpr, layout: str) -> H.HvxExpr | None:
+    def _lower(self, e: U.UberExpr, layout: str) -> N.HvxExpr | None:
         key = (e, layout)
         if key in self._memo:
             return self._memo[key]
@@ -75,10 +79,10 @@ class Lowerer:
         # grammar asking for the other layout) must not loop.
         self._memo[key] = None
 
-        best: H.HvxExpr | None = None
-        beta = INFINITE_COST
+        best: N.HvxExpr | None = None
+        beta = self.target.infinite_cost
         examined = 0
-        sketches = self.sketches_fn or grammar.sketches
+        sketches = self.sketches_fn or self.target.sketches
         tracer = self.oracle.tracer
         with tracer.span("lowering", layout=layout) as lsp:
             if lsp:
@@ -114,7 +118,7 @@ class Lowerer:
                     with self.oracle.stats.stage("swizzling"):
                         result = synthesize_swizzles(
                             e, adapted, layout, self.oracle, beta,
-                            checker=self.checker,
+                            checker=self.checker, target=self.target,
                         )
                     if result is None:
                         if ssp:
@@ -154,8 +158,10 @@ def lower(
     oracle: Oracle,
     vbytes: int = 128,
     options: LoweringOptions | None = None,
-) -> H.HvxExpr:
+    target=None,
+) -> N.HvxExpr:
     """Convenience wrapper: lower one lifted expression."""
     return Lowerer(
-        oracle, vbytes=vbytes, options=options or LoweringOptions()
+        oracle, vbytes=vbytes, options=options or LoweringOptions(),
+        target=target,
     ).lower(e)

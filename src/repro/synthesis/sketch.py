@@ -1,6 +1,6 @@
 """Abstract data movement for swizzle-free sketches (paper Section 4).
 
-A swizzle-free sketch implements the computation with concrete HVX
+A swizzle-free sketch implements the computation with concrete machine
 intrinsics while deferring data movement behind placeholder terms.  The
 paper encodes placeholders as Rosette symbolic vectors; with no SMT solver
 available, this reproduction replaces them by an enumerable family of
@@ -19,9 +19,13 @@ kernels use:
 During sketch verification the placeholders evaluate *optimistically*
 (reading memory directly), proving that a correct data arrangement exists.
 Stage 3 (:mod:`repro.synthesis.swizzle_synth`) then replaces each
-placeholder with real load/shuffle instruction sequences, cheapest first.
+placeholder with real load/shuffle instruction sequences, cheapest first —
+drawn from the active target's swizzle grammar
+(:meth:`repro.targets.TargetDescription.realizations`), so the
+placeholders themselves are target neutral.
 
-Placeholders subclass :class:`~repro.hvx.isa.HvxExpr` and plug into the HVX
+Placeholders subclass the shared machine-expression base
+(:class:`repro.targets.nodes.HvxExpr`) and plug into the machine
 interpreter through the ``evaluate_sketch`` hook.
 """
 
@@ -31,9 +35,8 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import EvaluationError
-from ..hvx import isa as H
-from ..hvx import values as V
 from ..ir import interp as ir_interp
+from ..targets import nodes as N
 from ..types import ScalarType
 
 SWIZZLE_IDENTITY = "identity"
@@ -41,34 +44,16 @@ SWIZZLE_INTERLEAVE = "interleave"
 SWIZZLE_DEINTERLEAVE = "deinterleave"
 
 
-def _window_realizations(
-    buffer: str, offset: int, lanes: int, elem: ScalarType
-) -> Iterator[H.HvxExpr]:
-    """Concrete single-vector loads of a dense element window.
+def _target_realizations(placeholder, target=None) -> Iterator[N.HvxExpr]:
+    """Realizations from ``target``'s swizzle grammar (default: HVX)."""
+    from ..targets import resolve_target
 
-    Yields cheapest-first: an aligned ``vmem``, an unaligned ``vmemu``
-    (double load-unit occupancy), or ``valign`` of the two surrounding
-    aligned vectors (one permute, two cheap loads).
-    """
-    if offset % lanes == 0:
-        yield H.HvxLoad(buffer, offset, lanes, elem)
-        return
-    yield H.HvxLoad(buffer, offset, lanes, elem)  # vmemu
-    base = (offset // lanes) * lanes
-    shift = offset - base
-    yield H.HvxInstr(
-        "valign",
-        (
-            H.HvxLoad(buffer, base, lanes, elem),
-            H.HvxLoad(buffer, base + lanes, lanes, elem),
-        ),
-        (shift,),
-    )
+    return resolve_target(target).realizations(placeholder)
 
 
-@H.cache_expr_hash
+@N.cache_expr_hash
 @dataclass(frozen=True)
-class AbstractWindow(H.HvxExpr):
+class AbstractWindow(N.HvxExpr):
     """``??load``: lane ``i`` holds ``buffer[offset + i * stride]``."""
 
     buffer: str
@@ -78,53 +63,20 @@ class AbstractWindow(H.HvxExpr):
     stride: int = 1
 
     @property
-    def type(self) -> H.HvxType:
-        return H.vec(self.elem, self.lanes)
+    def type(self) -> N.HvxType:
+        return N.vec(self.elem, self.lanes)
 
-    def evaluate_sketch(self, env: ir_interp.Environment) -> V.Vec:
+    def evaluate_sketch(self, env: ir_interp.Environment) -> N.Vec:
         values = env.buffer(self.buffer).read(self.offset, self.lanes, self.stride)
-        return V.Vec(self.elem, values)
+        return N.Vec(self.elem, values)
 
-    def realizations(self) -> Iterator[H.HvxExpr]:
-        if self.stride == 1:
-            yield from _window_realizations(
-                self.buffer, self.offset, self.lanes, self.elem
-            )
-            return
-        if self.stride == 2:
-            # Load the dense 2N window as a pair, deinterleave, take the
-            # half that carries the requested parity.
-            dense = self.offset if self.offset % 2 == 0 else self.offset - 1
-            half = "lo" if self.offset % 2 == 0 else "hi"
-            for w0 in _window_realizations(
-                self.buffer, dense, self.lanes, self.elem
-            ):
-                for w1 in _window_realizations(
-                    self.buffer, dense + self.lanes, self.lanes, self.elem
-                ):
-                    combined = H.HvxInstr("vcombine", (w0, w1))
-                    dealt = H.HvxInstr("vdealvdd", (combined,))
-                    yield H.HvxInstr(half, (dealt,))
-            return
-        if self.stride == 4:
-            # stride-4 = the even lanes of two adjacent stride-2 windows.
-            a = AbstractWindow(self.buffer, self.offset, self.lanes, self.elem, 2)
-            b = AbstractWindow(
-                self.buffer, self.offset + 2 * self.lanes, self.lanes,
-                self.elem, 2,
-            )
-            for ra in a.realizations():
-                for rb in b.realizations():
-                    combined = H.HvxInstr("vcombine", (ra, rb))
-                    dealt = H.HvxInstr("vdealvdd", (combined,))
-                    yield H.HvxInstr("lo", (dealt,))
-            return
-        raise EvaluationError(f"unsupported load stride: {self.stride}")
+    def realizations(self, target=None) -> Iterator[N.HvxExpr]:
+        return _target_realizations(self, target)
 
 
-@H.cache_expr_hash
+@N.cache_expr_hash
 @dataclass(frozen=True)
-class AbstractPairWindow(H.HvxExpr):
+class AbstractPairWindow(N.HvxExpr):
     """``??load [vec-pair? #t]``: a contiguous window of ``lanes`` elements
     returned as a pair (lanes = 2 x vector lanes)."""
 
@@ -134,25 +86,20 @@ class AbstractPairWindow(H.HvxExpr):
     elem: ScalarType
 
     @property
-    def type(self) -> H.HvxType:
-        return H.pair(self.elem, self.lanes)
+    def type(self) -> N.HvxType:
+        return N.pair(self.elem, self.lanes)
 
-    def evaluate_sketch(self, env: ir_interp.Environment) -> V.VecPair:
+    def evaluate_sketch(self, env: ir_interp.Environment) -> N.VecPair:
         values = env.buffer(self.buffer).read(self.offset, self.lanes, 1)
-        return V.VecPair(self.elem, values)
+        return N.VecPair(self.elem, values)
 
-    def realizations(self) -> Iterator[H.HvxExpr]:
-        half = self.lanes // 2
-        for w0 in _window_realizations(self.buffer, self.offset, half, self.elem):
-            for w1 in _window_realizations(
-                self.buffer, self.offset + half, half, self.elem
-            ):
-                yield H.HvxInstr("vcombine", (w0, w1))
+    def realizations(self, target=None) -> Iterator[N.HvxExpr]:
+        return _target_realizations(self, target)
 
 
-@H.cache_expr_hash
+@N.cache_expr_hash
 @dataclass(frozen=True)
-class AbstractRows(H.HvxExpr):
+class AbstractRows(N.HvxExpr):
     """``??load`` of two independent windows presented as a pair.
 
     This is the operand shape of ``vmpa``: ``lo`` holds one row of a
@@ -168,30 +115,24 @@ class AbstractRows(H.HvxExpr):
     stride: int = 1
 
     @property
-    def type(self) -> H.HvxType:
-        return H.pair(self.elem, self.lanes * 2)
+    def type(self) -> N.HvxType:
+        return N.pair(self.elem, self.lanes * 2)
 
-    def evaluate_sketch(self, env: ir_interp.Environment) -> V.VecPair:
+    def evaluate_sketch(self, env: ir_interp.Environment) -> N.VecPair:
         row0 = env.buffer(self.buffer0).read(self.offset0, self.lanes, self.stride)
         row1 = env.buffer(self.buffer1).read(self.offset1, self.lanes, self.stride)
-        return V.VecPair(self.elem, row0 + row1)
+        return N.VecPair(self.elem, row0 + row1)
 
-    def realizations(self) -> Iterator[H.HvxExpr]:
-        w0 = AbstractWindow(self.buffer0, self.offset0, self.lanes, self.elem,
-                            self.stride)
-        w1 = AbstractWindow(self.buffer1, self.offset1, self.lanes, self.elem,
-                            self.stride)
-        for r0 in w0.realizations():
-            for r1 in w1.realizations():
-                yield H.HvxInstr("vcombine", (r0, r1))
+    def realizations(self, target=None) -> Iterator[N.HvxExpr]:
+        return _target_realizations(self, target)
 
 
-@H.cache_expr_hash
+@N.cache_expr_hash
 @dataclass(frozen=True)
-class AbstractSwizzle(H.HvxExpr):
+class AbstractSwizzle(N.HvxExpr):
     """``??swizzle``: a deferred re-layout of a computed pair."""
 
-    value: H.HvxExpr
+    value: N.HvxExpr
     mode: str  # one of the SWIZZLE_* constants
 
     def __post_init__(self) -> None:
@@ -201,11 +142,11 @@ class AbstractSwizzle(H.HvxExpr):
             raise EvaluationError(f"bad swizzle mode: {self.mode}")
 
     @property
-    def type(self) -> H.HvxType:
+    def type(self) -> N.HvxType:
         return self.value.type
 
     @property
-    def children(self) -> tuple[H.HvxExpr, ...]:
+    def children(self) -> tuple[N.HvxExpr, ...]:
         return (self.value,)
 
     def with_children(self, children):
@@ -213,27 +154,20 @@ class AbstractSwizzle(H.HvxExpr):
         return AbstractSwizzle(value, self.mode)
 
     def evaluate_sketch(self, env: ir_interp.Environment):
-        from ..hvx import interp as hvx_interp
-
-        value = hvx_interp.evaluate(self.value, env)
+        value = N.evaluate(self.value, env)
         if self.mode == SWIZZLE_IDENTITY:
             return value
-        if not isinstance(value, V.VecPair):
+        if not isinstance(value, N.VecPair):
             raise EvaluationError("swizzle re-layout applies to pairs")
         if self.mode == SWIZZLE_INTERLEAVE:
-            return V.interleave(value)
-        return V.deinterleave(value)
+            return N.interleave(value)
+        return N.deinterleave(value)
 
-    def realizations(self) -> Iterator[H.HvxExpr]:
-        if self.mode == SWIZZLE_IDENTITY:
-            yield self.value
-        elif self.mode == SWIZZLE_INTERLEAVE:
-            yield H.HvxInstr("vshuffvdd", (self.value,))
-        else:
-            yield H.HvxInstr("vdealvdd", (self.value,))
+    def realizations(self, target=None) -> Iterator[N.HvxExpr]:
+        return _target_realizations(self, target)
 
 
-def placeholders_of(expr: H.HvxExpr) -> list[H.HvxExpr]:
+def placeholders_of(expr: N.HvxExpr) -> list[N.HvxExpr]:
     """All abstract placeholders in a sketch, outermost first."""
     kinds = (AbstractWindow, AbstractPairWindow, AbstractRows, AbstractSwizzle)
     out = []
@@ -243,12 +177,12 @@ def placeholders_of(expr: H.HvxExpr) -> list[H.HvxExpr]:
     return out
 
 
-def is_concrete(expr: H.HvxExpr) -> bool:
+def is_concrete(expr: N.HvxExpr) -> bool:
     """True when the expression contains no abstract placeholders."""
     return not placeholders_of(expr)
 
 
-def placeholder_summary(expr: H.HvxExpr) -> dict[str, int]:
+def placeholder_summary(expr: N.HvxExpr) -> dict[str, int]:
     """Placeholder counts by kind, e.g. ``{"AbstractWindow": 2}``.
 
     Cheap JSON-friendly shape used as trace-span attributes by the

@@ -2,8 +2,10 @@
 
 Once a swizzle-free sketch is validated, every ``??load``/``??swizzle``
 placeholder is replaced by a concrete sequence of load and shuffle
-instructions.  Realizations are enumerated cheapest-first per placeholder
-and combined under the backtracking cost bound β from Algorithm 2; each
+instructions.  Realizations are drawn from the active target's swizzle
+grammar (:meth:`repro.targets.TargetDescription.realizations`), enumerated
+cheapest-first per placeholder under that target's cost model, and
+combined under the backtracking cost bound β from Algorithm 2; each
 complete candidate is re-verified end to end (the paper's point that Rake
 verifies all its transformations).
 """
@@ -11,10 +13,8 @@ verifies all its transformations).
 from __future__ import annotations
 
 from itertools import islice, product
-from typing import Sequence
 
-from ..hvx import isa as H
-from ..hvx.cost import Cost, cost_of
+from ..targets import TargetDescription, nodes as N, resolve_target
 from .engine import ParallelChecker
 from .oracle import Oracle
 from .sketch import is_concrete, placeholder_summary, placeholders_of
@@ -23,8 +23,8 @@ from .sketch import is_concrete, placeholder_summary, placeholders_of
 MAX_COMBOS = 64
 
 
-def substitute(expr: H.HvxExpr, target: H.HvxExpr,
-               replacement: H.HvxExpr) -> H.HvxExpr:
+def substitute(expr: N.HvxExpr, target: N.HvxExpr,
+               replacement: N.HvxExpr) -> N.HvxExpr:
     """Replace every occurrence of ``target`` (by equality) in ``expr``."""
     if expr == target:
         return replacement
@@ -37,8 +37,8 @@ def substitute(expr: H.HvxExpr, target: H.HvxExpr,
     return expr.with_children(new_children)
 
 
-def substitute_many(expr: H.HvxExpr, mapping: dict,
-                    _classes: tuple = None) -> H.HvxExpr:
+def substitute_many(expr: N.HvxExpr, mapping: dict,
+                    _classes: tuple = None) -> N.HvxExpr:
     """Replace every occurrence of any ``mapping`` key in one tree walk.
 
     Replacements are not re-scanned within the same walk; callers iterate
@@ -64,29 +64,34 @@ def substitute_many(expr: H.HvxExpr, mapping: dict,
     return expr.with_children(new_children)
 
 
-#: ranked realizations per placeholder — placeholders are immutable values
-#: and identical windows/swizzles recur across sketches of one compilation
+#: ranked realizations per (target, placeholder) — placeholders are
+#: immutable values and identical windows/swizzles recur across sketches
+#: of one compilation; the key includes the target because each backend
+#: has its own swizzle grammar and cost model
 _REALIZATION_CACHE: dict = {}
 
 
-def _ranked_realizations(placeholder) -> list[H.HvxExpr]:
+def _ranked_realizations(placeholder,
+                         target: TargetDescription) -> list[N.HvxExpr]:
     """Concrete options for one placeholder, cheapest first."""
-    cached = _REALIZATION_CACHE.get(placeholder)
+    key = (target.name, placeholder)
+    cached = _REALIZATION_CACHE.get(key)
     if cached is None:
-        options = list(placeholder.realizations())
-        options.sort(key=lambda impl: cost_of(impl).key)
-        cached = _REALIZATION_CACHE[placeholder] = options
+        options = list(target.realizations(placeholder))
+        options.sort(key=lambda impl: target.cost_of(impl).key)
+        cached = _REALIZATION_CACHE[key] = options
     return cached
 
 
 def synthesize_swizzles(
     spec,
-    sketch_expr: H.HvxExpr,
+    sketch_expr: N.HvxExpr,
     layout: str,
     oracle: Oracle,
-    budget: Cost,
+    budget,
     checker: ParallelChecker | None = None,
-) -> tuple[H.HvxExpr, Cost] | None:
+    target: TargetDescription | None = None,
+) -> tuple[N.HvxExpr, object] | None:
     """Concretize all placeholders in ``sketch_expr`` under ``budget``.
 
     Returns the cheapest verified concrete implementation, or ``None`` when
@@ -95,14 +100,16 @@ def synthesize_swizzles(
 
     ``checker`` fans the final verification of cost-ranked candidates over
     a worker pool; the first-equivalent-in-cost-order reduction keeps the
-    chosen implementation identical to the serial search.
+    chosen implementation identical to the serial search.  ``target``
+    selects the swizzle grammar and cost model (default: HVX).
     """
+    target = resolve_target(target)
     placeholders = []
     for ph in placeholders_of(sketch_expr):
         if ph not in placeholders:
             placeholders.append(ph)
     if not placeholders:
-        impl_cost = cost_of(sketch_expr)
+        impl_cost = target.cost_of(sketch_expr)
         if impl_cost.key < budget.key and oracle.equivalent(
             spec, sketch_expr, layout
         ):
@@ -113,15 +120,15 @@ def synthesize_swizzles(
         if sp:
             sp.set(placeholders=placeholder_summary(sketch_expr))
         result = _synthesize(spec, sketch_expr, layout, oracle, budget,
-                             checker, placeholders, sp)
+                             checker, placeholders, sp, target)
         if sp:
             sp.set(found=result is not None)
         return result
 
 
 def _synthesize(spec, sketch_expr, layout, oracle, budget, checker,
-                placeholders, sp):
-    option_lists = [_ranked_realizations(ph) for ph in placeholders]
+                placeholders, sp, target):
+    option_lists = [_ranked_realizations(ph, target) for ph in placeholders]
     # islice, not [:MAX_COMBOS]: slicing a list(...) would materialize the
     # full cartesian product (easily millions of tuples for multi-window
     # sketches) only to drop all but the first 64.
@@ -148,11 +155,11 @@ def _synthesize(spec, sketch_expr, layout, oracle, budget, checker,
             # Nested placeholders (a swizzle wrapping a window): resolve
             # the remaining ones recursively with the same budget.
             nested = synthesize_swizzles(spec, expr, layout, oracle, budget,
-                                         checker=checker)
+                                         checker=checker, target=target)
             if nested is not None:
                 scored.append((nested[1].key, nested[0], nested[1]))
             continue
-        impl_cost = cost_of(expr)
+        impl_cost = target.cost_of(expr)
         scored.append((impl_cost.key, expr, impl_cost))
 
     scored.sort(key=lambda item: item[0])

@@ -1,0 +1,53 @@
+"""Target-neutral machine-expression vocabulary.
+
+Every registered target shares one machine-expression representation —
+the node classes and runtime values that grew out of the HVX port
+(:mod:`repro.hvx.isa` / :mod:`repro.hvx.values`), with per-target
+instruction families living side by side in the shared ISA registry
+(NEON ops carry a ``neon.`` prefix).  Target-generic code — the pipeline
+driver, the sketch placeholders, the swizzle synthesizer — imports the
+vocabulary from here instead of from :mod:`repro.hvx`, so no generic
+module depends on a specific backend.
+
+This module re-exports rather than redefines: node identity (and with it
+expression equality, hashing and the canonical cache-key renderings of
+:mod:`repro.synthesis.engine`) must stay exactly what it was when the
+classes lived under the HVX package.
+"""
+
+from __future__ import annotations
+
+from ..hvx.isa import (  # noqa: F401 - re-exported vocabulary
+    HvxExpr,
+    HvxInstr,
+    HvxLoad,
+    HvxSplat,
+    HvxType,
+    cache_expr_hash,
+    lookup,
+    pair,
+    pred,
+    vec,
+)
+from ..hvx.values import (  # noqa: F401 - re-exported runtime values
+    HvxValue,
+    PredVec,
+    Vec,
+    VecPair,
+    as_lanes,
+    combine,
+    deinterleave,
+    interleave,
+)
+
+
+def evaluate(expr: HvxExpr, env):
+    """Evaluate a machine expression with the scalar reference interpreter.
+
+    The interpreter dispatches through each instruction's registered
+    ``sem_fn``, so it covers every target's families (HVX ops, ``neon.*``
+    ops, and the shared load/splat/rename nodes) uniformly.
+    """
+    from ..hvx import interp as machine_interp
+
+    return machine_interp.evaluate(expr, env)

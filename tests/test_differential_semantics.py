@@ -3,9 +3,10 @@
 A seeded :mod:`random` generator (no new dependencies) produces well-typed
 IR expressions over the shapes Rake's grammars target — widening u8 loads
 combined with adds, constant multiplies, shifts and narrowing casts.  Each
-expression runs through lift + lower, and the selected HVX program (and
-the lifted uber expression) must denote exactly the spec's lanes on every
-environment in the oracle's valuation bank.
+expression runs through lift + lower, and the selected machine program
+(and the lifted uber expression) must denote exactly the spec's lanes on
+every environment in the oracle's valuation bank.  The sweep runs once
+per registered target, at that target's native vector width.
 
 Expressions the synthesizer declines (``SynthesisError`` et al.) are
 counted but not failures: the property under test is soundness — whatever
@@ -32,8 +33,10 @@ W = 512  # row stride for vertical stencils
 DEFAULT_SWEEP = 220
 DEFAULT_MIN_SUCCESS = 120
 
+TARGETS = ("hvx", "neon")
 
-def random_spec(rng: random.Random):
+
+def random_spec(rng: random.Random, lanes: int = LANES):
     """A random widening stencil, the expression family Rake targets.
 
     Shapes mirror what the frontend emits for the paper's image kernels:
@@ -48,7 +51,7 @@ def random_spec(rng: random.Random):
     acc = None
     for k, w in enumerate(weights):
         offset = base + (k if orientation == "h" else k * W)
-        term = B.widen(B.load("in", offset, LANES, U8))
+        term = B.widen(B.load("in", offset, lanes, U8))
         if w > 1:
             term = term * w
         acc = term if acc is None else acc + term
@@ -65,12 +68,15 @@ def random_spec(rng: random.Random):
     return B.sat_cast(U8, acc >> max(1, shift - 1))
 
 
-def _run_sweep(seed: int, count: int, min_success: int) -> None:
+def _run_sweep(seed: int, count: int, min_success: int,
+               target: str = "hvx") -> None:
     rng = random.Random(seed)
-    selector = RakeSelector()  # one oracle: verdicts memoize across specs
+    # One oracle: verdicts memoize across specs.
+    selector = RakeSelector(target=target)
+    lanes = selector.target.lanes  # u8 lanes at native width
     succeeded = 0
     for _ in range(count):
-        spec = random_spec(rng)
+        spec = random_spec(rng, lanes)
         try:
             result = selector.select(spec)
         except ReproError:
@@ -79,7 +85,7 @@ def _run_sweep(seed: int, count: int, min_success: int) -> None:
         for env in selector.oracle.bank_for(spec):
             want = denote(spec, env)
             assert denote(result.program, env) == want, (
-                f"HVX program diverges from spec "
+                f"{target} program diverges from spec "
                 f"{ir_printer.to_string(spec)}"
             )
             assert denote(result.lifted, env) == want, (
@@ -87,8 +93,8 @@ def _run_sweep(seed: int, count: int, min_success: int) -> None:
                 f"{ir_printer.to_string(spec)}"
             )
     assert succeeded >= min_success, (
-        f"only {succeeded}/{count} random expressions synthesized; "
-        f"the sweep no longer exercises the pipeline"
+        f"only {succeeded}/{count} random expressions synthesized on "
+        f"{target}; the sweep no longer exercises the pipeline"
     )
 
 
@@ -112,10 +118,12 @@ class TestGenerator:
 
 
 class TestDifferential:
-    def test_default_sweep(self):
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_default_sweep(self, target):
         _run_sweep(seed=2022, count=DEFAULT_SWEEP,
-                   min_success=DEFAULT_MIN_SUCCESS)
+                   min_success=DEFAULT_MIN_SUCCESS, target=target)
 
     @pytest.mark.slow
-    def test_deep_sweep(self):
-        _run_sweep(seed=2023, count=1000, min_success=500)
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_deep_sweep(self, target):
+        _run_sweep(seed=2023, count=1000, min_success=500, target=target)

@@ -61,6 +61,15 @@ class TestCompileRequest:
         with pytest.raises(ProtocolError, match="JSON object"):
             CompileRequest.from_dict([1, 2, 3])
 
+    def test_target_defaults_to_hvx_and_roundtrips(self):
+        assert CompileRequest.from_dict({"workload": "mul"}).target == "hvx"
+        req = CompileRequest(workload="mul", target="neon")
+        assert CompileRequest.from_dict(req.to_dict()) == req
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown target"):
+            CompileRequest.from_dict({"workload": "mul", "target": "sse42"})
+
 
 class TestCompileResult:
     def test_roundtrip(self):

@@ -74,6 +74,14 @@ class TestRequestKey:
         assert request_key(CompileRequest(workload="mul")) != \
             request_key(CompileRequest(workload="add"))
 
+    def test_target_splits_keys(self):
+        # An HVX job and a Neon job for the same workload must never
+        # coalesce — their results differ in every way that matters.
+        assert request_key(CompileRequest(workload="mul")) != \
+            request_key(CompileRequest(workload="mul", target="neon"))
+        assert request_key(CompileRequest(workload="mul", target="neon")) == \
+            request_key(CompileRequest(workload="mul", target="neon"))
+
 
 class TestCoalescer:
     def test_leader_then_follower(self):

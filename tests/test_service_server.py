@@ -42,8 +42,10 @@ def client(server):
 class TestEndpoints:
     def test_healthz(self, client):
         health = client.healthz()
+        from repro.service.protocol import PROTOCOL_VERSION
+
         assert health["status"] == "ok"
-        assert health["v"] == 1
+        assert health["v"] == PROTOCOL_VERSION
         assert health["workloads"] >= 21
 
     def test_unknown_routes_404(self, server):

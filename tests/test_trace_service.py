@@ -38,8 +38,10 @@ class TestProtocol:
     def test_trace_defaults_false_and_roundtrips(self):
         req = CompileRequest(workload="mul")
         assert req.trace is False
+        from repro.service.protocol import PROTOCOL_VERSION
+
         wire = CompileRequest.from_dict(
-            {"v": 1, "workload": "mul", "trace": True})
+            {"v": PROTOCOL_VERSION, "workload": "mul", "trace": True})
         assert wire.trace is True
 
     def test_trace_must_be_boolean(self):
