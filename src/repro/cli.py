@@ -99,11 +99,12 @@ def _cmd_list(args) -> int:
 def _compile_one(name: str, backend: str, show_programs: bool,
                  width: int | None, height: int | None, asm: bool = False,
                  jobs: int = 1, cache_dir: str | None = None,
-                 batch_eval: bool = True, tracer=None,
-                 target: str = "hvx"):
+                 batch_eval: bool = True, fingerprints: bool = True,
+                 tracer=None, target: str = "hvx"):
     wl = get(name)
     compiled = compile_pipeline(wl.build(), backend=backend, jobs=jobs,
                                 cache_dir=cache_dir, batch_eval=batch_eval,
+                                fingerprints=fingerprints,
                                 tracer=tracer, target=target)
     cycles = measure(compiled, width or wl.width, height or wl.height)
     label = backend if target == "hvx" else f"{backend}/{target}"
@@ -171,6 +172,7 @@ def _cmd_compile(args) -> int:
                 args.workload, backend, args.show_programs, args.width,
                 args.height, asm=args.asm, jobs=args.jobs,
                 cache_dir=cache_dir, batch_eval=not args.no_batch_eval,
+                fingerprints=not args.no_fingerprints,
                 tracer=tracer, target=args.target,
             )
     finally:
@@ -236,7 +238,8 @@ def _cmd_speedups(args) -> int:
             continue
         _log.info("compiling", workload=wl.name)
         rake = compile_pipeline(wl.build(), backend="rake", jobs=args.jobs,
-                                batch_eval=not args.no_batch_eval)
+                                batch_eval=not args.no_batch_eval,
+                                fingerprints=not args.no_fingerprints)
         base = compile_pipeline(wl.build(), backend="baseline")
         rows.append(SpeedupRow(
             name=wl.name,
@@ -289,6 +292,44 @@ def _cmd_trace(args) -> int:
             return _fail(f"cannot write --trace-out {args.trace_out}: "
                          f"{exc.strerror or exc}")
         print(f"wrote {args.format} trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_prune_grammar(args) -> int:
+    from .targets import TARGET_NAMES, get_target
+    from .targets import pruning
+
+    targets = list(TARGET_NAMES) if args.target == "all" else [args.target]
+    if args.workloads:
+        unknown = [name for name in args.workloads if name not in names()]
+        if unknown:
+            print(f"error: unknown workload(s): {', '.join(unknown)}; "
+                  f"see `python -m repro list`", file=sys.stderr)
+            return 2
+        workload_names = args.workloads
+    else:
+        workload_names = names()
+    out_dir = args.out or pruning.data_dir()
+    problem = _writable_dir_error(out_dir)
+    if problem is not None:
+        return _fail(f"--out: {problem}")
+    for target_name in targets:
+        target = get_target(target_name)
+        _log.info("harvesting placeholders", target=target_name,
+                  workloads=len(workload_names))
+        table = pruning.build_table(target, workload_names)
+        path = os.path.join(out_dir, f"pruned_{target_name}.json")
+        try:
+            pruning.write_table(table, path)
+        except OSError as exc:
+            return _fail(f"cannot write {path}: {exc.strerror or exc}")
+        kept = sum(len(e["keep"]) for e in table["signatures"].values())
+        total = sum(e["total"] for e in table["signatures"].values())
+        print(f"[{target_name}] {len(table['signatures'])} signatures: "
+              f"{total} realizations pruned to {kept} "
+              f"({path})")
+    # A process that already compiled sees the new tables on next load.
+    pruning.invalidate()
     return 0
 
 
@@ -431,6 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable the batched NumPy oracle and check "
                                 "every valuation through the scalar "
                                 "interpreters (identical verdicts, slower)")
+    p_compile.add_argument("--no-fingerprints", action="store_true",
+                           help="disable observational-equivalence dedup "
+                                "(denotation fingerprints) and query the "
+                                "oracle for every candidate (identical "
+                                "selections, more queries)")
     p_compile.add_argument("--fault-plan", default=None, metavar="PLAN",
                            help="activate deterministic fault injection for "
                                 "this compile: a built-in plan name "
@@ -455,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "rake backend")
     p_speed.add_argument("--no-batch-eval", action="store_true",
                          help="disable the batched NumPy oracle")
+    p_speed.add_argument("--no-fingerprints", action="store_true",
+                         help="disable observational-equivalence dedup "
+                              "(identical selections, more queries)")
 
     p_trace = sub.add_parser(
         "trace",
@@ -477,6 +526,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="--trace-out format: Chrome trace_event "
                               "JSON, collapsed flamegraph stacks, or the "
                               "ASCII timeline")
+
+    p_prune = sub.add_parser(
+        "prune-grammar",
+        help="precompute per-target pruned swizzle-realization sets "
+             "(offline observational-equivalence pass)")
+    p_prune.add_argument("--target", choices=("hvx", "neon", "all"),
+                         default="all",
+                         help="which target grammars to prune")
+    p_prune.add_argument("--out", default=None, metavar="DIR",
+                         help="output directory for pruned_<target>.json "
+                              "(default: the packaged repro/targets/data "
+                              "directory the pipeline loads from)")
+    p_prune.add_argument("--workloads", nargs="*", default=None,
+                         help="harvest placeholders from these workloads "
+                              "only (default: the full 21-benchmark suite)")
 
     p_serve = sub.add_parser(
         "serve", help="run the long-lived compilation server")
@@ -564,6 +628,7 @@ def main(argv=None) -> int:
         "isa": _cmd_isa,
         "speedups": _cmd_speedups,
         "trace": _cmd_trace,
+        "prune-grammar": _cmd_prune_grammar,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,

@@ -105,6 +105,7 @@ def compile_pipeline(
     cache: OracleCache | None = None,
     cache_dir: str | None = None,
     batch_eval: bool = True,
+    fingerprints: bool = True,
     deadline_s: float | None = None,
     cancel: CancelToken | None = None,
     tracer=None,
@@ -125,6 +126,9 @@ def compile_pipeline(
     forces every oracle check onto the scalar interpreters (the batched
     NumPy engine produces identical verdicts; the switch exists for
     differential testing and NumPy-free debugging).
+    ``fingerprints=False`` disables observational-equivalence dedup
+    (:mod:`repro.synthesis.fingerprints`) — selections are identical with
+    it on or off; the switch exists for differential testing.
 
     ``deadline_s`` bounds wall-clock compilation time; ``cancel`` supplies
     an external :class:`~repro.cancel.CancelToken` (the service's scheduler
@@ -163,8 +167,8 @@ def compile_pipeline(
             cache = (OracleCache.with_disk(cache_dir) if cache_dir
                      else OracleCache())
         oracle = Oracle(stats=stats or SynthesisStats(), cache=cache,
-                        batch_eval=batch_eval, cancel=cancel,
-                        tracer=tracer)
+                        batch_eval=batch_eval, fingerprints=fingerprints,
+                        cancel=cancel, tracer=tracer)
         rake = RakeSelector(
             vbytes=vbytes, options=options or LoweringOptions(),
             oracle=oracle, jobs=jobs, target=tgt,

@@ -116,6 +116,14 @@ def engine_summary(stats) -> str:
         f"{stats.total_cache_misses} misses, {rate:.0%} hit rate)",
         f"    counterexamples: {stats.total_counterexamples}",
     ]
+    if stats.total_fingerprint_hits or stats.total_pruned_grammar_hits:
+        lines.append(
+            f"    equivalence dedup: {stats.total_queries_saved} queries "
+            f"saved ({stats.total_fingerprint_hits} fingerprint hits, "
+            f"{stats.total_classes_formed} classes, "
+            f"{stats.total_class_splits} splits, "
+            f"{stats.total_pruned_grammar_hits} pruned-grammar hits)"
+        )
     if getattr(stats, "retries", 0):
         lines.append(
             f"    worker-pool retries: {stats.retries} "

@@ -259,6 +259,27 @@ def observe_synthesis_stats(registry: MetricsRegistry, stats: dict) -> None:
         "new refuting valuations discovered",
     ).inc(totals.get("counterexamples", 0))
     registry.counter(
+        "repro_fingerprint_hits_total",
+        "queries answered from an observational-equivalence class",
+    ).inc(totals.get("fingerprint_hits", 0))
+    registry.counter(
+        "repro_classes_formed_total",
+        "denotation-fingerprint equivalence classes formed",
+    ).inc(totals.get("classes_formed", 0))
+    registry.counter(
+        "repro_class_splits_total",
+        "class invalidations after a distinguishing valuation extended "
+        "the fingerprint set",
+    ).inc(totals.get("class_splits", 0))
+    registry.counter(
+        "repro_queries_saved_total",
+        "oracle queries avoided by equivalence-class dedup",
+    ).inc(totals.get("queries_saved", 0))
+    registry.counter(
+        "repro_pruned_grammar_hits_total",
+        "placeholder enumerations served by a precomputed pruned grammar",
+    ).inc(totals.get("pruned_grammar_hits", 0))
+    registry.counter(
         "repro_retries_total",
         "worker-pool batch resubmissions after a crashed dispatch",
     ).inc(totals.get("retries", 0))

@@ -550,14 +550,25 @@ class ParallelChecker:
               if trace_ctx is not None else _NULL_CTX) as batch_span:
             verdicts: list = [None] * n
             to_run = []
+            fp = getattr(oracle, "_fingerprinter", lambda: None)()
             for i, cand in enumerate(candidates):
                 key = oracle.query_key(spec, cand, layout)
                 hit = oracle.cache.lookup(key)
                 if hit is not None:
                     oracle.note_cached_query(hit=True)
                     verdicts[i] = hit
-                else:
-                    to_run.append((i, key, cand))
+                    continue
+                if fp is not None:
+                    # Parent-side equivalence-class lookup: a fanned-out
+                    # verdict is recorded under the canonical key (cold
+                    # stores stay complete) but skips worker dispatch.
+                    resolved = fp.resolve(spec, cand, layout)
+                    if resolved is not None:
+                        oracle.note_fingerprint_query()
+                        oracle.cache.record(key, resolved)
+                        verdicts[i] = resolved
+                        continue
+                to_run.append((i, key, cand))
             if batch_span:
                 batch_span.set(cached=n - len(to_run), dispatched=len(to_run))
 
@@ -577,7 +588,7 @@ class ParallelChecker:
                     if batch_span:
                         batch_span.set(degraded_to=self.mode)
                     return self.check_batch(oracle, spec, candidates, layout)
-                for (i, key, _cand), result in zip(to_run, results):
+                for (i, key, cand), result in zip(to_run, results):
                     if isinstance(result, tuple):
                         verdict, spans = result
                         if tracer is not None:
@@ -586,6 +597,8 @@ class ParallelChecker:
                         verdict = result
                     oracle.note_cached_query(hit=False)
                     oracle.cache.record(key, verdict)
+                    if fp is not None:
+                        fp.learn(spec, cand, layout, verdict)
                     verdicts[i] = verdict
             return verdicts
 

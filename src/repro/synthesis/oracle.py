@@ -127,6 +127,10 @@ class Oracle:
     #: expression cannot be batched exactly); verdicts are identical either
     #: way, so this does not participate in cache keys
     batch_eval: bool = True
+    #: deduplicate queries through observational-equivalence classes
+    #: (:mod:`repro.synthesis.fingerprints`); fingerprint-resolved verdicts
+    #: equal the differential pass's, so this does not split cache keys
+    fingerprints: bool = True
     cache: engine.OracleCache = field(default_factory=engine.OracleCache)
     #: cooperative cancellation checked at every query boundary — a raised
     #: cancellation happens *before* the differential pass starts, so the
@@ -145,6 +149,7 @@ class Oracle:
     _bank_data_cache: dict = field(default_factory=dict)
     _spec_matrix_cache: dict = field(default_factory=dict)
     _env0_cache: dict = field(default_factory=dict)
+    _fingerprint_index: object = field(default=None, repr=False)
 
     def bank_for(self, spec) -> list:
         key = spec
@@ -187,6 +192,17 @@ class Oracle:
         # after construction, e.g. by a traced service job).
         self._batch_evaluator.tracer = self.tracer
         return self._batch_evaluator
+
+    def _fingerprinter(self):
+        """The observational-equivalence index, or ``None`` when disabled
+        (``fingerprints=False``) or unbatchable (no NumPy)."""
+        if not self.fingerprints or not batch_plan.HAVE_NUMPY:
+            return None
+        if self._fingerprint_index is None:
+            from .fingerprints import Fingerprinter
+
+            self._fingerprint_index = Fingerprinter(self)
+        return self._fingerprint_index
 
     def _bank_data(self, spec):
         """The bank stacked as int64 matrices, or ``None`` if not exact."""
@@ -254,6 +270,13 @@ class Oracle:
             else:
                 self.stats.count_cache_miss()
 
+    def note_fingerprint_query(self) -> None:
+        """Count one query answered by an equivalence class — avoided
+        oracle work, deliberately *not* counted as a query."""
+        with self._stage_ctx():
+            self.stats.count_fingerprint_hit()
+            self.stats.count_query_saved()
+
     def _stage_ctx(self):
         """Attribute out-of-stage queries (the pipeline's final check) to
         the ``verify`` stage so their cost is visible in Table 1 output."""
@@ -297,16 +320,33 @@ class Oracle:
             "oracle.query", tag="full", layout=layout
         ) as sp:
             faults.fire(faults.SITE_ORACLE_QUERY, tracer=self.tracer)
-            self.stats.count_query()
             key = self.query_key(spec, candidate, layout)
             cached = self.cache.lookup(key)
             if cached is not None:
+                # Cache-first keeps warm runs pure hits: they never pay
+                # for (or depend on) any fingerprint work.
+                self.stats.count_query()
                 self.stats.count_cache_hit()
                 sp.set(cache="hit", verdict=bool(cached))
                 return cached
+            fp = self._fingerprinter()
+            if fp is not None:
+                verdict = fp.resolve(spec, candidate, layout)
+                if verdict is not None:
+                    # Not counted as a query — the oracle never ran — but
+                    # still recorded under the canonical key so cold disk
+                    # stores stay complete for warm replay.
+                    self.stats.count_fingerprint_hit()
+                    self.stats.count_query_saved()
+                    self.cache.record(key, verdict)
+                    sp.set(cache="fingerprint", verdict=bool(verdict))
+                    return verdict
+            self.stats.count_query()
             self.stats.count_cache_miss()
             verdict = self._check_full(spec, candidate, layout)
             self.cache.record(key, verdict)
+            if fp is not None:
+                fp.learn(spec, candidate, layout, verdict)
             sp.set(cache="miss", verdict=bool(verdict))
             return verdict
 

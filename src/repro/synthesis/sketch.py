@@ -44,11 +44,23 @@ SWIZZLE_INTERLEAVE = "interleave"
 SWIZZLE_DEINTERLEAVE = "deinterleave"
 
 
+#: realization lists memoized per (target name, placeholder) — placeholders
+#: are immutable values that recur across the sketches of one compilation,
+#: and each target's grammar is deterministic, so the enumeration only ever
+#: needs to run once per distinct placeholder
+_REALIZATION_MEMO: dict = {}
+
+
 def _target_realizations(placeholder, target=None) -> Iterator[N.HvxExpr]:
     """Realizations from ``target``'s swizzle grammar (default: HVX)."""
     from ..targets import resolve_target
 
-    return resolve_target(target).realizations(placeholder)
+    tgt = resolve_target(target)
+    key = (tgt.name, placeholder)
+    cached = _REALIZATION_MEMO.get(key)
+    if cached is None:
+        cached = _REALIZATION_MEMO[key] = tuple(tgt.realizations(placeholder))
+    return iter(cached)
 
 
 @N.cache_expr_hash

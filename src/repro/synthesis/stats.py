@@ -29,6 +29,25 @@ class StageStats:
     counterexamples: int = 0
     batched_evals: int = 0
     fallback_evals: int = 0
+    #: observational-equivalence metrics (repro.synthesis.fingerprints):
+    #: queries answered by an equivalence class instead of the oracle,
+    #: classes formed, classes invalidated by a distinguishing valuation,
+    #: oracle queries avoided, and placeholder lookups served by a
+    #: precomputed pruned grammar
+    fingerprint_hits: int = 0
+    classes_formed: int = 0
+    class_splits: int = 0
+    queries_saved: int = 0
+    pruned_grammar_hits: int = 0
+
+
+#: StageStats counter fields summed by merged_with / totals / as_dict
+_COUNTER_FIELDS = (
+    "queries", "cache_hits", "cache_misses", "counterexamples",
+    "batched_evals", "fallback_evals", "fingerprint_hits",
+    "classes_formed", "class_splits", "queries_saved",
+    "pruned_grammar_hits",
+)
 
 
 @dataclass
@@ -103,6 +122,39 @@ class SynthesisStats:
         if stage is not None:
             stage.fallback_evals += 1
 
+    def count_fingerprint_hit(self) -> None:
+        """Record one query answered from an observational-equivalence
+        class (denotation fingerprints) without consulting the oracle."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.fingerprint_hits += 1
+
+    def count_class_formed(self) -> None:
+        """Record one new equivalence class keyed by its fingerprint."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.classes_formed += 1
+
+    def count_class_split(self) -> None:
+        """Record one class invalidation: a distinguishing valuation
+        outside the fingerprint set extended it, splitting stale classes."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.class_splits += 1
+
+    def count_query_saved(self) -> None:
+        """Record one oracle query avoided by equivalence-class dedup."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.queries_saved += 1
+
+    def count_pruned_grammar_hit(self) -> None:
+        """Record one placeholder whose realizations came from a
+        precomputed pruned grammar instead of full enumeration."""
+        stage = self._innermost()
+        if stage is not None:
+            stage.pruned_grammar_hits += 1
+
     @property
     def total_queries(self) -> int:
         return sum(s.queries for s in self.stages.values())
@@ -131,23 +183,36 @@ class SynthesisStats:
     def total_fallback_evals(self) -> int:
         return sum(s.fallback_evals for s in self.stages.values())
 
+    @property
+    def total_fingerprint_hits(self) -> int:
+        return sum(s.fingerprint_hits for s in self.stages.values())
+
+    @property
+    def total_classes_formed(self) -> int:
+        return sum(s.classes_formed for s in self.stages.values())
+
+    @property
+    def total_class_splits(self) -> int:
+        return sum(s.class_splits for s in self.stages.values())
+
+    @property
+    def total_queries_saved(self) -> int:
+        return sum(s.queries_saved for s in self.stages.values())
+
+    @property
+    def total_pruned_grammar_hits(self) -> int:
+        return sum(s.pruned_grammar_hits for s in self.stages.values())
+
     def merged_with(self, other: "SynthesisStats") -> "SynthesisStats":
         out = SynthesisStats()
         for name in STAGES:
             mine, theirs, merged = (
                 self.stages[name], other.stages[name], out.stages[name]
             )
-            merged.queries = mine.queries + theirs.queries
             merged.time_s = mine.time_s + theirs.time_s
-            merged.cache_hits = mine.cache_hits + theirs.cache_hits
-            merged.cache_misses = mine.cache_misses + theirs.cache_misses
-            merged.counterexamples = (
-                mine.counterexamples + theirs.counterexamples
-            )
-            merged.batched_evals = mine.batched_evals + theirs.batched_evals
-            merged.fallback_evals = (
-                mine.fallback_evals + theirs.fallback_evals
-            )
+            for fname in _COUNTER_FIELDS:
+                setattr(merged, fname,
+                        getattr(mine, fname) + getattr(theirs, fname))
         out.expressions = self.expressions + other.expressions
         out.retries = self.retries + other.retries
         return out
@@ -171,24 +236,17 @@ class SynthesisStats:
             "expressions": self.expressions,
             "stages": {
                 name: {
-                    "queries": s.queries,
                     "time_s": round(s.time_s, 6),
-                    "cache_hits": s.cache_hits,
-                    "cache_misses": s.cache_misses,
-                    "counterexamples": s.counterexamples,
-                    "batched_evals": s.batched_evals,
-                    "fallback_evals": s.fallback_evals,
+                    **{f: getattr(s, f) for f in _COUNTER_FIELDS},
                 }
                 for name, s in self.stages.items()
             },
             "totals": {
-                "queries": self.total_queries,
                 "time_s": round(self.total_time_s, 6),
-                "cache_hits": self.total_cache_hits,
-                "cache_misses": self.total_cache_misses,
-                "counterexamples": self.total_counterexamples,
-                "batched_evals": self.total_batched_evals,
-                "fallback_evals": self.total_fallback_evals,
+                **{
+                    f: sum(getattr(s, f) for s in self.stages.values())
+                    for f in _COUNTER_FIELDS
+                },
                 "retries": self.retries,
             },
         }

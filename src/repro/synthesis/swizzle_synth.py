@@ -67,19 +67,40 @@ def substitute_many(expr: N.HvxExpr, mapping: dict,
 #: ranked realizations per (target, placeholder) — placeholders are
 #: immutable values and identical windows/swizzles recur across sketches
 #: of one compilation; the key includes the target because each backend
-#: has its own swizzle grammar and cost model
+#: has its own swizzle grammar and cost model.  Cleared by
+#: :func:`repro.targets.pruning.invalidate` when pruned-grammar data
+#: files change underneath a running process.
 _REALIZATION_CACHE: dict = {}
 
+#: observation hook for the offline prune-grammar harvest: called with
+#: ``(placeholder, target)`` for every placeholder the synthesizer
+#: enumerates (see repro.targets.pruning.harvest_placeholders)
+_PLACEHOLDER_RECORDER = None
 
-def _ranked_realizations(placeholder,
-                         target: TargetDescription) -> list[N.HvxExpr]:
-    """Concrete options for one placeholder, cheapest first."""
+
+def set_placeholder_recorder(fn) -> None:
+    """Install (or clear, with ``None``) the harvest observation hook."""
+    global _PLACEHOLDER_RECORDER
+    _PLACEHOLDER_RECORDER = fn
+
+
+def _ranked_realizations(placeholder, target: TargetDescription):
+    """``(options, pruned)``: concrete choices cheapest first, and
+    whether a precomputed pruned grammar trimmed them.
+
+    Pruning keeps one offline-verified representative per equivalence
+    class — the member that minimizes ``(cost, enumeration index)``,
+    i.e. exactly position 0 of the unpruned ranked list — so the combo
+    search's first verified candidate (and therefore the selection) is
+    unchanged; the rest of the realization product is never built.
+    """
     key = (target.name, placeholder)
     cached = _REALIZATION_CACHE.get(key)
     if cached is None:
         options = list(target.realizations(placeholder))
-        options.sort(key=lambda impl: target.cost_of(impl).key)
-        cached = _REALIZATION_CACHE[key] = options
+        options, pruned = target.pruned_realizations(placeholder, options)
+        options = sorted(options, key=lambda impl: target.cost_of(impl).key)
+        cached = _REALIZATION_CACHE[key] = (options, pruned)
     return cached
 
 
@@ -128,7 +149,18 @@ def synthesize_swizzles(
 
 def _synthesize(spec, sketch_expr, layout, oracle, budget, checker,
                 placeholders, sp, target):
-    option_lists = [_ranked_realizations(ph, target) for ph in placeholders]
+    option_lists = []
+    pruned_hits = 0
+    for ph in placeholders:
+        if _PLACEHOLDER_RECORDER is not None:
+            _PLACEHOLDER_RECORDER(ph, target)
+        options, pruned = _ranked_realizations(ph, target)
+        if pruned:
+            pruned_hits += 1
+            oracle.stats.count_pruned_grammar_hit()
+        option_lists.append(options)
+    if sp and pruned_hits:
+        sp.set(pruned_placeholders=pruned_hits)
     # islice, not [:MAX_COMBOS]: slicing a list(...) would materialize the
     # full cartesian product (easily millions of tuples for multi-window
     # sketches) only to drop all but the first 64.

@@ -95,6 +95,21 @@ class TargetDescription:
         """
         raise NotImplementedError
 
+    def pruned_realizations(self, placeholder, options: list):
+        """Apply this target's precomputed pruned grammar, if shipped.
+
+        ``options`` is the full enumerated realization list for
+        ``placeholder``; returns ``(kept, pruned_flag)`` where a table
+        hit keeps only the offline-verified equivalence-class
+        representatives (see :mod:`repro.targets.pruning`).  Targets
+        without a ``pruned_<name>.json`` data file — including any new
+        third backend until its file is generated with
+        ``repro prune-grammar`` — fall back to the unmodified list.
+        """
+        from . import pruning
+
+        return pruning.pruned_options(self.name, placeholder, options)
+
     # -- batched evaluation ------------------------------------------------
 
     def eval_family_of(self, expr):

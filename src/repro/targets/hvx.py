@@ -49,12 +49,15 @@ def _strided_window_realizations(window) -> Iterator[N.HvxExpr]:
         dense = (window.offset if window.offset % 2 == 0
                  else window.offset - 1)
         half = "lo" if window.offset % 2 == 0 else "hi"
+        # Materialize the inner options once: regenerating them for every
+        # outer realization re-ran the enumeration quadratically.
+        inner = list(_window_realizations(
+            window.buffer, dense + window.lanes, window.lanes, window.elem
+        ))
         for w0 in _window_realizations(
             window.buffer, dense, window.lanes, window.elem
         ):
-            for w1 in _window_realizations(
-                window.buffer, dense + window.lanes, window.lanes, window.elem
-            ):
+            for w1 in inner:
                 combined = N.HvxInstr("vcombine", (w0, w1))
                 dealt = N.HvxInstr("vdealvdd", (combined,))
                 yield N.HvxInstr(half, (dealt,))
@@ -67,8 +70,9 @@ def _strided_window_realizations(window) -> Iterator[N.HvxExpr]:
             window.buffer, window.offset + 2 * window.lanes, window.lanes,
             window.elem, 2,
         )
+        inner = list(_strided_window_realizations(b))
         for ra in _strided_window_realizations(a):
-            for rb in _strided_window_realizations(b):
+            for rb in inner:
                 combined = N.HvxInstr("vcombine", (ra, rb))
                 dealt = N.HvxInstr("vdealvdd", (combined,))
                 yield N.HvxInstr("lo", (dealt,))
@@ -119,14 +123,15 @@ class HvxTarget(TargetDescription):
                 yield from _strided_window_realizations(placeholder)
         elif isinstance(placeholder, S.AbstractPairWindow):
             half = placeholder.lanes // 2
+            inner = list(_window_realizations(
+                placeholder.buffer, placeholder.offset + half, half,
+                placeholder.elem,
+            ))
             for w0 in _window_realizations(
                 placeholder.buffer, placeholder.offset, half,
                 placeholder.elem,
             ):
-                for w1 in _window_realizations(
-                    placeholder.buffer, placeholder.offset + half, half,
-                    placeholder.elem,
-                ):
+                for w1 in inner:
                     yield N.HvxInstr("vcombine", (w0, w1))
         elif isinstance(placeholder, S.AbstractRows):
             w0 = S.AbstractWindow(placeholder.buffer0, placeholder.offset0,
@@ -135,8 +140,9 @@ class HvxTarget(TargetDescription):
             w1 = S.AbstractWindow(placeholder.buffer1, placeholder.offset1,
                                   placeholder.lanes, placeholder.elem,
                                   placeholder.stride)
+            inner = list(self.realizations(w1))
             for r0 in self.realizations(w0):
-                for r1 in self.realizations(w1):
+                for r1 in inner:
                     yield N.HvxInstr("vcombine", (r0, r1))
         elif isinstance(placeholder, S.AbstractSwizzle):
             if placeholder.mode == S.SWIZZLE_IDENTITY:

@@ -176,7 +176,9 @@ class TestTracedPipeline:
         _compiled, tree = traced
         queries = _spans_named(tree, "oracle.query")
         assert queries
-        assert {q["attrs"]["cache"] for q in queries} <= {"hit", "miss"}
+        assert {q["attrs"]["cache"] for q in queries} <= {
+            "hit", "miss", "fingerprint"
+        }
         assert all(q["attrs"]["tag"] in ("full", "lane0") for q in queries)
 
     def test_worker_subtrees_present_with_jobs(self, traced):
