@@ -1,0 +1,210 @@
+"""Rewrite-rule fast-path coverage and latency on replayed traffic.
+
+Compiles each workload per target three times:
+
+* **plain** — no rule library: the reference selection and cost;
+* **cold** — against a fresh on-disk library: every synthesis is mined
+  into a parameterized rule (this is the Table-1 mining run);
+* **warm** — the library is reloaded from disk into a new process-like
+  state and the same workload replayed: matching rules answer specs
+  after one full-bank re-check each, skipping sketch and swizzle
+  enumeration entirely.
+
+A warm compile counts as **fully fast-pathed** when every synthesized
+expression was answered by a rule and the sketching/swizzling stages
+issued zero oracle queries.  The acceptance gate: over the Table 1 fast
+subset, at least half the warm compiles per target are fully
+fast-pathed, and every warm selection is byte-identical to the plain
+one at identical simulated cost.
+
+``--smoke`` restricts to two workloads and gates on rule-hit fraction
+> 0 with identical selections; CI runs this as the ``rules-smoke`` job.
+Results land in ``benchmarks/results/rule_hits.json``.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro.workloads  # noqa: F401 - populate the registry
+from repro.pipeline import compile_pipeline
+from repro.rules import RuleLibrary, rules_file
+from repro.sim import measure
+from repro.synthesis.stats import SynthesisStats
+from repro.workloads.base import all_workloads, get
+
+RESULTS = Path(__file__).parent / "results" / "rule_hits.json"
+
+ALL_NAMES = [wl.name for wl in all_workloads()]
+
+#: the Table 1 fast subset (matches bench_table1_compilation.FAST_NAMES);
+#: the >= 50% fully-fast-pathed gate applies when all five are present
+FAST_NAMES = ["mul", "add", "dilate3x3", "l2norm", "gaussian3x3"]
+
+SMOKE_NAMES = ["mul", "dilate3x3"]
+
+TARGETS = ("hvx", "neon")
+
+#: minimum fraction of warm fast-subset compiles that must complete
+#: entirely through the rule fast path, per target
+GATE_FAST_PATH = 0.50
+
+
+def _selection(compiled) -> list:
+    """The selected machine programs, in stage order, as stable strings."""
+    return [repr(ce.program)
+            for cs in compiled.stages for ce in cs.exprs]
+
+
+def _timed_compile(name: str, target: str, *, rules=None, stats=None):
+    wl = get(name)
+    start = time.perf_counter()
+    compiled = compile_pipeline(wl.build(), backend="rake", target=target,
+                                rules=rules, stats=stats)
+    return time.perf_counter() - start, compiled
+
+
+def run_target(names, target: str, rules_dir) -> list:
+    """Plain / cold-mine / warm-replay rows for one target."""
+    path = rules_file(rules_dir, target)
+    rows = []
+
+    plain = {}
+    for name in names:
+        plain_t, compiled = _timed_compile(name, target)
+        plain[name] = (plain_t, _selection(compiled),
+                       measure(compiled).total)
+
+    # Cold mining run: one shared library accumulates every lowering.
+    cold_times = {}
+    miner = RuleLibrary(path, target=target)
+    mined_total = 0
+    for name in names:
+        stats = SynthesisStats()
+        cold_t, _ = _timed_compile(name, target, rules=miner, stats=stats)
+        cold_times[name] = cold_t
+        mined_total += stats.rules_mined
+    miner.flush()
+
+    # Warm replay: reload the library from disk, fresh oracle state.
+    library = RuleLibrary(path, target=target)
+    for name in names:
+        stats = SynthesisStats()
+        warm_t, compiled = _timed_compile(name, target, rules=library,
+                                          stats=stats)
+        plain_t, plain_sel, plain_cycles = plain[name]
+        exprs = compiled.optimized_exprs
+        enum_queries = (stats.stages["sketching"].queries
+                        + stats.stages["swizzling"].queries)
+        rows.append({
+            "workload": name,
+            "target": target,
+            "exprs": exprs,
+            "rule_hits": compiled.rule_hits,
+            "hit_fraction": round(compiled.rule_hits / exprs, 4)
+            if exprs else 1.0,
+            "fast_path": bool(exprs and compiled.rule_hits == exprs
+                              and enum_queries == 0),
+            "enum_queries": enum_queries,
+            "recheck_failures": stats.rule_recheck_failures,
+            "plain_s": round(plain_t, 3),
+            "cold_s": round(cold_times[name], 3),
+            "warm_s": round(warm_t, 3),
+            "identical": _selection(compiled) == plain_sel
+            and measure(compiled).total == plain_cycles,
+        })
+    rows.append({"target": target, "library_size": len(library),
+                 "rules_mined": mined_total, "summary": True})
+    return rows
+
+
+def run_sweep(names, targets=TARGETS) -> dict:
+    rows = []
+    ok = True
+    with tempfile.TemporaryDirectory() as rules_dir:
+        for target in targets:
+            for row in run_target(names, target, rules_dir):
+                rows.append(row)
+                if row.get("summary"):
+                    print(f"[{target}] library: {row['library_size']} rules "
+                          f"({row['rules_mined']} mined this run)")
+                    continue
+                print(f"[{target}] {row['workload']:>16}: "
+                      f"{row['rule_hits']}/{row['exprs']} rule hits "
+                      f"({row['hit_fraction']:.0%}), "
+                      f"{row['enum_queries']} enumeration queries, "
+                      f"{row['plain_s']:.3f}s plain -> "
+                      f"{row['warm_s']:.3f}s warm"
+                      + ("" if row["identical"] else "  SELECTION MISMATCH"))
+                if not row["identical"]:
+                    ok = False
+
+    aggregates = {}
+    gate = set(FAST_NAMES) <= set(names)
+    for target in targets:
+        subset = [r for r in rows if not r.get("summary")
+                  and r["target"] == target
+                  and (not gate or r["workload"] in FAST_NAMES)]
+        fast = sum(1 for r in subset if r["fast_path"])
+        fraction = fast / len(subset) if subset else 0.0
+        aggregates[target] = {
+            "compiles": len(subset),
+            "fully_fast_pathed": fast,
+            "fraction": round(fraction, 4),
+        }
+        print(f"[{target}] fully fast-pathed warm compiles: "
+              f"{fast}/{len(subset)} ({fraction:.0%})")
+        if gate and fraction < GATE_FAST_PATH:
+            ok = False
+            print(f"  FAST-PATH FRACTION BELOW GATE "
+                  f"({fraction:.0%} < {GATE_FAST_PATH:.0%})",
+                  file=sys.stderr)
+    return {"ok": ok, "rows": rows, "aggregates": aggregates, "gated": gate}
+
+
+def run_smoke() -> int:
+    """Fast subset for CI: rules must hit, selections must not change."""
+    report = run_sweep(SMOKE_NAMES)
+    ok = report["ok"]
+    for row in report["rows"]:
+        if row.get("summary"):
+            continue
+        if row["rule_hits"] <= 0:
+            ok = False
+            print(f"  NO RULE HITS: {row['target']}/{row['workload']}",
+                  file=sys.stderr)
+    print("rules smoke: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="rewrite-rule fast-path coverage on replayed traffic")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help=f"workload names (default: {' '.join(FAST_NAMES)})")
+    parser.add_argument("--all", action="store_true",
+                        help="run the full workload suite")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset; nonzero exit unless rules hit "
+                             "with identical selections")
+    parser.add_argument("--no-save", action="store_true",
+                        help="skip writing the results JSON")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    names = args.workloads or (ALL_NAMES if args.all else FAST_NAMES)
+    report = run_sweep(names)
+    if not args.no_save:
+        RESULTS.parent.mkdir(parents=True, exist_ok=True)
+        RESULTS.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {RESULTS}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

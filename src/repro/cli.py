@@ -10,6 +10,9 @@ Commands:
   synthesis for the suite).
 * ``trace WORKLOAD`` — compile once with tracing on and render/export the
   span tree (ASCII timeline, Chrome ``trace_event`` JSON, flamegraph).
+* ``mine-rules`` — compile workloads and persist every proven lowering
+  as a parameterized rewrite rule; ``compile --rules`` then answers
+  matching expressions from the library (see :mod:`repro.rules`).
 * ``serve`` — run the long-lived compilation server
   (:mod:`repro.service`); ``submit`` / ``status`` talk to it.
 
@@ -86,6 +89,17 @@ def _writable_file_error(path: str) -> str | None:
     return None
 
 
+def _rules_enabled(args) -> bool:
+    """Did this invocation opt into the rewrite-rule fast path?
+
+    ``--rules-dir DIR`` implies ``--rules`` unless the user explicitly
+    said ``--no-rules``.
+    """
+    if args.rules is not None:
+        return bool(args.rules)
+    return bool(getattr(args, "rules_dir", None))
+
+
 def _cmd_list(args) -> int:
     print(f"{'name':>16}  {'category':<14} {'band':<10} notes")
     print("-" * 76)
@@ -100,17 +114,19 @@ def _compile_one(name: str, backend: str, show_programs: bool,
                  width: int | None, height: int | None, asm: bool = False,
                  jobs: int = 1, cache_dir: str | None = None,
                  batch_eval: bool = True, fingerprints: bool = True,
-                 tracer=None, target: str = "hvx"):
+                 tracer=None, target: str = "hvx", rules=None):
     wl = get(name)
     compiled = compile_pipeline(wl.build(), backend=backend, jobs=jobs,
                                 cache_dir=cache_dir, batch_eval=batch_eval,
                                 fingerprints=fingerprints,
-                                tracer=tracer, target=target)
+                                tracer=tracer, target=target, rules=rules)
     cycles = measure(compiled, width or wl.width, height or wl.height)
     label = backend if target == "hvx" else f"{backend}/{target}"
+    rule_note = (f", {compiled.rule_hits} via rules"
+                 if compiled.rule_hits else "")
     print(f"[{label}] {name}: {cycles.total} cycles "
           f"({compiled.optimized_exprs} expressions synthesized, "
-          f"{compiled.fallbacks} fallbacks)")
+          f"{compiled.fallbacks} fallbacks{rule_note})")
     for sc in cycles.stages:
         print(f"    stage {sc.name}: {sc.total} cycles "
               f"(II {sc.compute_ii}, mem {sc.memory_cycles}, {sc.bound}-bound)")
@@ -148,6 +164,19 @@ def _cmd_compile(args) -> int:
         problem = _writable_file_error(args.stats_json)
         if problem is not None:
             return _fail(f"--stats-json: {problem}")
+    rules_lib = None
+    if _rules_enabled(args):
+        rules_base = args.rules_dir or cache_dir or default_cache_dir()
+        # Rule libraries honor the same fail-fast contract as the verdict
+        # store: an unwritable directory is a one-line error up front,
+        # not a silent loss of freshly mined rules after the compile.
+        problem = _writable_dir_error(rules_base)
+        if problem is not None:
+            return _fail(f"--rules: {problem}")
+        from .rules import RuleLibrary, rules_file
+
+        rules_lib = RuleLibrary(rules_file(rules_base, args.target),
+                                target=args.target)
     plan = None
     if args.fault_plan:
         try:
@@ -174,6 +203,7 @@ def _cmd_compile(args) -> int:
                 cache_dir=cache_dir, batch_eval=not args.no_batch_eval,
                 fingerprints=not args.no_fingerprints,
                 tracer=tracer, target=args.target,
+                rules=rules_lib if backend == "rake" else None,
             )
     finally:
         if plan is not None:
@@ -333,6 +363,38 @@ def _cmd_prune_grammar(args) -> int:
     return 0
 
 
+def _cmd_mine_rules(args) -> int:
+    from .rules import mine_rules
+
+    cache_dir = None
+    if args.cache_dir:
+        cache_dir = args.cache_dir
+    elif args.cache:
+        cache_dir = str(default_cache_dir())
+    if cache_dir is not None:
+        problem = _writable_dir_error(cache_dir)
+        if problem is not None:
+            return _fail(f"--cache-dir: {problem}")
+    rules_base = args.rules_dir or cache_dir or default_cache_dir()
+    problem = _writable_dir_error(rules_base)
+    if problem is not None:
+        return _fail(f"--rules-dir: {problem}")
+    targets = ("hvx", "neon") if args.target == "all" else (args.target,)
+    if args.workloads:
+        for name in args.workloads:
+            if name not in names():
+                return _fail(f"unknown workload {name!r}")
+    reports = mine_rules(workloads=args.workloads or None, targets=targets,
+                         cache_dir=cache_dir, rules_dir=rules_base,
+                         jobs=args.jobs)
+    for report in reports:
+        print(f"[{report.target}] mined {report.mined} rules from "
+              f"{len(report.workloads)} workloads "
+              f"({report.rule_hits} answered by existing rules); "
+              f"library now holds {report.library_size} -> {report.path}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .service.server import serve
 
@@ -345,6 +407,12 @@ def _cmd_serve(args) -> int:
         problem = _writable_dir_error(cache_dir)
         if problem is not None:
             return _fail(f"--cache-dir: {problem}")
+    rules_dir = None
+    if _rules_enabled(args):
+        rules_dir = args.rules_dir or cache_dir or str(default_cache_dir())
+        problem = _writable_dir_error(rules_dir)
+        if problem is not None:
+            return _fail(f"--rules: {problem}")
     if args.port_file:
         problem = _writable_file_error(args.port_file)
         if problem is not None:
@@ -361,6 +429,8 @@ def _cmd_serve(args) -> int:
         fault_plan=args.fault_plan,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        rules=rules_dir is not None,
+        rules_dir=rules_dir,
     )
 
 
@@ -379,6 +449,7 @@ def _cmd_submit(args) -> int:
         jobs=args.jobs,
         batch_eval=not args.no_batch_eval,
         trace=bool(args.trace or args.trace_out),
+        rules=bool(args.rules),
     ).validate()
     if args.trace_out:
         problem = _writable_file_error(args.trace_out)
@@ -485,6 +556,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--trace-out", default=None, metavar="PATH",
                            help="record a span trace of the compile and "
                                 "write it as Chrome trace_event JSON")
+    p_compile.add_argument("--rules", action=argparse.BooleanOptionalAction,
+                           default=None,
+                           help="consult (and grow) the rewrite-rule "
+                                "library: proven lowerings answer matching "
+                                "expressions after a full-bank re-check, "
+                                "skipping sketch/swizzle enumeration")
+    p_compile.add_argument("--rules-dir", default=None, metavar="DIR",
+                           help="directory holding rules_<target>.jsonl "
+                                "(implies --rules; default: the cache dir)")
 
     p_isa = sub.add_parser("isa", help="browse the instruction registry")
     p_isa.add_argument("--target", choices=("all", "hvx", "neon"),
@@ -542,6 +622,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="harvest placeholders from these workloads "
                               "only (default: the full 21-benchmark suite)")
 
+    p_mine = sub.add_parser(
+        "mine-rules",
+        help="compile workloads and persist every proven lowering as a "
+             "parameterized rewrite rule (warms the --rules fast path)")
+    p_mine.add_argument("--target", choices=("hvx", "neon", "all"),
+                        default="all",
+                        help="which per-target rule libraries to grow")
+    p_mine.add_argument("--workloads", nargs="*", default=None,
+                        help="mine from these workloads only (default: the "
+                             "full 21-benchmark suite)")
+    p_mine.add_argument("--cache", action="store_true",
+                        help="persist oracle verdicts in the default cache "
+                             "dir while mining")
+    p_mine.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist oracle verdicts in DIR (implies "
+                             "--cache)")
+    p_mine.add_argument("--rules-dir", default=None, metavar="DIR",
+                        help="write rules_<target>.jsonl here (default: "
+                             "the cache dir, or the default cache dir)")
+    p_mine.add_argument("--jobs", type=int, default=1,
+                        help="parallel equivalence-check workers")
+
     p_serve = sub.add_parser(
         "serve", help="run the long-lived compilation server")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -575,6 +677,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
                          help="seconds the breaker stays open before "
                               "admitting a half-open probe (default 30)")
+    p_serve.add_argument("--rules", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="serve the rewrite-rule fast path to jobs "
+                              "that request it (submit --rules)")
+    p_serve.add_argument("--rules-dir", default=None, metavar="DIR",
+                         help="directory holding rules_<target>.jsonl "
+                              "(implies --rules; default: the cache dir)")
 
     p_submit = sub.add_parser(
         "submit", help="submit one compile to a running server")
@@ -609,6 +718,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="with --wait: fetch the job's trace and "
                                "write Chrome trace_event JSON (implies "
                                "--trace)")
+    p_submit.add_argument("--rules", action=argparse.BooleanOptionalAction,
+                          default=False,
+                          help="ask the server to answer from its "
+                               "rewrite-rule library when possible "
+                               "(requires a server started with --rules)")
 
     p_status = sub.add_parser(
         "status", help="query a running server (or one job)")
@@ -629,6 +743,7 @@ def main(argv=None) -> int:
         "speedups": _cmd_speedups,
         "trace": _cmd_trace,
         "prune-grammar": _cmd_prune_grammar,
+        "mine-rules": _cmd_mine_rules,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,

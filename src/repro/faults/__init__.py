@@ -44,6 +44,7 @@ from .core import (
     SITE_ENGINE_WORKER,
     SITE_ORACLE_QUERY,
     SITE_PLAN_COMPILE,
+    SITE_RULES_LOAD,
     SITE_SCHEDULER_JOB,
     SITE_SERVER_REQUEST,
     SITES,
@@ -86,6 +87,7 @@ __all__ = [
     "SITE_ENGINE_WORKER",
     "SITE_ORACLE_QUERY",
     "SITE_PLAN_COMPILE",
+    "SITE_RULES_LOAD",
     "SITE_SCHEDULER_JOB",
     "SITE_SERVER_REQUEST",
     "SITES",

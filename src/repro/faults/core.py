@@ -45,6 +45,7 @@ SITE_CACHE_FLUSH = "cache.flush"        # DiskStore JSONL append
 SITE_PLAN_COMPILE = "eval.plan_compile"  # batched-eval plan compilation
 SITE_SCHEDULER_JOB = "scheduler.job"    # scheduler job execution
 SITE_SERVER_REQUEST = "server.request"  # HTTP request/response path
+SITE_RULES_LOAD = "rules.load"          # rewrite-rule library JSONL load
 
 SITES = (
     SITE_ENGINE_BATCH,
@@ -55,6 +56,7 @@ SITES = (
     SITE_PLAN_COMPILE,
     SITE_SCHEDULER_JOB,
     SITE_SERVER_REQUEST,
+    SITE_RULES_LOAD,
 )
 
 # -- failure kinds -----------------------------------------------------------

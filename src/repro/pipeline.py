@@ -45,6 +45,9 @@ class CompiledExpr:
     program: N.HvxExpr
     selector: str  # "rake" | "baseline" | "trivial"
     extent: int = 1  # reduction trip count (1 for pure definitions)
+    #: the program came from the rewrite-rule fast path (repro.rules) —
+    #: still a ``"rake"``-selector result, just without a CEGIS run
+    via_rule: bool = False
 
 
 @dataclass
@@ -82,6 +85,12 @@ class CompiledPipeline:
         )
 
     @property
+    def rule_hits(self) -> int:
+        return sum(
+            1 for cs in self.stages for ce in cs.exprs if ce.via_rule
+        )
+
+    @property
     def degraded(self) -> bool:
         return self.degraded_exprs > 0
 
@@ -110,6 +119,7 @@ def compile_pipeline(
     cancel: CancelToken | None = None,
     tracer=None,
     target: str = "hvx",
+    rules=None,
 ) -> CompiledPipeline:
     """Compile a scheduled pipeline with the chosen instruction selector.
 
@@ -143,6 +153,15 @@ def compile_pipeline(
     ``pipeline.compile``) covering every stage, expression, lifting step,
     sketch, swizzle search and oracle query.  ``None`` (the default) uses
     the zero-cost null tracer.
+
+    ``rules`` accepts a :class:`~repro.rules.RuleLibrary`: before
+    synthesizing an expression the pipeline tries the library's
+    pattern-match fast path (span ``pipeline.rule_match``), and every
+    *freshly* synthesized selection is generalized back into the library
+    — the feedback loop that keeps a long-lived library warm.  A rule hit
+    skips sketch/swizzle enumeration entirely but is still re-checked
+    against the full valuation bank (inside ``match``) *and* by the final
+    verify pass below, so selections are sound with or without rules.
     """
     if backend not in (BACKEND_RAKE, BACKEND_BASELINE):
         raise ReproError(f"unknown backend: {backend}")
@@ -198,11 +217,42 @@ def compile_pipeline(
                             cancel.check()
                         used = "trivial" if _is_trivial(expr) else backend
                         program = None
+                        via_rule = False
                         with tracer.span("pipeline.expr",
                                          extent=extent) as esp:
-                            if used == BACKEND_RAKE:
+                            if used == BACKEND_RAKE and rules is not None:
+                                with tracer.span("pipeline.rule_match") as rsp:
+                                    try:
+                                        program = rules.match(
+                                            expr, rake.oracle
+                                        )
+                                    except CancelledError:
+                                        raise
+                                    except Exception as exc:
+                                        # The rule library must never be
+                                        # able to break a compile.
+                                        program = None
+                                        _log.warning(
+                                            "rule match crashed; falling "
+                                            "back to synthesis",
+                                            error=f"{type(exc).__name__}: "
+                                                  f"{exc}",
+                                        )
+                                    if rsp:
+                                        rsp.set(hit=program is not None)
+                                if program is not None:
+                                    via_rule = True
+                                    rake.stats.count_rule_hit()
+                                else:
+                                    rake.stats.count_rule_miss()
+                            if used == BACKEND_RAKE and program is None:
                                 try:
                                     program = rake.select(expr).program
+                                    if rules is not None:
+                                        _learn_rule(
+                                            rules, expr, program, tgt,
+                                            rake.stats,
+                                        )
                                 except (SynthesisError,
                                         UnsupportedExpressionError):
                                     compiled.fallbacks += 1
@@ -246,17 +296,41 @@ def compile_pipeline(
                                 esp.set(selector=used)
                         cstage.exprs.append(CompiledExpr(
                             source=expr, program=program, selector=used,
-                            extent=extent,
+                            extent=extent, via_rule=via_rule,
                         ))
                 compiled.stages.append(cstage)
             if root:
                 root.set(fallbacks=compiled.fallbacks,
                          optimized=compiled.optimized_exprs,
-                         degraded=compiled.degraded_exprs)
+                         degraded=compiled.degraded_exprs,
+                         rule_hits=compiled.rule_hits)
     finally:
+        if rules is not None:
+            rules.flush()
         if owns_selector:
             rake.close()
             rake.oracle.cache.flush()
         elif tracer is not NULL_TRACER:
             rake.oracle.tracer = NULL_TRACER
     return compiled
+
+
+def _learn_rule(rules, expr, program, tgt, stats) -> None:
+    """Feed one fresh synthesis result back into the rule library.
+
+    Best-effort by design: a failure to generalize or persist must never
+    fail (or degrade) a compile that already has its verified program.
+    """
+    try:
+        cost = tgt.cost_of(program).key
+    except Exception:
+        cost = None
+    try:
+        if rules.learn(expr, program, cost=cost,
+                       provenance={"src": "pipeline"}):
+            stats.count_rule_mined()
+    except Exception as exc:
+        _log.warning(
+            "failed to mine rule from fresh synthesis",
+            error=f"{type(exc).__name__}: {exc}",
+        )

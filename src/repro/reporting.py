@@ -129,6 +129,16 @@ def engine_summary(stats) -> str:
             f"    worker-pool retries: {stats.retries} "
             f"(crashed dispatches resubmitted)"
         )
+    rule_activity = (
+        getattr(stats, "rule_hits", 0) + getattr(stats, "rule_misses", 0)
+        + getattr(stats, "rules_mined", 0)
+    )
+    if rule_activity:
+        lines.append(
+            f"    rule library: {stats.rule_hits} hits, "
+            f"{stats.rule_misses} misses, {stats.rules_mined} mined, "
+            f"{stats.rule_recheck_failures} re-check failures"
+        )
     for name, stage in stats.stages.items():
         if stage.queries == 0:
             continue

@@ -1,0 +1,42 @@
+"""``repro.rules`` — a rewrite-rule library between the cache and CEGIS.
+
+Every completed synthesis is a machine-checked spec → instructions
+lowering.  This package generalizes those results into parameterized,
+cost-annotated rewrite rules (buffer names and constants become slots;
+the selected program becomes a template over the same slots) and serves
+them back through a pattern-match fast path: on a hit the pipeline skips
+lifting, sketching and swizzle enumeration entirely, paying only one
+full-valuation-bank re-check of the instantiated program — so soundness
+rests on the oracle, never on the generalization.
+
+See ``docs/rules.md`` for the mining model, the soundness argument and
+the on-disk format.
+"""
+
+from .codec import (
+    FORMAT_VERSION,
+    RuleCodecError,
+    abstract_spec,
+    decode_node,
+    encode_node,
+    encode_program,
+    root_signature,
+)
+from .library import MAX_CANDIDATES, Rule, RuleLibrary, rules_file
+from .mining import MiningReport, mine_rules
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAX_CANDIDATES",
+    "MiningReport",
+    "Rule",
+    "RuleCodecError",
+    "RuleLibrary",
+    "abstract_spec",
+    "decode_node",
+    "encode_node",
+    "encode_program",
+    "mine_rules",
+    "root_signature",
+    "rules_file",
+]

@@ -4,8 +4,9 @@ N identical concurrent submissions should run **one** synthesis and fan
 the result out to every waiter.  Identity is decided the same way the
 engine decides verdict identity: the request's workload pipeline is
 lowered and every stage expression is rendered through
-:func:`repro.synthesis.engine.canonical_expr` — the rename-insensitive
-structural hash under the verdict cache — together with the knobs that
+:func:`repro.synthesis.engine.canonical_spec` — the rename-insensitive
+structural rendering under the verdict cache and the rewrite-rule
+library — together with the knobs that
 can change the *result* (backend, lane count, batched-eval toggle).
 Parameters that only change speed or scheduling (``jobs``, ``priority``,
 ``deadline_s``) are deliberately excluded, so a patient submission and an
@@ -23,7 +24,7 @@ import hashlib
 import threading
 
 from ..frontend import lower_pipeline
-from ..synthesis.engine import canonical_expr
+from ..synthesis.engine import canonical_spec
 from ..targets import resolve_target
 from ..workloads.base import get
 from .protocol import CompileRequest
@@ -51,7 +52,7 @@ def _spec_hash(workload: str, target: str = "hvx") -> str:
     parts = []
     for stage in lowered.stages:
         for expr in stage.exprs:
-            parts.append(canonical_expr(expr, {}))
+            parts.append(canonical_spec(expr))
     digest = hashlib.sha256("|".join(parts).encode()).hexdigest()
     with _SPEC_HASH_LOCK:
         _SPEC_HASH_CACHE[cache_key] = digest
@@ -67,6 +68,10 @@ def request_key(request: CompileRequest) -> str:
         str(request.width),
         str(request.height),
         str(bool(request.batch_eval)),
+        # A generalized rule hit may select a different (equally
+        # verified) program, so rules-on and rules-off jobs never share
+        # a leader.
+        str(bool(getattr(request, "rules", False))),
     ))
     return hashlib.sha256(raw.encode()).hexdigest()
 

@@ -283,6 +283,22 @@ def observe_synthesis_stats(registry: MetricsRegistry, stats: dict) -> None:
         "repro_retries_total",
         "worker-pool batch resubmissions after a crashed dispatch",
     ).inc(totals.get("retries", 0))
+    registry.counter(
+        "repro_rule_hits_total",
+        "specs answered by the rewrite-rule pattern-match fast path",
+    ).inc(totals.get("rule_hits", 0))
+    registry.counter(
+        "repro_rule_misses_total",
+        "specs the rule library could not answer (fell through to CEGIS)",
+    ).inc(totals.get("rule_misses", 0))
+    registry.counter(
+        "repro_rules_mined_total",
+        "fresh syntheses generalized into persisted rewrite rules",
+    ).inc(totals.get("rules_mined", 0))
+    registry.counter(
+        "repro_rule_recheck_failures_total",
+        "instantiated rule candidates refuted by the full-bank re-check",
+    ).inc(totals.get("rule_recheck_failures", 0))
     stages = stats.get("stages", {})
     for name in _STAGE_METRICS:
         stage = stages.get(name)

@@ -67,6 +67,13 @@ class CompileRequest:
     ``trace=True`` records a hierarchical span tree for the compilation
     (see :mod:`repro.trace`); the job's ``trace_id`` appears in its
     :class:`JobView` and ``GET /jobs/<id>?trace=1`` returns the tree.
+
+    ``rules=True`` opts the job into the server's rewrite-rule fast path
+    (:mod:`repro.rules`); it is honored only when the server was started
+    with rules enabled, and it participates in the coalescing key since
+    a generalized rule hit may select a different (equally verified)
+    program than a fresh synthesis.  An optional field with a safe
+    default, so it needs no protocol version bump.
     """
 
     workload: str
@@ -79,6 +86,7 @@ class CompileRequest:
     jobs: int = 1
     batch_eval: bool = True
     trace: bool = False
+    rules: bool = False
 
     def validate(self, known_workloads=None) -> "CompileRequest":
         if not self.workload or not isinstance(self.workload, str):
@@ -115,6 +123,8 @@ class CompileRequest:
             raise ProtocolError("compile request: jobs must be >= 1")
         if not isinstance(self.trace, bool):
             raise ProtocolError("compile request: trace must be a boolean")
+        if not isinstance(self.rules, bool):
+            raise ProtocolError("compile request: rules must be a boolean")
         return self
 
     def to_dict(self) -> dict:
@@ -129,7 +139,7 @@ class CompileRequest:
         _require_version(data, "compile request")
         known = {f: data[f] for f in (
             "workload", "backend", "target", "width", "height", "priority",
-            "deadline_s", "jobs", "batch_eval", "trace",
+            "deadline_s", "jobs", "batch_eval", "trace", "rules",
         ) if f in data}
         try:
             return cls(**known).validate()
@@ -159,6 +169,9 @@ class CompileResult:
     #: pipeline substituted the (verified) baseline lowering — the result
     #: is correct but not the optimized program the client asked for
     degraded: bool = False
+    #: expressions answered by the rewrite-rule fast path (also flagged
+    #: per program as ``rule_hit`` in ``programs``)
+    rule_hits: int = 0
     stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -184,6 +197,7 @@ class CompileResult:
                 optimized_exprs=int(data.get("optimized_exprs", 0)),
                 fallbacks=int(data.get("fallbacks", 0)),
                 degraded=bool(data.get("degraded", False)),
+                rule_hits=int(data.get("rule_hits", 0)),
                 stats=dict(data.get("stats", {})),
             )
         except KeyError as exc:
@@ -283,6 +297,7 @@ def result_from_compiled(request: CompileRequest, compiled,
                 "stage": cstage.name,
                 "selector": ce.selector,
                 "listing": program_listing(ce.program),
+                "rule_hit": bool(getattr(ce, "via_rule", False)),
             })
     stage_cycles = tuple(
         {
@@ -304,5 +319,6 @@ def result_from_compiled(request: CompileRequest, compiled,
         optimized_exprs=compiled.optimized_exprs,
         fallbacks=compiled.fallbacks,
         degraded=bool(getattr(compiled, "degraded", False)),
+        rule_hits=int(getattr(compiled, "rule_hits", 0)),
         stats=compiled.stats.as_dict(),
     )

@@ -113,7 +113,7 @@ class Job:
 
 def default_compile_fn(request: CompileRequest, cancel: CancelToken,
                        cache: OracleCache, stats_sink=None,
-                       tracer=None) -> CompileResult:
+                       tracer=None, rules=None) -> CompileResult:
     """Compile one workload request against the shared verdict cache.
 
     This is the serving path's equivalent of the CLI's ``_compile_one``:
@@ -139,6 +139,7 @@ def default_compile_fn(request: CompileRequest, cancel: CancelToken,
         cancel=cancel,
         tracer=tracer,
         target=request.target,
+        rules=rules,
     )
     cycles = measure(
         compiled, request.width or wl.width, request.height or wl.height
@@ -172,6 +173,8 @@ class JobScheduler:
         paused: bool = False,
         breaker_threshold: int = 5,
         breaker_cooldown_s: float = 30.0,
+        rules: bool = False,
+        rules_dir: str | None = None,
     ):
         if workers < 1:
             raise ValueError("scheduler needs at least one worker")
@@ -182,13 +185,22 @@ class JobScheduler:
         )
         self.compile_fn = compile_fn or default_compile_fn
         # Stubs injected by tests keep the legacy 3-arg signature; only
-        # pass a tracer to compile functions that declare the keyword.
+        # pass a tracer / rule library to compile functions that declare
+        # the keyword.
         try:
-            self._compile_takes_tracer = "tracer" in inspect.signature(
-                self.compile_fn
-            ).parameters
+            params = inspect.signature(self.compile_fn).parameters
+            self._compile_takes_tracer = "tracer" in params
+            self._compile_takes_rules = "rules" in params
         except (TypeError, ValueError):  # builtins / C callables
             self._compile_takes_tracer = False
+            self._compile_takes_rules = False
+        # Shared per-target rewrite-rule libraries (repro.rules): created
+        # lazily on the first opted-in job for a target, living next to
+        # the verdict store unless rules_dir says otherwise.
+        self._rules_enabled = bool(rules)
+        self._rules_dir = rules_dir if rules_dir is not None else cache_dir
+        self._rule_libraries: dict = {}
+        self._rules_lock = threading.Lock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queue_size = queue_size
         self.aging_rate = aging_rate
@@ -271,6 +283,31 @@ class JobScheduler:
             "faults injected by the active fault plan",
             labels={"site": record.get("site", "?")},
         ).inc()
+
+    # -- rewrite rules -----------------------------------------------------
+
+    def _rules_for(self, request: CompileRequest):
+        """The shared per-target rule library for an opted-in job.
+
+        ``None`` unless the server enabled rules *and* the request asked
+        for them — rules change which (verified) program a generalized
+        hit selects, so they are never applied to jobs that did not opt
+        in.  Library construction failures degrade to no-rules service.
+        """
+        if not self._rules_enabled or not getattr(request, "rules", False):
+            return None
+        target = request.target
+        with self._rules_lock:
+            if target not in self._rule_libraries:
+                from ..rules import RuleLibrary, rules_file
+
+                try:
+                    self._rule_libraries[target] = RuleLibrary(
+                        rules_file(self._rules_dir, target), target=target
+                    )
+                except Exception:
+                    self._rule_libraries[target] = None
+            return self._rule_libraries[target]
 
     # -- admission ---------------------------------------------------------
 
@@ -464,14 +501,16 @@ class JobScheduler:
             # queued must never start compiling.
             job.cancel_token.check()
             faults.fire(faults.SITE_SCHEDULER_JOB, tracer=tracer)
+            kwargs = {}
             if tracer is not None:
-                result = self.compile_fn(
-                    job.request, job.cancel_token, self.cache, tracer=tracer
-                )
-            else:
-                result = self.compile_fn(
-                    job.request, job.cancel_token, self.cache
-                )
+                kwargs["tracer"] = tracer
+            if self._compile_takes_rules:
+                library = self._rules_for(job.request)
+                if library is not None:
+                    kwargs["rules"] = library
+            result = self.compile_fn(
+                job.request, job.cancel_token, self.cache, **kwargs
+            )
         except DeadlineExceededError as exc:
             state, error = JOB_TIMEOUT, str(exc)
         except CancelledError as exc:
@@ -586,4 +625,8 @@ class JobScheduler:
             t.join(timeout=5.0)
         faults.remove_listener(self._fault_listener)
         self.cache.flush()
+        with self._rules_lock:
+            for library in self._rule_libraries.values():
+                if library is not None:
+                    library.flush()
         return clean

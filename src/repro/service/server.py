@@ -209,6 +209,8 @@ class CompileServer:
         grace_s: float = 2.0,
         breaker_threshold: int = 5,
         breaker_cooldown_s: float = 30.0,
+        rules: bool = False,
+        rules_dir: str | None = None,
     ):
         self.scheduler = JobScheduler(
             workers=workers,
@@ -219,6 +221,8 @@ class CompileServer:
             aging_rate=aging_rate,
             breaker_threshold=breaker_threshold,
             breaker_cooldown_s=breaker_cooldown_s,
+            rules=rules,
+            rules_dir=rules_dir,
         )
         self.metrics = self.scheduler.metrics
         self.quiet = quiet
@@ -314,6 +318,8 @@ def serve(
     fault_plan: str | None = None,
     breaker_threshold: int = 5,
     breaker_cooldown_s: float = 30.0,
+    rules: bool = False,
+    rules_dir: str | None = None,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM or ``POST /shutdown``.
 
@@ -321,7 +327,9 @@ def serve(
     socket is bound — with ``port=0`` that is the only way to learn the
     ephemeral port.  ``fault_plan`` (a built-in plan name or JSON file)
     activates deterministic fault injection for the server's lifetime —
-    chaos testing, never production.
+    chaos testing, never production.  ``rules=True`` serves opted-in jobs
+    through shared per-target rewrite-rule libraries (:mod:`repro.rules`)
+    stored under ``rules_dir`` (default: the cache directory).
     """
     if fault_plan:
         plan = faults.activate(faults.load_plan(fault_plan))
@@ -332,6 +340,7 @@ def serve(
         cache_dir=cache_dir, aging_rate=aging_rate, quiet=quiet,
         breaker_threshold=breaker_threshold,
         breaker_cooldown_s=breaker_cooldown_s,
+        rules=rules, rules_dir=rules_dir,
     )
     bound_host, bound_port = server.address
 

@@ -124,9 +124,22 @@ def query_key(
     return hashlib.sha256(raw.encode()).hexdigest()
 
 
+def canonical_spec(spec) -> str:
+    """Rename-insensitive canonical rendering of one spec expression.
+
+    This is the **single** definition of spec identity shared by the
+    verdict cache (:func:`spec_key`), the service's request coalescer
+    (:mod:`repro.service.coalesce`) and the rewrite-rule library
+    (:mod:`repro.rules`) — every layer that answers "have we seen this
+    spec before?" must hash the same rendering, or cache keys, coalescing
+    keys and rule keys drift apart.
+    """
+    return canonical_expr(spec, {})
+
+
 def spec_key(spec, seed: int = 0, rounds: int = 0) -> str:
     """Stable key for a specification's counterexample bank."""
-    raw = f"ce|{seed}|{rounds}|{canonical_expr(spec, {})}"
+    raw = f"ce|{seed}|{rounds}|{canonical_spec(spec)}"
     return hashlib.sha256(raw.encode()).hexdigest()
 
 

@@ -49,6 +49,12 @@ _COUNTER_FIELDS = (
     "pruned_grammar_hits",
 )
 
+#: SynthesisStats-level rewrite-rule counters (not per-stage: a rule hit
+#: answers a whole spec before any stage starts)
+_RULE_FIELDS = (
+    "rule_hits", "rule_misses", "rules_mined", "rule_recheck_failures",
+)
+
 
 @dataclass
 class SynthesisStats:
@@ -59,6 +65,14 @@ class SynthesisStats:
     )
     expressions: int = 0
     retries: int = 0
+    #: rewrite-rule fast path (repro.rules): specs answered by a matched
+    #: rule, specs that fell through to CEGIS, rules persisted from fresh
+    #: syntheses, and instantiated candidates refuted by the full-bank
+    #: re-check (each of which also counts as a miss)
+    rule_hits: int = 0
+    rule_misses: int = 0
+    rules_mined: int = 0
+    rule_recheck_failures: int = 0
     _active: list = field(default_factory=list)
 
     @contextmanager
@@ -107,6 +121,28 @@ class SynthesisStats:
         """Record one worker-pool batch resubmission (a retried dispatch
         after a crash, before any process → thread → serial degrade)."""
         self.retries += 1
+
+    def count_rule_hit(self) -> None:
+        """Record one spec whose selection came from the rewrite-rule
+        library's pattern-match fast path (no sketch/swizzle search)."""
+        self.rule_hits += 1
+
+    def count_rule_miss(self) -> None:
+        """Record one spec the rule library could not answer (no pattern
+        matched, or every instantiation failed its re-check) — the spec
+        fell through to full CEGIS synthesis."""
+        self.rule_misses += 1
+
+    def count_rule_mined(self) -> None:
+        """Record one freshly synthesized selection generalized into a
+        rule and persisted to the library."""
+        self.rules_mined += 1
+
+    def count_rule_recheck_failure(self) -> None:
+        """Record one instantiated rule candidate refuted by the full
+        valuation-bank re-check (an over-general rule; soundness holds
+        because the re-check gates every rule hit)."""
+        self.rule_recheck_failures += 1
 
     def count_batched_eval(self) -> None:
         """Record one full check answered by a pure batched plan."""
@@ -215,6 +251,9 @@ class SynthesisStats:
                         getattr(mine, fname) + getattr(theirs, fname))
         out.expressions = self.expressions + other.expressions
         out.retries = self.retries + other.retries
+        for fname in _RULE_FIELDS:
+            setattr(out, fname,
+                    getattr(self, fname) + getattr(other, fname))
         return out
 
     def summary(self) -> dict:
@@ -248,5 +287,6 @@ class SynthesisStats:
                     for f in _COUNTER_FIELDS
                 },
                 "retries": self.retries,
+                **{f: getattr(self, f) for f in _RULE_FIELDS},
             },
         }

@@ -89,7 +89,8 @@ class TestCompileFlow:
         compiled = compile_pipeline(wl.build(), backend="rake")
         expected = [
             {"stage": cs.name, "selector": ce.selector,
-             "listing": program_listing(ce.program)}
+             "listing": program_listing(ce.program),
+             "rule_hit": False}
             for cs in compiled.stages for ce in cs.exprs
             if ce.selector != "trivial"
         ]
