@@ -14,7 +14,6 @@ regressions on the non-default target.
 """
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -113,10 +112,10 @@ def main(argv=None) -> int:
 
     selected = args.workloads or names()
     report = run_sweep(selected)
-    out = Path(args.json)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    from repro.telemetry import write_result_json
+
+    write_result_json(Path(args.json), "cross_isa", report)
+    print(f"wrote {args.json}")
     return 0 if report["ok"] else 1
 
 

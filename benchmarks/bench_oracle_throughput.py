@@ -14,7 +14,6 @@ interpreters.
 """
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -138,10 +137,10 @@ def main(argv=None) -> int:
               f"({r['queries']} queries, {r['time_s']:.3f}s)")
     print(f" speedup: {report['speedup']:.1f}x")
 
-    out = Path(args.json)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    from repro.telemetry import write_result_json
+
+    write_result_json(Path(args.json), "oracle_throughput", report)
+    print(f"wrote {args.json}")
     return 0
 
 

@@ -22,7 +22,6 @@ with identical selections; CI runs this as the ``prune-smoke`` job.
 """
 
 import argparse
-import json
 import os
 import sys
 import tempfile
@@ -33,6 +32,7 @@ import repro.workloads  # noqa: F401 - populate the registry
 from repro.pipeline import compile_pipeline
 from repro.synthesis.engine import OracleCache
 from repro.targets import pruning
+from repro.telemetry import build_record, emit, write_result_json
 from repro.workloads.base import all_workloads, get
 
 RESULTS = Path(__file__).parent / "results" / "query_reduction.json"
@@ -66,7 +66,7 @@ def _timed_compile(name: str, target: str, *, fingerprints: bool,
     return time.perf_counter() - start, compiled
 
 
-def run_workload(name: str, target: str) -> dict:
+def run_workload(name: str, target: str, telemetry=None) -> dict:
     """Baseline / cold / warm compiles of one workload on one target."""
     # Baseline: no fingerprints and no pruned tables — mask the shipped
     # data files behind an empty override directory.
@@ -85,6 +85,18 @@ def run_workload(name: str, target: str) -> dict:
                                   cache=cache)
     warm_t, warm = _timed_compile(name, target, fingerprints=True,
                                   cache=cache)
+    if telemetry is not None:
+        for phase, wall, compiled, fp in (
+            ("baseline", base_t, base, False),
+            ("cold", cold_t, cold, True),
+            ("warm", warm_t, warm, True),
+        ):
+            emit(telemetry, build_record(
+                source="bench:query_reduction", workload=name, target=target,
+                wall_s=wall, stats=compiled.stats,
+                knobs={"fingerprints": fp},
+                extra={"phase": phase},
+            ))
 
     stats = cold.stats
     baseline_queries = base.stats.total_queries
@@ -110,12 +122,12 @@ def run_workload(name: str, target: str) -> dict:
     return row
 
 
-def run_sweep(names, targets=TARGETS) -> dict:
+def run_sweep(names, targets=TARGETS, telemetry=None) -> dict:
     rows = []
     ok = True
     for target in targets:
         for name in names:
-            row = run_workload(name, target)
+            row = run_workload(name, target, telemetry=telemetry)
             rows.append(row)
             print(f"[{target}] {name:>16}: {row['baseline_queries']:>5} -> "
                   f"{row['queries']:>5} queries "
@@ -182,16 +194,25 @@ def main(argv=None) -> int:
                              "saves queries with identical selections")
     parser.add_argument("--no-save", action="store_true",
                         help="skip writing the results JSON")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="append one telemetry record per timed compile "
+                             "to this store (analyze with `repro perf`)")
     args = parser.parse_args(argv)
 
     if args.smoke:
         return run_smoke()
 
+    telemetry = None
+    if args.telemetry_dir:
+        from repro.telemetry import TelemetryStore
+
+        telemetry = TelemetryStore(args.telemetry_dir)
     names = args.workloads or (ALL_NAMES if args.all else FAST_NAMES)
-    report = run_sweep(names)
+    report = run_sweep(names, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.flush()
     if not args.no_save:
-        RESULTS.parent.mkdir(parents=True, exist_ok=True)
-        RESULTS.write_text(json.dumps(report, indent=2) + "\n")
+        write_result_json(RESULTS, "query_reduction", report)
         print(f"wrote {RESULTS}")
     return 0 if report["ok"] else 1
 

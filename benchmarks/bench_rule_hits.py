@@ -23,7 +23,6 @@ Results land in ``benchmarks/results/rule_hits.json``.
 """
 
 import argparse
-import json
 import sys
 import tempfile
 import time
@@ -34,6 +33,7 @@ from repro.pipeline import compile_pipeline
 from repro.rules import RuleLibrary, rules_file
 from repro.sim import measure
 from repro.synthesis.stats import SynthesisStats
+from repro.telemetry import build_record, emit, write_result_json
 from repro.workloads.base import all_workloads, get
 
 RESULTS = Path(__file__).parent / "results" / "rule_hits.json"
@@ -67,7 +67,19 @@ def _timed_compile(name: str, target: str, *, rules=None, stats=None):
     return time.perf_counter() - start, compiled
 
 
-def run_target(names, target: str, rules_dir) -> list:
+def _emit_telemetry(store, name: str, target: str, phase: str,
+                    wall_s: float, stats, rules: bool) -> None:
+    """One corpus record per timed compile (no-op without a store)."""
+    if store is None:
+        return
+    emit(store, build_record(
+        source="bench:rule_hits", workload=name, target=target,
+        wall_s=wall_s, stats=stats, knobs={"rules": rules},
+        extra={"phase": phase},
+    ))
+
+
+def run_target(names, target: str, rules_dir, telemetry=None) -> list:
     """Plain / cold-mine / warm-replay rows for one target."""
     path = rules_file(rules_dir, target)
     rows = []
@@ -77,6 +89,8 @@ def run_target(names, target: str, rules_dir) -> list:
         plain_t, compiled = _timed_compile(name, target)
         plain[name] = (plain_t, _selection(compiled),
                        measure(compiled).total)
+        _emit_telemetry(telemetry, name, target, "plain", plain_t,
+                        compiled.stats, rules=False)
 
     # Cold mining run: one shared library accumulates every lowering.
     cold_times = {}
@@ -87,6 +101,8 @@ def run_target(names, target: str, rules_dir) -> list:
         cold_t, _ = _timed_compile(name, target, rules=miner, stats=stats)
         cold_times[name] = cold_t
         mined_total += stats.rules_mined
+        _emit_telemetry(telemetry, name, target, "cold", cold_t, stats,
+                        rules=True)
     miner.flush()
 
     # Warm replay: reload the library from disk, fresh oracle state.
@@ -95,6 +111,8 @@ def run_target(names, target: str, rules_dir) -> list:
         stats = SynthesisStats()
         warm_t, compiled = _timed_compile(name, target, rules=library,
                                           stats=stats)
+        _emit_telemetry(telemetry, name, target, "warm", warm_t, stats,
+                        rules=True)
         plain_t, plain_sel, plain_cycles = plain[name]
         exprs = compiled.optimized_exprs
         enum_queries = (stats.stages["sketching"].queries
@@ -121,12 +139,13 @@ def run_target(names, target: str, rules_dir) -> list:
     return rows
 
 
-def run_sweep(names, targets=TARGETS) -> dict:
+def run_sweep(names, targets=TARGETS, telemetry=None) -> dict:
     rows = []
     ok = True
     with tempfile.TemporaryDirectory() as rules_dir:
         for target in targets:
-            for row in run_target(names, target, rules_dir):
+            for row in run_target(names, target, rules_dir,
+                                  telemetry=telemetry):
                 rows.append(row)
                 if row.get("summary"):
                     print(f"[{target}] library: {row['library_size']} rules "
@@ -192,16 +211,25 @@ def main(argv=None) -> int:
                              "with identical selections")
     parser.add_argument("--no-save", action="store_true",
                         help="skip writing the results JSON")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="append one telemetry record per timed compile "
+                             "to this store (analyze with `repro perf`)")
     args = parser.parse_args(argv)
 
     if args.smoke:
         return run_smoke()
 
+    telemetry = None
+    if args.telemetry_dir:
+        from repro.telemetry import TelemetryStore
+
+        telemetry = TelemetryStore(args.telemetry_dir)
     names = args.workloads or (ALL_NAMES if args.all else FAST_NAMES)
-    report = run_sweep(names)
+    report = run_sweep(names, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.flush()
     if not args.no_save:
-        RESULTS.parent.mkdir(parents=True, exist_ok=True)
-        RESULTS.write_text(json.dumps(report, indent=2) + "\n")
+        write_result_json(RESULTS, "rule_hits", report)
         print(f"wrote {RESULTS}")
     return 0 if report["ok"] else 1
 

@@ -16,7 +16,6 @@ onto one job (asserted via ``/metrics``), then exercises ``POST
 """
 
 import argparse
-import json
 import os
 import subprocess
 import sys
@@ -208,10 +207,10 @@ def main(argv=None) -> int:
               f"p50 {r['p50_s'] * 1e3:>7.1f}ms p95 {r['p95_s'] * 1e3:>7.1f}ms "
               f"({r['requests']} requests in {r['time_s']:.2f}s)")
 
-    out = Path(args.json)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    from repro.telemetry import write_result_json
+
+    write_result_json(Path(args.json), "service_throughput", report)
+    print(f"wrote {args.json}")
     return 0
 
 

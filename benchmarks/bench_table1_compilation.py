@@ -82,7 +82,23 @@ def _timed_compile(name: str, jobs: int, cache: OracleCache):
     return time.perf_counter() - start, compiled.stats
 
 
-def run_cold_warm(names, cache_dir: str, jobs: int = 1) -> dict:
+def _emit_telemetry(store, name: str, phase: str, wall_s: float,
+                    stats, jobs: int) -> None:
+    """One corpus record per timed compile (no-op without a store)."""
+    if store is None:
+        return
+    from repro.telemetry import build_record, emit
+
+    emit(store, build_record(
+        source="bench:table1", workload=name, target="hvx",
+        wall_s=wall_s, stats=stats,
+        knobs={"jobs": jobs, "cache": True},
+        extra={"phase": phase},
+    ))
+
+
+def run_cold_warm(names, cache_dir: str, jobs: int = 1,
+                  telemetry=None) -> dict:
     """Compile every workload twice against one disk store; return timings."""
     rows = []
     for name in names:
@@ -91,6 +107,8 @@ def run_cold_warm(names, cache_dir: str, jobs: int = 1) -> dict:
         # A fresh in-process cache: warm-run hits come from the disk store.
         warm_t, warm_stats = _timed_compile(
             name, jobs, OracleCache.with_disk(cache_dir))
+        _emit_telemetry(telemetry, name, "cold", cold_t, cold_stats, jobs)
+        _emit_telemetry(telemetry, name, "warm", warm_t, warm_stats, jobs)
         rows.append({
             "name": name,
             "cold_s": cold_t,
@@ -123,12 +141,23 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="verdict store directory (default: a fresh "
                              "temporary directory)")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="append one telemetry record per timed compile "
+                             "to this store (analyze with `repro perf`)")
     args = parser.parse_args(argv)
 
+    telemetry = None
+    if args.telemetry_dir:
+        from repro.telemetry import TelemetryStore
+
+        telemetry = TelemetryStore(args.telemetry_dir)
     names = args.workloads or (ALL_NAMES if args.all else FAST_NAMES)
     with tempfile.TemporaryDirectory() as tmp:
         cache_dir = args.cache_dir or tmp
-        report = run_cold_warm(names, cache_dir, jobs=args.jobs)
+        report = run_cold_warm(names, cache_dir, jobs=args.jobs,
+                               telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.flush()
 
     header = (f"{'Benchmark':>16} {'Queries':>8} {'Cold(s)':>8} "
               f"{'Warm(s)':>8} {'Speedup':>8} {'WarmHit%':>9}")

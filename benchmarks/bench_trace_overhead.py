@@ -14,7 +14,6 @@ Results land in ``benchmarks/results/trace_overhead.json``.
 """
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -110,11 +109,10 @@ def main(argv=None) -> int:
         if r["est_disabled_overhead"] >= MAX_OVERHEAD:
             failures.append(r["name"])
 
+    from repro.telemetry import write_result_json
+
     out = Path(args.json_out) if args.json_out else RESULTS
-    out.parent.mkdir(parents=True, exist_ok=True)
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_result_json(out, "trace_overhead", report)
     print(f"wrote {out}")
 
     if failures:

@@ -44,10 +44,10 @@ def table1_rows():
 
 
 def pytest_terminal_summary(terminalreporter):
-    import json
     import pathlib
 
     from repro.reporting import compilation_table, speedup_figure
+    from repro.telemetry import write_result_json
 
     results_dir = pathlib.Path(__file__).parent / "results"
     if _FIG11_ROWS:
@@ -57,13 +57,13 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line(figure)
         results_dir.mkdir(exist_ok=True)
         (results_dir / "fig11.txt").write_text(figure + "\n")
-        (results_dir / "fig11.json").write_text(json.dumps([
+        write_result_json(results_dir / "fig11.json", "fig11", {"rows": [
             {"name": r.name, "rake_cycles": r.rake_cycles,
              "baseline_cycles": r.baseline_cycles,
              "speedup": round(r.speedup, 3),
              "paper_speedup": r.paper_speedup, "paper_band": r.paper_band}
             for r in rows
-        ], indent=2) + "\n")
+        ]})
     if _TABLE1_ROWS:
         terminalreporter.write_sep("=", "Table 1 reproduction")
         rows = sorted(_TABLE1_ROWS, key=lambda r: r["name"])
@@ -71,5 +71,5 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line(table)
         results_dir.mkdir(exist_ok=True)
         (results_dir / "table1.txt").write_text(table + "\n")
-        (results_dir / "table1.json").write_text(
-            json.dumps(rows, indent=2) + "\n")
+        write_result_json(results_dir / "table1.json", "table1",
+                          {"rows": rows})

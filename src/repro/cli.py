@@ -30,6 +30,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from . import workloads  # noqa: F401 - populate the registry
 from . import neon  # noqa: F401 - register the Neon instruction families
@@ -100,6 +101,17 @@ def _rules_enabled(args) -> bool:
     return bool(getattr(args, "rules_dir", None))
 
 
+def _telemetry_enabled(args) -> bool:
+    """Did this invocation opt into the persistent telemetry corpus?
+
+    Same convention as ``--rules``: ``--telemetry-dir DIR`` implies
+    ``--telemetry`` unless the user explicitly said ``--no-telemetry``.
+    """
+    if args.telemetry is not None:
+        return bool(args.telemetry)
+    return bool(getattr(args, "telemetry_dir", None))
+
+
 def _cmd_list(args) -> int:
     print(f"{'name':>16}  {'category':<14} {'band':<10} notes")
     print("-" * 76)
@@ -140,7 +152,7 @@ def _compile_one(name: str, backend: str, show_programs: bool,
                     print(to_assembly(ce.program))
                 else:
                     print(program_listing(ce.program))
-    return cycles.total, compiled.stats
+    return cycles.total, compiled
 
 
 def _cmd_compile(args) -> int:
@@ -187,6 +199,18 @@ def _cmd_compile(args) -> int:
         print(f"fault injection active: plan "
               f"{plan.name or args.fault_plan!r} (seed {plan.seed}, "
               f"{len(plan.rules)} rules)")
+    telemetry_store = None
+    if _telemetry_enabled(args):
+        from .telemetry import TelemetryStore, default_telemetry_dir
+
+        telemetry_base = args.telemetry_dir or default_telemetry_dir()
+        # Opting in is a statement of intent: an unwritable corpus
+        # directory is a fail-fast one-liner here, while the *writes*
+        # stay best-effort once the compile is running.
+        problem = _writable_dir_error(telemetry_base)
+        if problem is not None:
+            return _fail(f"--telemetry: {problem}")
+        telemetry_store = TelemetryStore(telemetry_base)
     tracer = None
     if args.trace_out:
         problem = _writable_file_error(args.trace_out)
@@ -194,10 +218,12 @@ def _cmd_compile(args) -> int:
             return _fail(f"--trace-out: {problem}")
         tracer = Tracer()
     totals = {}
-    stats_by_backend = {}
+    compiled_by_backend = {}
+    wall_by_backend = {}
     try:
         for backend in backends:
-            totals[backend], stats_by_backend[backend] = _compile_one(
+            began = time.perf_counter()
+            totals[backend], compiled_by_backend[backend] = _compile_one(
                 args.workload, backend, args.show_programs, args.width,
                 args.height, asm=args.asm, jobs=args.jobs,
                 cache_dir=cache_dir, batch_eval=not args.no_batch_eval,
@@ -205,6 +231,7 @@ def _cmd_compile(args) -> int:
                 tracer=tracer, target=args.target,
                 rules=rules_lib if backend == "rake" else None,
             )
+            wall_by_backend[backend] = time.perf_counter() - began
     finally:
         if plan is not None:
             faults.deactivate()
@@ -217,12 +244,50 @@ def _cmd_compile(args) -> int:
                 print(f"faults injected: {plan.injected_total()} ({sites})")
             else:
                 print("faults injected: 0")
-    rake_stats = stats_by_backend.get("rake")
+    telemetry_info = None
+    if telemetry_store is not None:
+        from .telemetry import build_record, emit
+
+        # With --backend both, one tracer collects both compiles'
+        # spans; attributing the merged tree to either record would
+        # misreport, so spans fold in only for single-backend runs.
+        tree = (tracer.tree()
+                if tracer is not None and len(backends) == 1 else None)
+        for backend in backends:
+            compiled = compiled_by_backend[backend]
+            record = build_record(
+                source="cli",
+                workload=args.workload,
+                target=args.target,
+                backend=backend,
+                wall_s=wall_by_backend[backend],
+                stats=compiled.stats,
+                trace_tree=tree,
+                degraded=bool(getattr(compiled, "degraded", False)),
+                knobs={
+                    "jobs": args.jobs,
+                    "batch_eval": not args.no_batch_eval,
+                    "fingerprints": not args.no_fingerprints,
+                    "rules": rules_lib is not None and backend == "rake",
+                    "cache": cache_dir is not None,
+                },
+            )
+            record_id = emit(telemetry_store, record)
+            if backend == "rake" and record_id is not None:
+                telemetry_info = {
+                    "record_id": record_id,
+                    "store": str(telemetry_store.directory),
+                }
+    rake_compiled = compiled_by_backend.get("rake")
+    rake_stats = rake_compiled.stats if rake_compiled is not None else None
     if rake_stats is not None and rake_stats.total_queries:
-        print(engine_summary(rake_stats))
+        print(engine_summary(rake_stats, telemetry=telemetry_info))
     if args.stats_json and rake_stats is not None:
+        payload = rake_stats.as_dict()
+        if telemetry_info is not None:
+            payload["telemetry"] = telemetry_info
         try:
-            atomic_write_json(args.stats_json, rake_stats.as_dict(), indent=2)
+            atomic_write_json(args.stats_json, payload, indent=2)
         except OSError as exc:
             return _fail(f"cannot write --stats-json {args.stats_json}: "
                          f"{exc.strerror or exc}")
@@ -413,6 +478,14 @@ def _cmd_serve(args) -> int:
         problem = _writable_dir_error(rules_dir)
         if problem is not None:
             return _fail(f"--rules: {problem}")
+    telemetry_dir = None
+    if _telemetry_enabled(args):
+        from .telemetry import default_telemetry_dir
+
+        telemetry_dir = args.telemetry_dir or str(default_telemetry_dir())
+        problem = _writable_dir_error(telemetry_dir)
+        if problem is not None:
+            return _fail(f"--telemetry: {problem}")
     if args.port_file:
         problem = _writable_file_error(args.port_file)
         if problem is not None:
@@ -431,6 +504,7 @@ def _cmd_serve(args) -> int:
         breaker_cooldown_s=args.breaker_cooldown,
         rules=rules_dir is not None,
         rules_dir=rules_dir,
+        telemetry_dir=telemetry_dir,
     )
 
 
@@ -496,6 +570,120 @@ def _cmd_status(args) -> int:
         return 0
     print(service_summary(client.healthz(), client.metrics()))
     return 0
+
+
+def _load_corpus(path, args):
+    """Read + filter one telemetry store for the ``perf`` commands.
+
+    Returns ``(records, error)`` — exactly one is ``None``.  A path with
+    no segment files is a *bad store* (exit 2 at the call sites), while
+    a store whose records all filter away is merely empty.
+    """
+    from .telemetry import filter_records, read_store, segment_files
+
+    if not segment_files(path):
+        return None, f"no telemetry store at {path} (no segment files)"
+    report = read_store(path)
+    if report.corrupt_lines:
+        print(f"note: {path}: {report.corrupt_lines} corrupt lines "
+              f"quarantined across {len(report.quarantined)} segment(s)",
+              file=sys.stderr)
+    records = filter_records(
+        report.records,
+        workload=getattr(args, "workload", None),
+        target=getattr(args, "filter_target", None),
+        source=getattr(args, "source", None),
+        rev=getattr(args, "rev", None),
+    )
+    return records, None
+
+
+def _cmd_perf_report(args) -> int:
+    from .telemetry import corpus_geomean, summarize_groups
+
+    records, problem = _load_corpus(args.store, args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    rows = summarize_groups(records, args.metric)
+    print(f"telemetry corpus: {args.store}  metric={args.metric}  "
+          f"records={len(records)}")
+    if not rows:
+        print("(no matching records)")
+        return 0
+    print(f"{'workload':<14} {'target':<8} {'n':>4} {'min':>10} {'p50':>10} "
+          f"{'p90':>10} {'max':>10} {'deg':>4}  rev")
+    for row in rows:
+        print(f"{row['workload']:<14} {row['target']:<8} {row['n']:>4} "
+              f"{row['min']:>10.4g} {row['p50']:>10.4g} "
+              f"{row['p90']:>10.4g} {row['max']:>10.4g} "
+              f"{row['degraded']:>4}  {row['latest_rev']}")
+    print(f"geomean(p50) = {corpus_geomean(rows):.4g}")
+    return 0
+
+
+def _cmd_perf_diff(args) -> int:
+    from .telemetry import compare
+
+    baseline, problem = _load_corpus(args.baseline, args)
+    if problem is not None:
+        print(f"error: baseline: {problem}", file=sys.stderr)
+        return 2
+    current, problem = _load_corpus(args.current, args)
+    if problem is not None:
+        print(f"error: current: {problem}", file=sys.stderr)
+        return 2
+    try:
+        report = compare(
+            baseline, current, metric=args.metric,
+            threshold=args.threshold, min_samples=args.min_samples,
+            min_delta=args.min_delta,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"perf diff  metric={args.metric}  threshold={args.threshold:.0%}"
+          f"  min_samples={args.min_samples}  min_delta={args.min_delta:g}")
+    for d in report.deltas:
+        name = f"{d.workload}/{d.target}"
+        if d.skipped:
+            print(f"  SKIP {name:<22} {d.reason}")
+            continue
+        pct = f"{d.ratio:+.1%}" if d.ratio is not None else "n/a"
+        verdict = ("REGRESSED" if d.regressed
+                   else "improved" if d.improved else "ok")
+        print(f"  {verdict:<9} {name:<22} p50 {d.baseline_p50:.4g} -> "
+              f"{d.current_p50:.4g} ({pct}, n={d.baseline_n}/{d.current_n})")
+    print(f"{len(report.regressions)} regression(s), "
+          f"{len(report.improvements)} improvement(s), "
+          f"{len(report.skipped)} skipped of {len(report.deltas)} group(s)")
+    return 1 if report.regressions else 0
+
+
+def _cmd_perf_dashboard(args) -> int:
+    from .telemetry import render_ascii, render_html
+
+    records, problem = _load_corpus(args.store, args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    if args.out:
+        problem = _writable_file_error(args.out)
+        if problem is not None:
+            return _fail(f"--out: {problem}")
+        atomic_write_text(args.out, render_html(records, args.metric))
+        print(f"wrote dashboard to {args.out} ({len(records)} records)")
+    else:
+        print(render_ascii(records, args.metric))
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    return {
+        "report": _cmd_perf_report,
+        "diff": _cmd_perf_diff,
+        "dashboard": _cmd_perf_dashboard,
+    }[args.perf_command](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -565,6 +753,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--rules-dir", default=None, metavar="DIR",
                            help="directory holding rules_<target>.jsonl "
                                 "(implies --rules; default: the cache dir)")
+    p_compile.add_argument("--telemetry",
+                           action=argparse.BooleanOptionalAction,
+                           default=None,
+                           help="append a schema-versioned record for this "
+                                "compile to the persistent telemetry corpus "
+                                "(analyze with `repro perf`)")
+    p_compile.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                           help="telemetry store directory (implies "
+                                "--telemetry; default: <cache dir>/telemetry)")
 
     p_isa = sub.add_parser("isa", help="browse the instruction registry")
     p_isa.add_argument("--target", choices=("all", "hvx", "neon"),
@@ -684,6 +881,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--rules-dir", default=None, metavar="DIR",
                          help="directory holding rules_<target>.jsonl "
                               "(implies --rules; default: the cache dir)")
+    p_serve.add_argument("--telemetry",
+                         action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="append a telemetry record for every "
+                              "completed job (GET /telemetry/summary "
+                              "exposes the corpus view)")
+    p_serve.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                         help="telemetry store directory (implies "
+                              "--telemetry; default: <cache dir>/telemetry)")
 
     p_submit = sub.add_parser(
         "submit", help="submit one compile to a running server")
@@ -730,6 +936,61 @@ def build_parser() -> argparse.ArgumentParser:
                           help="job id (omit for server health + metrics)")
     p_status.add_argument("--url", default="http://127.0.0.1:8347",
                           help="server base URL")
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="analyze the persistent telemetry corpus (trends, "
+             "regression gating, dashboard)")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    def _add_corpus_args(p, positional: bool = True):
+        if positional:
+            p.add_argument("store", nargs="?",
+                           default=str(default_cache_dir() / "telemetry"),
+                           help="telemetry store directory (default: "
+                                "<cache dir>/telemetry)")
+        p.add_argument("--metric", default="wall_s",
+                       help="dotted metric path into each record, e.g. "
+                            "wall_s, totals.queries, stage_time_s.verify "
+                            "(default: wall_s)")
+        p.add_argument("--workload", default=None,
+                       help="restrict to one workload")
+        p.add_argument("--filter-target", default=None, metavar="TARGET",
+                       help="restrict to one target ISA (hvx, neon)")
+        p.add_argument("--source", default=None,
+                       help="restrict to one producer (cli, service, "
+                            "bench:table1, ...)")
+        p.add_argument("--rev", default=None,
+                       help="restrict to one git revision")
+
+    p_report = perf_sub.add_parser(
+        "report", help="per-workload trend table over one store")
+    _add_corpus_args(p_report)
+
+    p_diff = perf_sub.add_parser(
+        "diff",
+        help="compare two stores; exits 1 when any group regressed")
+    p_diff.add_argument("baseline", help="baseline store directory")
+    p_diff.add_argument("current", help="current store directory")
+    _add_corpus_args(p_diff, positional=False)
+    p_diff.add_argument("--threshold", type=float, default=0.20,
+                        help="relative worsening of the group median that "
+                             "counts as a regression (default 0.20 = 20%%)")
+    p_diff.add_argument("--min-samples", type=int, default=2,
+                        help="samples required on each side before a "
+                             "group gets a verdict (default 2)")
+    p_diff.add_argument("--min-delta", type=float, default=0.0,
+                        help="absolute floor (metric units) a delta must "
+                             "also exceed (default 0)")
+
+    p_dash = perf_sub.add_parser(
+        "dashboard",
+        help="render the corpus: ASCII to stdout, or a self-contained "
+             "HTML file with --out")
+    _add_corpus_args(p_dash)
+    p_dash.add_argument("--out", default=None, metavar="HTML",
+                        help="write a zero-dependency HTML dashboard here "
+                             "(inline SVG sparklines)")
     return parser
 
 
@@ -747,6 +1008,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "perf": _cmd_perf,
     }[args.command]
     try:
         return handler(args)

@@ -47,6 +47,7 @@ from .core import (
     SITE_RULES_LOAD,
     SITE_SCHEDULER_JOB,
     SITE_SERVER_REQUEST,
+    SITE_TELEMETRY_FLUSH,
     SITES,
     FaultPlan,
     FaultRule,
@@ -90,6 +91,7 @@ __all__ = [
     "SITE_RULES_LOAD",
     "SITE_SCHEDULER_JOB",
     "SITE_SERVER_REQUEST",
+    "SITE_TELEMETRY_FLUSH",
     "SITES",
     "activate",
     "active_plan",

@@ -46,6 +46,7 @@ SITE_PLAN_COMPILE = "eval.plan_compile"  # batched-eval plan compilation
 SITE_SCHEDULER_JOB = "scheduler.job"    # scheduler job execution
 SITE_SERVER_REQUEST = "server.request"  # HTTP request/response path
 SITE_RULES_LOAD = "rules.load"          # rewrite-rule library JSONL load
+SITE_TELEMETRY_FLUSH = "telemetry.flush"  # telemetry segment JSONL append
 
 SITES = (
     SITE_ENGINE_BATCH,
@@ -57,6 +58,7 @@ SITES = (
     SITE_SCHEDULER_JOB,
     SITE_SERVER_REQUEST,
     SITE_RULES_LOAD,
+    SITE_TELEMETRY_FLUSH,
 )
 
 # -- failure kinds -----------------------------------------------------------

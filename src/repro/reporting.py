@@ -99,12 +99,14 @@ def compilation_table(rows) -> str:
     return "\n".join(lines)
 
 
-def engine_summary(stats) -> str:
+def engine_summary(stats, telemetry: dict | None = None) -> str:
     """One-paragraph summary of the synthesis engine's oracle activity.
 
     ``stats`` is a :class:`~repro.synthesis.stats.SynthesisStats`; the output
     reports per-stage query counts alongside cache effectiveness, suitable
-    for appending to a ``compile`` run.
+    for appending to a ``compile`` run.  ``telemetry`` (optional) carries
+    ``{"record_id": ..., "store": ...}`` when the run emitted a telemetry
+    record, so the printed summary is joinable back to its corpus row.
     """
     lookups = stats.total_cache_hits + stats.total_cache_misses
     rate = (stats.total_cache_hits / lookups) if lookups else 0.0
@@ -145,6 +147,11 @@ def engine_summary(stats) -> str:
         lines.append(
             f"    {name}: {stage.queries} queries, "
             f"{stage.cache_hits} hits, {stage.time_s:.2f}s"
+        )
+    if telemetry and telemetry.get("record_id"):
+        lines.append(
+            f"    telemetry: record {telemetry['record_id']} -> "
+            f"{telemetry.get('store', '?')}"
         )
     return "\n".join(lines)
 

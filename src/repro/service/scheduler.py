@@ -175,6 +175,7 @@ class JobScheduler:
         breaker_cooldown_s: float = 30.0,
         rules: bool = False,
         rules_dir: str | None = None,
+        telemetry_dir: str | None = None,
     ):
         if workers < 1:
             raise ValueError("scheduler needs at least one worker")
@@ -201,6 +202,15 @@ class JobScheduler:
         self._rules_dir = rules_dir if rules_dir is not None else cache_dir
         self._rule_libraries: dict = {}
         self._rules_lock = threading.Lock()
+        # Persistent telemetry corpus (repro.telemetry): one record per
+        # completed job, strictly best-effort — the store swallows its
+        # own write failures, so a broken corpus never fails a job.
+        self.telemetry = None
+        self._telemetry_dir = telemetry_dir
+        if telemetry_dir:
+            from ..telemetry import TelemetryStore
+
+            self.telemetry = TelemetryStore(telemetry_dir)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queue_size = queue_size
         self.aging_rate = aging_rate
@@ -545,12 +555,70 @@ class JobScheduler:
             observe_synthesis_stats(self.metrics, result.stats)
         if job.trace is not None:
             observe_trace(self.metrics, job.trace)
+        if state == JOB_DONE and result is not None:
+            # Per-workload x target latency is always on at /metrics;
+            # the durable corpus record additionally requires telemetry
+            # to have been enabled at construction.
+            self.metrics.histogram(
+                "repro_compile_seconds",
+                "compile seconds per completed job by workload and target",
+                labels={"workload": job.request.workload,
+                        "target": job.request.target},
+            ).observe(run_s)
+            self._emit_telemetry(job, result, run_s)
         if error is None:
             _log.info("job finished", job=job.id, state=state,
                       run_s=round(run_s, 4))
         else:
             _log.warning("job finished", job=job.id, state=state,
                          run_s=round(run_s, 4), error=error)
+
+    def _emit_telemetry(self, job: Job, result: CompileResult,
+                        run_s: float) -> None:
+        """Append one corpus record for a completed job; best-effort."""
+        if self.telemetry is None:
+            return
+        from ..telemetry import build_record, emit
+
+        try:
+            record = build_record(
+                source="service",
+                workload=job.request.workload,
+                target=job.request.target,
+                backend=job.request.backend,
+                wall_s=run_s,
+                stats=result.stats or None,
+                trace_tree=job.trace,
+                degraded=bool(result.degraded),
+                queue_wait_s=job.wait_s,
+                knobs={
+                    "jobs": job.request.jobs,
+                    "batch_eval": job.request.batch_eval,
+                    "rules": bool(getattr(job.request, "rules", False)),
+                },
+                extra={"job_id": job.id},
+            )
+        except Exception:  # record building must not kill the worker
+            return
+        emit(self.telemetry, record)
+
+    def telemetry_summary(self) -> dict:
+        """The corpus view behind ``GET /telemetry/summary``."""
+        if self.telemetry is None:
+            return {"enabled": False}
+        from ..telemetry import read_store, summarize_groups
+
+        report = read_store(self._telemetry_dir, repair=False)
+        return {
+            "enabled": True,
+            "dir": str(self._telemetry_dir),
+            "records": len(report.records),
+            "segments": report.segments,
+            "corrupt_lines": report.corrupt_lines,
+            "appended": self.telemetry.appended,
+            "write_errors": self.telemetry.write_errors,
+            "groups": summarize_groups(report.records),
+        }
 
     def _finish_locked(self, job: Job, state: str, error: str | None = None,
                        result: CompileResult | None = None) -> None:
@@ -629,4 +697,6 @@ class JobScheduler:
             for library in self._rule_libraries.values():
                 if library is not None:
                     library.flush()
+        if self.telemetry is not None:
+            self.telemetry.flush()
         return clean

@@ -12,6 +12,8 @@ Endpoints (see ``docs/service.md`` for schemas):
 * ``GET  /healthz``          — liveness + protocol version + uptime.
 * ``GET  /metrics``          — Prometheus-style text
   (``?format=json`` for the structured form).
+* ``GET  /telemetry/summary`` — the persistent telemetry corpus's
+  per-workload summary (``{"enabled": false}`` when telemetry is off).
 * ``POST /shutdown``         — graceful shutdown (also triggered by
   SIGINT/SIGTERM under :func:`serve`).
 
@@ -118,6 +120,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             if parts == ["healthz"]:
                 self._send_json(200, self.service.health())
+            elif parts == ["telemetry", "summary"]:
+                self._send_json(200, self.service.scheduler.telemetry_summary())
             elif parts == ["metrics"]:
                 if "format=json" in (url.query or ""):
                     self._send_json(200, self.service.metrics.as_dict())
@@ -211,6 +215,7 @@ class CompileServer:
         breaker_cooldown_s: float = 30.0,
         rules: bool = False,
         rules_dir: str | None = None,
+        telemetry_dir: str | None = None,
     ):
         self.scheduler = JobScheduler(
             workers=workers,
@@ -223,6 +228,7 @@ class CompileServer:
             breaker_cooldown_s=breaker_cooldown_s,
             rules=rules,
             rules_dir=rules_dir,
+            telemetry_dir=telemetry_dir,
         )
         self.metrics = self.scheduler.metrics
         self.quiet = quiet
@@ -320,6 +326,7 @@ def serve(
     breaker_cooldown_s: float = 30.0,
     rules: bool = False,
     rules_dir: str | None = None,
+    telemetry_dir: str | None = None,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM or ``POST /shutdown``.
 
@@ -330,6 +337,9 @@ def serve(
     chaos testing, never production.  ``rules=True`` serves opted-in jobs
     through shared per-target rewrite-rule libraries (:mod:`repro.rules`)
     stored under ``rules_dir`` (default: the cache directory).
+    ``telemetry_dir`` enables the persistent compile-telemetry corpus
+    (:mod:`repro.telemetry`): one record per completed job, summarized
+    at ``GET /telemetry/summary``.
     """
     if fault_plan:
         plan = faults.activate(faults.load_plan(fault_plan))
@@ -341,6 +351,7 @@ def serve(
         breaker_threshold=breaker_threshold,
         breaker_cooldown_s=breaker_cooldown_s,
         rules=rules, rules_dir=rules_dir,
+        telemetry_dir=telemetry_dir,
     )
     bound_host, bound_port = server.address
 

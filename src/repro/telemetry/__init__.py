@@ -1,0 +1,80 @@
+"""Persistent compile telemetry: the corpus, analytics, and perf gating.
+
+Every compile — CLI ``compile``, a service job, a benchmark runner —
+can append one schema-versioned record to a durable JSONL segment store
+(:mod:`.store`), forming the cross-run corpus the ROADMAP's
+learned-search item mines and the ``repro perf`` CLI analyzes:
+
+* :mod:`.record` — the schema-1 record builder (stats counters, folded
+  trace spans, knobs, git revision).
+* :mod:`.store` — per-process O_APPEND segments, CRC-stamped lines,
+  quarantine + atomic compaction; strictly best-effort writes.
+* :mod:`.aggregate` — filters, nearest-rank summaries, trends.
+* :mod:`.regression` — the noise-aware baseline-vs-current detector
+  behind ``repro perf diff`` and the CI ``perf-smoke`` gate.
+* :mod:`.dashboard` — self-contained HTML + ASCII rendering.
+* :mod:`.results` — the shared atomic, provenance-stamped benchmark
+  results-JSON writer.
+
+See ``docs/telemetry.md`` for the record schema and CLI walkthrough.
+"""
+
+from .aggregate import (
+    DEFAULT_METRIC,
+    corpus_geomean,
+    filter_records,
+    metric_value,
+    series,
+    summarize,
+    summarize_groups,
+)
+from .dashboard import ascii_sparkline, render_ascii, render_html
+from .record import COUNTER_FIELDS, SCHEMA_VERSION, build_record, git_rev, is_record
+from .regression import (
+    DEFAULT_MIN_DELTA,
+    DEFAULT_MIN_SAMPLES,
+    DEFAULT_THRESHOLD,
+    Delta,
+    DiffReport,
+    compare,
+)
+from .results import RESULT_SCHEMA_VERSION, result_envelope, write_result_json
+from .store import (
+    TelemetryStore,
+    default_telemetry_dir,
+    emit,
+    read_store,
+    segment_files,
+)
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "DEFAULT_METRIC",
+    "DEFAULT_MIN_DELTA",
+    "DEFAULT_MIN_SAMPLES",
+    "DEFAULT_THRESHOLD",
+    "Delta",
+    "DiffReport",
+    "RESULT_SCHEMA_VERSION",
+    "SCHEMA_VERSION",
+    "TelemetryStore",
+    "ascii_sparkline",
+    "build_record",
+    "compare",
+    "corpus_geomean",
+    "default_telemetry_dir",
+    "emit",
+    "filter_records",
+    "git_rev",
+    "is_record",
+    "metric_value",
+    "read_store",
+    "render_ascii",
+    "render_html",
+    "result_envelope",
+    "segment_files",
+    "series",
+    "summarize",
+    "summarize_groups",
+    "write_result_json",
+]

@@ -1,0 +1,142 @@
+"""Querying the telemetry corpus: filters, per-group summaries, trends.
+
+The corpus is a flat list of schema-versioned records (:mod:`.record`);
+this module turns it into the shapes the ``repro perf`` CLI, the
+service's ``/telemetry/summary`` route and the regression detector
+consume.  All statistics go through :mod:`repro.numerics` — nearest-rank
+quantiles and positive-only geomeans — so a perf report and a benchmark
+table can never disagree about what "median" means.
+
+A *metric* here is a dotted path into a record: ``wall_s`` and
+``queue_wait_s`` read top-level fields, ``totals.queries`` reads a
+counter, ``stage_time_s.verify`` a per-stage duration, ``spans.oracle``
+a folded span kind.  ``totals.queries`` is the metric the CI gate runs
+on — oracle query counts are deterministic across machines where wall
+time is not.
+"""
+
+from __future__ import annotations
+
+from ..numerics import geomean, quantile
+
+#: the default metric everywhere a metric is optional
+DEFAULT_METRIC = "wall_s"
+
+
+def metric_value(record: dict, metric: str):
+    """Resolve a dotted metric path against one record.
+
+    Returns ``None`` when the path is absent or non-numeric — callers
+    filter those out rather than treating missing data as zero.
+    """
+    node = record
+    for part in metric.split("."):
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def filter_records(
+    records,
+    *,
+    workload: str | None = None,
+    target: str | None = None,
+    rev: str | None = None,
+    source: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> list:
+    """Subset a corpus; every criterion is optional and conjunctive."""
+    out = []
+    for rec in records:
+        if workload is not None and rec.get("workload") != workload:
+            continue
+        if target is not None and rec.get("target") != target:
+            continue
+        if rev is not None and rec.get("rev") != rev:
+            continue
+        if source is not None and rec.get("source") != source:
+            continue
+        ts = rec.get("ts", 0.0)
+        if since is not None and ts < since:
+            continue
+        if until is not None and ts > until:
+            continue
+        out.append(rec)
+    return out
+
+
+def group_key(record: dict) -> tuple:
+    """The (workload, target) pair all per-group statistics key on."""
+    return (record.get("workload", "?"), record.get("target", "?"))
+
+
+def group_records(records) -> dict:
+    """Corpus → ``{(workload, target): [records in ts order]}``."""
+    groups: dict[tuple, list] = {}
+    for rec in records:
+        groups.setdefault(group_key(rec), []).append(rec)
+    for recs in groups.values():
+        recs.sort(key=lambda r: r.get("ts", 0.0))
+    return groups
+
+
+def summarize(records, metric: str = DEFAULT_METRIC) -> dict | None:
+    """Order statistics for one metric over one group of records.
+
+    Returns ``None`` when no record carries the metric.  The shape is
+    JSON-ready (the service's summary route returns it verbatim).
+    """
+    values = sorted(
+        v for v in (metric_value(r, metric) for r in records) if v is not None
+    )
+    if not values:
+        return None
+    return {
+        "n": len(values),
+        "min": values[0],
+        "p50": quantile(values, 0.5),
+        "p90": quantile(values, 0.9),
+        "max": values[-1],
+        "mean": sum(values) / len(values),
+    }
+
+
+def summarize_groups(records, metric: str = DEFAULT_METRIC) -> list:
+    """Per-(workload, target) summaries plus identity, sorted by group.
+
+    Each entry also carries ``degraded`` (how many runs in the group ran
+    degraded) and ``latest_rev`` so a report line is self-describing.
+    """
+    rows = []
+    for (workload, target), recs in sorted(group_records(records).items()):
+        stats = summarize(recs, metric)
+        if stats is None:
+            continue
+        rows.append({
+            "workload": workload,
+            "target": target,
+            "metric": metric,
+            **stats,
+            "degraded": sum(1 for r in recs if r.get("degraded")),
+            "latest_rev": recs[-1].get("rev", "unknown"),
+        })
+    return rows
+
+
+def corpus_geomean(rows, field: str = "p50") -> float:
+    """Geomean of one summary field across group rows (0.0 if none are
+    positive) — the single-number trend headline."""
+    return geomean(row.get(field, 0.0) for row in rows)
+
+
+def series(records, metric: str = DEFAULT_METRIC) -> list:
+    """The metric's values in timestamp order (sparkline fodder);
+    records without the metric are skipped."""
+    ordered = sorted(records, key=lambda r: r.get("ts", 0.0))
+    return [
+        v for v in (metric_value(r, metric) for r in ordered) if v is not None
+    ]

@@ -1,0 +1,177 @@
+"""Rendering the corpus: a zero-dependency HTML dashboard + ASCII fallback.
+
+The HTML document is fully self-contained — inline CSS, inline SVG
+sparklines, no script tags, no external fetches — so CI can upload it as
+a build artifact and it renders identically from a file:// URL years
+later.  The ASCII renderer carries the same information (per-group
+summary rows plus a block-character sparkline) for terminals and CI
+logs.
+
+Numbers come straight from :mod:`.aggregate`; this module only formats.
+"""
+
+from __future__ import annotations
+
+import html
+
+from .aggregate import (
+    DEFAULT_METRIC,
+    corpus_geomean,
+    group_records,
+    series,
+    summarize_groups,
+)
+from .record import SCHEMA_VERSION
+
+#: eighth-block ramp for ASCII sparklines (space = no data)
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: sparklines show at most this many trailing points
+SPARK_POINTS = 40
+
+
+def _spark_values(values) -> list:
+    return list(values)[-SPARK_POINTS:]
+
+
+def ascii_sparkline(values) -> str:
+    """Min-max scaled block-character sparkline (zero variance renders
+    as a flat mid-height line, not a crash)."""
+    vals = _spark_values(values)
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(vals)
+    return "".join(
+        _BLOCKS[1 + int((v - lo) / span * (len(_BLOCKS) - 2))] for v in vals
+    )
+
+
+def svg_sparkline(values, width: int = 160, height: int = 28) -> str:
+    """An inline-SVG polyline over the last :data:`SPARK_POINTS` values.
+
+    Scaled to the series' own min-max with a 2px margin; a single point
+    or zero-variance series draws a horizontal midline.
+    """
+    vals = _spark_values(values)
+    if not vals:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    margin = 2
+    if len(vals) == 1 or span <= 0:
+        y = height / 2
+        points = f"{margin},{y:.1f} {width - margin},{y:.1f}"
+    else:
+        step = (width - 2 * margin) / (len(vals) - 1)
+        points = " ".join(
+            f"{margin + i * step:.1f},"
+            f"{height - margin - (v - lo) / span * (height - 2 * margin):.1f}"
+            for i, v in enumerate(vals)
+        )
+    last = vals[-1]
+    trend_up = len(vals) > 1 and last > vals[0]
+    color = "#b5543a" if trend_up else "#3a7ab5"
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="trend">'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_ascii(records, metric: str = DEFAULT_METRIC) -> str:
+    """The dashboard as plain text: one row per (workload, target)."""
+    rows = summarize_groups(records, metric)
+    groups = group_records(records)
+    lines = [
+        f"telemetry dashboard  metric={metric}  records={len(records)}  "
+        f"schema={SCHEMA_VERSION}",
+        f"{'workload':<14} {'target':<8} {'n':>4} {'p50':>10} {'p90':>10} "
+        f"{'mean':>10} {'deg':>4}  trend",
+    ]
+    if not rows:
+        lines.append("(no records)")
+        return "\n".join(lines)
+    for row in rows:
+        key = (row["workload"], row["target"])
+        spark = ascii_sparkline(series(groups.get(key, ()), metric))
+        lines.append(
+            f"{row['workload']:<14} {row['target']:<8} {row['n']:>4} "
+            f"{_fmt(row['p50']):>10} {_fmt(row['p90']):>10} "
+            f"{_fmt(row['mean']):>10} {row['degraded']:>4}  {spark}"
+        )
+    lines.append(f"geomean(p50) = {_fmt(corpus_geomean(rows))}")
+    return "\n".join(lines)
+
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 62em; color: #222; }
+h1 { font-size: 1.3em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { padding: 0.35em 0.7em; text-align: right;
+         border-bottom: 1px solid #ddd; }
+th { background: #f4f4f4; }
+td.name, th.name { text-align: left; font-family: monospace; }
+td.spark { padding: 0; }
+.meta { color: #777; font-size: 0.85em; }
+.degraded { color: #b5543a; font-weight: bold; }
+"""
+
+
+def render_html(records, metric: str = DEFAULT_METRIC,
+                title: str = "repro perf dashboard") -> str:
+    """The self-contained HTML document (see module docstring)."""
+    rows = summarize_groups(records, metric)
+    groups = group_records(records)
+    body = [
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="meta">metric <code>{html.escape(metric)}</code> · '
+        f"{len(records)} records · schema {SCHEMA_VERSION} · "
+        f"geomean(p50) {_fmt(corpus_geomean(rows))}</p>",
+    ]
+    if not rows:
+        body.append("<p>(no records)</p>")
+    else:
+        cells = [
+            '<table><tr><th class="name">workload</th>'
+            '<th class="name">target</th><th>n</th><th>min</th><th>p50</th>'
+            "<th>p90</th><th>max</th><th>mean</th><th>degraded</th>"
+            '<th class="name">rev</th><th>trend</th></tr>'
+        ]
+        for row in rows:
+            key = (row["workload"], row["target"])
+            spark = svg_sparkline(series(groups.get(key, ()), metric))
+            deg = row["degraded"]
+            deg_cell = (f'<td class="degraded">{deg}</td>' if deg
+                        else "<td>0</td>")
+            cells.append(
+                f'<tr><td class="name">{html.escape(row["workload"])}</td>'
+                f'<td class="name">{html.escape(row["target"])}</td>'
+                f"<td>{row['n']}</td><td>{_fmt(row['min'])}</td>"
+                f"<td>{_fmt(row['p50'])}</td><td>{_fmt(row['p90'])}</td>"
+                f"<td>{_fmt(row['max'])}</td><td>{_fmt(row['mean'])}</td>"
+                f"{deg_cell}"
+                f'<td class="name">{html.escape(str(row["latest_rev"]))}</td>'
+                f'<td class="spark">{spark}</td></tr>'
+            )
+        cells.append("</table>")
+        body.append("".join(cells))
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )

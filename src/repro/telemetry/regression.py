@@ -1,0 +1,162 @@
+"""Noise-aware regression detection between two telemetry corpora.
+
+Compares a *baseline* record set against a *current* one — two stores,
+two revisions inside one store, or two time windows — per
+(workload, target) group, on one metric.  Decisions are median-based
+(nearest-rank, so a single outlier run cannot flip a verdict) and
+guarded three ways against noise:
+
+* ``min_samples``: a group with too few runs on either side is reported
+  as *skipped*, never as a regression — CI with one cold run must not
+  flap.
+* ``threshold``: relative worsening must exceed this fraction.  The
+  ratio is computed as ``delta / baseline`` only when the baseline
+  median is positive; a zero baseline is handled explicitly (any
+  increase is "new cost appeared", judged by ``min_delta`` alone), so
+  the detector never divides by zero.
+* ``min_delta``: an absolute floor in the metric's own unit, so a
+  2 ms → 2.5 ms jitter on a trivial workload does not trip a 20%% gate.
+
+The comparison is *symmetric-safe*: for any pair of sample sets, at
+most one direction (A→B or B→A) can report a regression, because both
+directions compute the same two medians and a regression requires the
+current median to strictly exceed the baseline's by the guards above.
+``tests/test_telemetry_perf.py`` holds the hypothesis property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aggregate import DEFAULT_METRIC, group_records, metric_value
+from ..numerics import quantile
+
+#: default relative worsening that counts as a regression (20%)
+DEFAULT_THRESHOLD = 0.20
+#: default minimum samples per side before a verdict is allowed
+DEFAULT_MIN_SAMPLES = 2
+#: default absolute floor (metric units) a delta must also clear
+DEFAULT_MIN_DELTA = 0.0
+
+
+@dataclass
+class Delta:
+    """One (workload, target) group's baseline-vs-current verdict."""
+
+    workload: str
+    target: str
+    metric: str
+    baseline_n: int
+    current_n: int
+    baseline_p50: float | None
+    current_p50: float | None
+    delta: float | None        # current - baseline, None when skipped
+    ratio: float | None        # delta / baseline, None when undefined
+    regressed: bool
+    improved: bool
+    skipped: bool
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class DiffReport:
+    """Every group's :class:`Delta` plus roll-up counts."""
+
+    metric: str
+    threshold: float
+    min_samples: int
+    min_delta: float
+    deltas: list = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> list:
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def skipped(self) -> list:
+        return [d for d in self.deltas if d.skipped]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _median(records, metric: str):
+    values = sorted(
+        v for v in (metric_value(r, metric) for r in records) if v is not None
+    )
+    return quantile(values, 0.5), len(values)
+
+
+def compare(
+    baseline_records,
+    current_records,
+    *,
+    metric: str = DEFAULT_METRIC,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> DiffReport:
+    """Diff two record sets group-by-group; see the module docstring for
+    the guard semantics.  Groups present on only one side are *skipped*
+    (a new workload is not a regression; a removed one is not a win)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold!r}")
+    if min_samples < 1:
+        raise ValueError(f"min_samples must be >= 1, got {min_samples!r}")
+    report = DiffReport(
+        metric=metric, threshold=threshold,
+        min_samples=min_samples, min_delta=min_delta,
+    )
+    base_groups = group_records(baseline_records)
+    cur_groups = group_records(current_records)
+    for key in sorted(set(base_groups) | set(cur_groups)):
+        workload, target = key
+        base_p50, base_n = _median(base_groups.get(key, ()), metric)
+        cur_p50, cur_n = _median(cur_groups.get(key, ()), metric)
+        common = dict(
+            workload=workload, target=target, metric=metric,
+            baseline_n=base_n, current_n=cur_n,
+            baseline_p50=base_p50, current_p50=cur_p50,
+        )
+
+        def skip(reason: str) -> Delta:
+            return Delta(**common, delta=None, ratio=None, regressed=False,
+                         improved=False, skipped=True, reason=reason)
+
+        if base_p50 is None:
+            report.deltas.append(skip("no baseline samples"))
+            continue
+        if cur_p50 is None:
+            report.deltas.append(skip("no current samples"))
+            continue
+        if base_n < min_samples or cur_n < min_samples:
+            report.deltas.append(skip(
+                f"needs >= {min_samples} samples per side "
+                f"(have {base_n}/{cur_n})"))
+            continue
+
+        delta = cur_p50 - base_p50
+        # Guard the division: a zero (or negative, for a synthetic
+        # metric) baseline has no meaningful relative change — judge the
+        # absolute delta alone.
+        ratio = delta / base_p50 if base_p50 > 0 else None
+        if ratio is not None:
+            regressed = ratio > threshold and delta > min_delta
+            improved = ratio < -threshold and -delta > min_delta
+        else:
+            regressed = delta > min_delta
+            improved = -delta > min_delta
+        report.deltas.append(Delta(
+            **common, delta=delta, ratio=ratio,
+            regressed=regressed, improved=improved and not regressed,
+            skipped=False,
+        ))
+    return report

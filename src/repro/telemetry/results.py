@@ -1,0 +1,49 @@
+"""The shared benchmark-result writer.
+
+Every ``benchmarks/bench_*.py`` historically wrote its results JSON its
+own way — some through :func:`repro.fsutil.atomic_write_json`, some with
+a bare ``write_text``/``json.dump`` that a crash could leave half
+written, and none stamped provenance.  This helper is the single route:
+an envelope stamping the result schema version, the producing git
+revision and a UTC timestamp around the benchmark's own payload, written
+atomically (tmp + ``os.replace``), so every file under
+``benchmarks/results/`` is self-describing and machine-comparable
+across checkouts.
+"""
+
+from __future__ import annotations
+
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..fsutil import atomic_write_json
+from .record import git_rev
+
+#: version of the result *envelope* (the payload's shape is the
+#: benchmark's own business)
+RESULT_SCHEMA_VERSION = 1
+
+
+def result_envelope(bench: str, payload: dict) -> dict:
+    """Wrap a benchmark's payload with provenance stamps."""
+    return {
+        "result_schema": RESULT_SCHEMA_VERSION,
+        "bench": bench,
+        "rev": git_rev(),
+        "generated_utc": datetime.now(timezone.utc)
+        .isoformat(timespec="seconds"),
+        **payload,
+    }
+
+
+def write_result_json(
+    path: str | os.PathLike, bench: str, payload: dict, indent: int = 2
+) -> dict:
+    """Atomically write ``payload`` under the stamped envelope; returns
+    the full document as written (handy for printing)."""
+    doc = result_envelope(bench, payload)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_json(path, doc, indent=indent)
+    return doc

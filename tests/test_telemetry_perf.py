@@ -1,0 +1,252 @@
+"""The regression detector and the ``repro perf`` CLI family.
+
+The detector's edge cases — empty baseline, single-sample windows, zero
+variance, zero baselines, quarantined segments mid-read — each get a
+direct test, and two hypothesis properties pin the safety contract:
+``compare`` never divides by zero for any sample values, and it is
+*symmetric-safe* (for any pair of sample sets, at most one direction can
+report a regression on a group).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.telemetry import TelemetryStore, build_record, compare, emit
+from repro.telemetry.dashboard import (
+    ascii_sparkline,
+    render_ascii,
+    render_html,
+    svg_sparkline,
+)
+
+import pytest
+
+
+def rec(workload="mul", target="hvx", wall_s=1.0, **kw):
+    return build_record(source="test", workload=workload, target=target,
+                        wall_s=wall_s, **kw)
+
+
+def fill_store(directory, walls, workload="mul"):
+    store = TelemetryStore(directory)
+    for w in walls:
+        emit(store, rec(workload=workload, wall_s=w))
+    return directory
+
+
+class TestCompareEdgeCases:
+    def test_empty_baseline_skips_not_regresses(self):
+        report = compare([], [rec(), rec()])
+        (delta,) = report.deltas
+        assert delta.skipped and delta.reason == "no baseline samples"
+        assert report.ok
+
+    def test_empty_current_skips(self):
+        report = compare([rec(), rec()], [])
+        (delta,) = report.deltas
+        assert delta.skipped and delta.reason == "no current samples"
+
+    def test_single_sample_window_skipped_by_default(self):
+        report = compare([rec(wall_s=1.0)], [rec(wall_s=100.0)])
+        (delta,) = report.deltas
+        assert delta.skipped and "needs >= 2 samples" in delta.reason
+        assert report.ok
+
+    def test_single_sample_verdict_with_min_samples_one(self):
+        report = compare([rec(wall_s=1.0)], [rec(wall_s=100.0)],
+                         min_samples=1)
+        (delta,) = report.deltas
+        assert delta.regressed and not delta.skipped
+
+    def test_zero_variance_is_clean(self):
+        same = [rec(wall_s=2.0) for _ in range(4)]
+        report = compare(same, [rec(wall_s=2.0) for _ in range(4)])
+        (delta,) = report.deltas
+        assert not delta.regressed and not delta.improved
+        assert delta.delta == 0.0
+
+    def test_zero_baseline_judged_by_min_delta_alone(self):
+        base = [rec(wall_s=0.0), rec(wall_s=0.0)]
+        cur = [rec(wall_s=0.5), rec(wall_s=0.5)]
+        report = compare(base, cur, min_delta=0.1)
+        (delta,) = report.deltas
+        assert delta.ratio is None  # no division happened
+        assert delta.regressed
+        # under the floor: new cost too small to count
+        tiny = [rec(wall_s=0.05), rec(wall_s=0.05)]
+        assert compare(base, tiny, min_delta=0.1).ok
+
+    def test_min_delta_floor_suppresses_jitter(self):
+        base = [rec(wall_s=0.002)] * 3
+        cur = [rec(wall_s=0.0025)] * 3  # +25% but only +0.5ms
+        assert not compare(base, cur, threshold=0.20).ok
+        assert compare(base, cur, threshold=0.20, min_delta=0.001).ok
+
+    def test_disjoint_groups_are_skipped(self):
+        base = [rec(workload="mul")] * 2
+        cur = [rec(workload="add")] * 2
+        report = compare(base, cur)
+        assert {d.reason for d in report.deltas} == {
+            "no baseline samples", "no current samples"}
+        assert report.ok
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            compare([], [], threshold=-0.1)
+        with pytest.raises(ValueError):
+            compare([], [], min_samples=0)
+
+    def test_improvement_reported(self):
+        report = compare([rec(wall_s=4.0)] * 2, [rec(wall_s=1.0)] * 2)
+        (delta,) = report.deltas
+        assert delta.improved and not delta.regressed
+
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=0, max_size=8,
+)
+
+
+class TestCompareProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(a=samples, b=samples)
+    def test_never_divides_by_zero(self, a, b):
+        base = [rec(wall_s=v) for v in a]
+        cur = [rec(wall_s=v) for v in b]
+        compare(base, cur, min_samples=1)  # must not raise
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=samples, b=samples,
+           threshold=st.floats(min_value=0.0, max_value=2.0),
+           min_delta=st.floats(min_value=0.0, max_value=10.0))
+    def test_symmetric_safe(self, a, b, threshold, min_delta):
+        """A -> B and B -> A can never both call the same group a
+        regression: both see the same two medians, and regressing
+        requires strictly exceeding the other's by the guards."""
+        base = [rec(wall_s=v) for v in a]
+        cur = [rec(wall_s=v) for v in b]
+        fwd = compare(base, cur, threshold=threshold,
+                      min_samples=1, min_delta=min_delta)
+        rev = compare(cur, base, threshold=threshold,
+                      min_samples=1, min_delta=min_delta)
+        assert not (fwd.regressions and rev.regressions)
+
+
+class TestPerfCli:
+    def test_report_and_diff_clean_rerun_exit_zero(self, tmp_path, capsys):
+        store = fill_store(tmp_path / "a", [1.0, 1.1, 0.9])
+        assert main(["perf", "report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "mul" in out and "geomean" in out
+        # identical corpus diffed against itself is never a regression
+        assert main(["perf", "diff", str(store), str(store)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_diff_injected_slowdown_exits_nonzero(self, tmp_path, capsys):
+        base = fill_store(tmp_path / "base", [1.0, 1.0, 1.0])
+        slow = fill_store(tmp_path / "slow", [2.0, 2.0, 2.0])
+        assert main(["perf", "diff", str(base), str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "mul/hvx" in out
+
+    def test_diff_improvement_exits_zero(self, tmp_path, capsys):
+        base = fill_store(tmp_path / "base", [2.0, 2.0])
+        fast = fill_store(tmp_path / "fast", [1.0, 1.0])
+        assert main(["perf", "diff", str(base), str(fast)]) == 0
+        assert "improved" in capsys.readouterr().out
+
+    def test_bad_store_one_line_error_exit_two(self, tmp_path, capsys):
+        good = fill_store(tmp_path / "good", [1.0, 1.0])
+        missing = tmp_path / "missing"
+        assert main(["perf", "diff", str(missing), str(good)]) == 2
+        err = capsys.readouterr().err
+        assert "baseline: no telemetry store" in err
+        assert main(["perf", "diff", str(good), str(missing)]) == 2
+        assert "current: no telemetry store" in capsys.readouterr().err
+        assert main(["perf", "report", str(missing)]) == 2
+
+    def test_empty_baseline_store_diff_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        (empty / "segment-0-dead.jsonl").write_text("")
+        cur = fill_store(tmp_path / "cur", [1.0, 1.0])
+        assert main(["perf", "diff", str(empty), str(cur)]) == 0
+        assert "SKIP" in capsys.readouterr().out
+
+    def test_quarantined_segment_mid_read_still_diffs(self, tmp_path,
+                                                      capsys):
+        base = fill_store(tmp_path / "base", [1.0, 1.0])
+        cur = fill_store(tmp_path / "cur", [1.0, 1.0])
+        seg = next(cur.glob("segment-*.jsonl"))
+        with open(seg, "a") as fh:
+            fh.write("torn mid-write\n")
+        assert main(["perf", "diff", str(base), str(cur)]) == 0
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.err
+        assert "0 regression(s)" in captured.out
+        assert seg.with_name(seg.name + ".quarantine").exists()
+
+    def test_invalid_threshold_exits_two(self, tmp_path, capsys):
+        store = fill_store(tmp_path / "s", [1.0, 1.0])
+        assert main(["perf", "diff", str(store), str(store),
+                     "--threshold", "-1"]) == 2
+        assert "threshold" in capsys.readouterr().err
+
+    def test_filters_narrow_the_corpus(self, tmp_path, capsys):
+        store = TelemetryStore(tmp_path / "s")
+        emit(store, rec(workload="mul", wall_s=1.0))
+        emit(store, rec(workload="add", wall_s=9.0))
+        assert main(["perf", "report", str(tmp_path / "s"),
+                     "--workload", "add"]) == 0
+        out = capsys.readouterr().out
+        assert "add" in out and "records=1" in out
+
+    def test_dashboard_ascii_and_html(self, tmp_path, capsys):
+        store = fill_store(tmp_path / "s", [1.0, 2.0, 3.0])
+        assert main(["perf", "dashboard", str(store)]) == 0
+        assert "mul" in capsys.readouterr().out
+        out = tmp_path / "dash.html"
+        assert main(["perf", "dashboard", str(store),
+                     "--out", str(out)]) == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "</html>" in html
+        assert "<script" not in html  # self-contained, zero-JS
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["perf", "diff", "a", "b"])
+        assert args.metric == "wall_s"
+        assert args.threshold == 0.20
+        assert args.min_samples == 2
+        assert args.min_delta == 0.0
+
+
+class TestSparklines:
+    def test_ascii_sparkline_monotone(self):
+        line = ascii_sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line == "".join(sorted(line))  # rising ramp
+
+    def test_ascii_sparkline_flat_and_single(self):
+        assert len(set(ascii_sparkline([5.0] * 6))) == 1  # zero variance
+        assert len(ascii_sparkline([1.0])) == 1
+        assert ascii_sparkline([]) == ""
+
+    def test_svg_sparkline_polyline(self):
+        svg = svg_sparkline([1.0, 5.0, 2.0])
+        assert svg.startswith("<svg") and "polyline" in svg
+
+    def test_render_html_escapes_names(self):
+        evil = rec(workload="<script>alert(1)</script>")
+        html = render_html([evil, evil])
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_render_ascii_empty_corpus(self):
+        text = render_ascii([])
+        assert "no records" in text.lower() or text.strip()

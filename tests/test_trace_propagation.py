@@ -75,7 +75,12 @@ class TestWorkerLadder:
         assert all(w in batch["children"] for w in workers)
         queries = _spans_named(tree, "oracle.query")
         assert len(queries) >= 3
-        assert {q["attrs"]["cache"] for q in queries} <= {"hit", "miss"}
+        # "fingerprint" appears when the two equivalent candidates land
+        # on one worker (or interleave in thread mode) and the second is
+        # answered by the observational-equivalence index — a scheduling
+        # accident, not a contract violation
+        assert {q["attrs"]["cache"] for q in queries} <= {
+            "hit", "miss", "fingerprint"}
         # re-based worker spans stay inside sensible time bounds
         for w in workers:
             assert w["start_s"] <= w["end_s"]
