@@ -13,6 +13,16 @@ serve`` subprocess on an ephemeral port, occupies its single worker with
 a distinct request, submits two identical requests that must coalesce
 onto one job (asserted via ``/metrics``), then exercises ``POST
 /shutdown`` and requires a clean exit.
+
+``--cluster`` measures the multi-node path with real processes — one
+``repro cache-server``, two ``repro serve`` workers sharing the tier,
+one ``repro serve-cluster`` router — against a single-node subprocess
+baseline, reporting the 2-worker speedup (the roadmap target is
+>= 1.6x at the 16-client level).  ``--cluster-smoke`` is the CI chaos
+entry point: same topology, SIGKILL one worker while it owns a cold
+job, and require that the job completes ``degraded: false`` through
+failover with selections byte-identical to the single-node baseline,
+plus a (conservative, CI-noise-tolerant) >= 1.25x throughput margin.
 """
 
 import argparse
@@ -41,8 +51,13 @@ def _quantile(sorted_values, q):
     return 0.0 if value is None else value
 
 
-def _one_round(url, requests_total, clients):
-    """``requests_total`` warm compiles spread over ``clients`` threads."""
+def _one_round(url, requests_total, clients, mix=None):
+    """``requests_total`` warm compiles spread over ``clients`` threads.
+
+    ``mix`` overrides the default workload rotation with an explicit
+    request list (cycled by request index) so the cluster comparison can
+    use a key set the consistent-hash ring provably balances.
+    """
     latencies = []
     lock = threading.Lock()
     errors = []
@@ -51,7 +66,10 @@ def _one_round(url, requests_total, clients):
         client = ServiceClient(url)
         mine = []
         for i in worker_requests:
-            request = CompileRequest(workload=WORKLOADS[i % len(WORKLOADS)])
+            if mix is not None:
+                request = mix[i % len(mix)]
+            else:
+                request = CompileRequest(workload=WORKLOADS[i % len(WORKLOADS)])
             start = time.perf_counter()
             try:
                 view = client.compile(request, timeout=300)
@@ -182,6 +200,312 @@ def run_smoke() -> int:
                 proc.wait()
 
 
+# --------------------------------------------------------------------------
+# Cluster modes: real subprocesses, one per role, so the 2-worker speedup
+# is measured across process (and therefore GIL) boundaries.
+
+CLUSTER_RESULTS = (Path(__file__).parent / "results"
+                   / "service_cluster_throughput.json")
+NODE_IDS = ["node-a", "node-b"]
+
+# Candidate keys for the measurement mix: cheap 1-D kernels at a few
+# widths.  dilate3x3/gaussian3x3 are deliberately absent — the chaos
+# phase needs a workload that is still cold on every node.
+_MIX_CANDIDATES = [
+    ("mul", 64), ("add", 64), ("l2norm", 64),
+    ("mul", 96), ("add", 96), ("l2norm", 96),
+    ("mul", 128), ("add", 128),
+]
+
+
+def _bench_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class _Daemon:
+    """One ``python -m repro`` subprocess, reached via ``--port-file``."""
+
+    def __init__(self, name, argv, tmp, env):
+        self.name = name
+        self.port_file = os.path.join(tmp, f"{name}.port")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *argv,
+             "--port", "0", "--port-file", self.port_file],
+            env=env,
+        )
+        self._address = None
+
+    def address(self, deadline_s=30.0):
+        if self._address is None:
+            deadline = time.monotonic() + deadline_s
+            while True:
+                if os.path.exists(self.port_file):
+                    parts = open(self.port_file).read().split()
+                    if len(parts) == 2:  # fully written, not mid-flush
+                        self._address = (parts[0], int(parts[1]))
+                        break
+                if time.monotonic() > deadline or self.proc.poll() is not None:
+                    raise RuntimeError(
+                        f"{self.name} never wrote its port file")
+                time.sleep(0.05)
+        return self._address
+
+    def url(self):
+        host, port = self.address()
+        return f"http://{host}:{port}"
+
+    def endpoint(self):
+        host, port = self.address()
+        return f"{host}:{port}"
+
+    def kill(self):
+        """SIGKILL — the chaos hammer; no drain, no goodbye."""
+        self.proc.kill()
+        self.proc.wait()
+
+    def stop(self, timeout=10):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+
+
+def _balanced_mix(per_node=3):
+    """Pick requests whose ring homes split evenly across NODE_IDS.
+
+    The router shards by coalescing key, so a throughput round only
+    exercises both workers if its key set actually spreads; this builds
+    the same ring the router will and picks ``per_node`` keys per node.
+    """
+    from repro.cluster.membership import WorkerNode
+    from repro.cluster.router import _Ring
+    from repro.service.coalesce import request_key
+
+    ring = _Ring([WorkerNode(node_id=n, url="") for n in NODE_IDS])
+    chosen = {n: [] for n in NODE_IDS}
+    for workload, width in _MIX_CANDIDATES:
+        request = CompileRequest(workload=workload, width=width)
+        home = next(iter(ring.walk(request_key(request)))).node_id
+        if len(chosen[home]) < per_node:
+            chosen[home].append(request)
+        if all(len(picks) >= per_node for picks in chosen.values()):
+            break
+    if not all(chosen.values()):
+        raise RuntimeError(f"candidate keys never spread: {chosen}")
+    # Interleave so every prefix of the mix is roughly balanced too.
+    return [r for pair in zip(*chosen.values()) for r in pair]
+
+
+def _boot_cluster(tmp, env, workers, health_interval=0.25):
+    """Tier + two workers + router + a single-node baseline, as processes.
+
+    Returns ``(daemons, tier, nodes, router, baseline)`` where
+    ``daemons`` is the teardown list (booted order).
+    """
+    daemons = []
+    tier = _Daemon("tier", ["cache-server"], tmp, env)
+    daemons.append(tier)
+    nodes = {}
+    for name in NODE_IDS:
+        node = _Daemon(name, [
+            "serve", "--workers", str(workers), "--node-id", name,
+            "--cache-tier", tier.endpoint(), "--quiet",
+        ], tmp, env)
+        daemons.append(node)
+        nodes[name] = node
+    node_flags = [flag for name, node in nodes.items()
+                  for flag in ("--node", f"{name}={node.url()}")]
+    router = _Daemon("router", [
+        "serve-cluster", *node_flags,
+        "--health-interval", str(health_interval), "--quiet",
+    ], tmp, env)
+    daemons.append(router)
+    baseline = _Daemon("single", ["serve", "--workers", str(workers),
+                                  "--quiet"], tmp, env)
+    daemons.append(baseline)
+    return daemons, tier, nodes, router, baseline
+
+
+def _tier_stats(tier):
+    from repro.cluster.cachetier import CacheTierClient
+
+    client = CacheTierClient(tier.endpoint())
+    try:
+        return client.server_stats()
+    finally:
+        client.close()
+
+
+def run_cluster(requests_total: int, workers: int) -> dict:
+    """Measure router+2-worker throughput against a single-node baseline.
+
+    Every process sees the identical warmed key mix; the only variable
+    is the topology.  The roadmap target is >= 1.6x requests/s at two
+    workers.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+        env = _bench_env()
+        daemons, tier, _nodes, router, baseline = _boot_cluster(
+            tmp, env, workers)
+        try:
+            mix = _balanced_mix()
+            cluster_client = ServiceClient(router.url())
+            single_client = ServiceClient(baseline.url())
+            assert cluster_client.healthz()["eligible_nodes"] == len(NODE_IDS)
+
+            warm_start = time.perf_counter()
+            for request in mix:
+                for client in (cluster_client, single_client):
+                    view = client.compile(request, timeout=600)
+                    assert view.state == "done", (
+                        f"{request.workload}: {view.state} {view.error}")
+            warm_s = time.perf_counter() - warm_start
+
+            clients = CONCURRENCY_LEVELS[-1]
+            single_round = _one_round(baseline.url(), requests_total,
+                                      clients, mix=mix)
+            cluster_round = _one_round(router.url(), requests_total,
+                                       clients, mix=mix)
+            speedup = (cluster_round["requests_per_s"]
+                       / single_round["requests_per_s"]
+                       if single_round["requests_per_s"] else 0.0)
+            return {
+                "mix": [f"{r.workload}@{r.width}" for r in mix],
+                "nodes": len(NODE_IDS),
+                "workers_per_node": workers,
+                "cpu_count": os.cpu_count(),
+                "warmup_s": warm_s,
+                "single_node": single_round,
+                "cluster": cluster_round,
+                "speedup": speedup,
+                "cache_tier": _tier_stats(tier),
+                "router_metrics": {
+                    k: v for k, v in cluster_client.metrics().items()
+                    if k.startswith("repro_router_")
+                },
+            }
+        finally:
+            for daemon in reversed(daemons):
+                daemon.stop()
+
+
+def run_cluster_smoke() -> int:
+    """CI chaos: balanced throughput, then SIGKILL a worker mid-job.
+
+    Phases: (1) warm both topologies and require a conservative >= 1.25x
+    2-worker speedup; (2) submit a cold compile, SIGKILL the node that
+    accepted it, and require the job to complete ``degraded: false``
+    through failover with selections byte-identical to the single-node
+    baseline; (3) graceful shutdown of every surviving process.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+        env = _bench_env()
+        daemons, tier, nodes, router, baseline = _boot_cluster(
+            tmp, env, workers=2)
+        try:
+            mix = _balanced_mix()
+            cluster_client = ServiceClient(router.url())
+            single_client = ServiceClient(baseline.url())
+            health = cluster_client.healthz()
+            if health.get("eligible_nodes") != len(NODE_IDS):
+                print(f"FAIL: router sees {health.get('eligible_nodes')} "
+                      f"eligible nodes, want {len(NODE_IDS)}",
+                      file=sys.stderr)
+                return 1
+
+            # Phase 1: warm both topologies, then race them.
+            for request in mix:
+                for client in (cluster_client, single_client):
+                    view = client.compile(request, timeout=600)
+                    if view.state != "done":
+                        print(f"FAIL: warmup {request.workload} ended "
+                              f"{view.state}: {view.error}", file=sys.stderr)
+                        return 1
+            tier_puts = _tier_stats(tier).get("puts", 0)
+            if tier_puts < 1:
+                print("FAIL: warmup published nothing to the cache tier",
+                      file=sys.stderr)
+                return 1
+            single_round = _one_round(baseline.url(), 48, 12, mix=mix)
+            cluster_round = _one_round(router.url(), 48, 12, mix=mix)
+            speedup = (cluster_round["requests_per_s"]
+                       / single_round["requests_per_s"])
+            print(f"single-node {single_round['requests_per_s']:.1f} req/s, "
+                  f"cluster {cluster_round['requests_per_s']:.1f} req/s "
+                  f"({speedup:.2f}x)")
+            # Two worker *processes* can only beat one on >= 2 cores;
+            # on a single-core runner the ratio is physics, not a
+            # regression, so report it but do not gate on it.
+            if (os.cpu_count() or 1) >= 2:
+                if speedup < 1.25:
+                    print(f"FAIL: 2-worker speedup {speedup:.2f}x < 1.25x",
+                          file=sys.stderr)
+                    return 1
+            else:
+                print("single CPU: skipping the throughput-margin gate")
+
+            # Phase 2: the kill-a-node proof.  dilate3x3 is cold on every
+            # node (the mix avoids it), so the SIGKILL lands while the
+            # accepted job is still being synthesised.
+            chaos_request = CompileRequest(workload="dilate3x3")
+            reference = single_client.compile(chaos_request, timeout=600)
+            if reference.state != "done":
+                print(f"FAIL: baseline chaos compile ended "
+                      f"{reference.state}: {reference.error}",
+                      file=sys.stderr)
+                return 1
+            submitted = cluster_client.submit(chaos_request)
+            owner = submitted["node_id"]
+            nodes[owner].kill()
+            view = cluster_client.wait(submitted["id"], timeout=600)
+            failovers = cluster_client.metrics().get(
+                "repro_router_failovers_total", 0)
+            if view.state != "done" or view.degraded:
+                print(f"FAIL: chaos job ended {view.state} "
+                      f"degraded={view.degraded}: {view.error}",
+                      file=sys.stderr)
+                return 1
+            if view.id != submitted["id"] or view.node_id == owner:
+                print(f"FAIL: chaos job identity wrong: id {view.id} "
+                      f"(submitted {submitted['id']}) ran on {view.node_id} "
+                      f"(killed {owner})", file=sys.stderr)
+                return 1
+            mine = [p["listing"] for p in view.result.programs]
+            theirs = [p["listing"] for p in reference.result.programs]
+            if mine != theirs:
+                print("FAIL: failover selections differ from the "
+                      "single-node run", file=sys.stderr)
+                return 1
+            if failovers < 1:
+                print(f"FAIL: router metrics report {failovers} failovers",
+                      file=sys.stderr)
+                return 1
+            print(f"killed {owner} mid-job: completed degraded-free on "
+                  f"{view.node_id}, byte-identical ({failovers} failover)")
+
+            # Phase 3: everything still alive exits cleanly.
+            survivor = next(n for name, n in nodes.items() if name != owner)
+            cluster_client.shutdown()
+            ServiceClient(survivor.url()).shutdown()
+            for daemon, expect in ((router, 0), (survivor, 0)):
+                daemon.proc.wait(timeout=60)
+                if daemon.proc.returncode != expect:
+                    print(f"FAIL: {daemon.name} exited "
+                          f"{daemon.proc.returncode}", file=sys.stderr)
+                    return 1
+            print("cluster smoke OK")
+            return 0
+        finally:
+            for daemon in reversed(daemons):
+                daemon.stop()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="warm-cache throughput of the compilation service")
@@ -192,12 +516,42 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: daemon subprocess, coalescing and "
                              "graceful-shutdown assertions")
-    parser.add_argument("--json", default=str(RESULTS), metavar="PATH",
+    parser.add_argument("--cluster", action="store_true",
+                        help="measure router + 2 workers + cache tier "
+                             "against a single-node baseline")
+    parser.add_argument("--cluster-smoke", action="store_true",
+                        help="CI chaos mode: SIGKILL a worker mid-job, "
+                             "assert degraded-free byte-identical failover "
+                             "and the 2-worker throughput margin")
+    parser.add_argument("--json", default=None, metavar="PATH",
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
     if args.smoke:
         return run_smoke()
+    if args.cluster_smoke:
+        return run_cluster_smoke()
+
+    from repro.telemetry import write_result_json
+
+    if args.cluster:
+        report = run_cluster(args.requests, args.workers)
+        print(f"warmup ({len(report['mix'])} keys x 2 topologies): "
+              f"{report['warmup_s']:.2f}s")
+        for label in ("single_node", "cluster"):
+            r = report[label]
+            print(f"{label:>11}: {r['requests_per_s']:>7.1f} req/s "
+                  f"p50 {r['p50_s'] * 1e3:>7.1f}ms "
+                  f"p95 {r['p95_s'] * 1e3:>7.1f}ms "
+                  f"({r['clients']} clients)")
+        print(f"2-worker speedup: {report['speedup']:.2f}x "
+              f"(target >= 1.6x on >= 2 cores; "
+              f"this host has {report['cpu_count']})")
+        json_path = args.json or str(CLUSTER_RESULTS)
+        write_result_json(Path(json_path), "service_cluster_throughput",
+                          report)
+        print(f"wrote {json_path}")
+        return 0
 
     report = run_throughput(args.requests, args.workers)
     print(f"warmup ({len(WORKLOADS)} cold compiles): "
@@ -207,10 +561,9 @@ def main(argv=None) -> int:
               f"p50 {r['p50_s'] * 1e3:>7.1f}ms p95 {r['p95_s'] * 1e3:>7.1f}ms "
               f"({r['requests']} requests in {r['time_s']:.2f}s)")
 
-    from repro.telemetry import write_result_json
-
-    write_result_json(Path(args.json), "service_throughput", report)
-    print(f"wrote {args.json}")
+    json_path = args.json or str(RESULTS)
+    write_result_json(Path(json_path), "service_throughput", report)
+    print(f"wrote {json_path}")
     return 0
 
 

@@ -505,7 +505,68 @@ def _cmd_serve(args) -> int:
         rules=rules_dir is not None,
         rules_dir=rules_dir,
         telemetry_dir=telemetry_dir,
+        node_id=args.node_id,
+        cache_tier=args.cache_tier,
     )
+
+
+def _cmd_serve_cluster(args) -> int:
+    from .cluster.router import serve_cluster
+
+    if len(args.node) < 1:
+        return _fail("serve-cluster needs at least one --node URL")
+    if args.port_file:
+        problem = _writable_file_error(args.port_file)
+        if problem is not None:
+            return _fail(f"--port-file: {problem}")
+    return serve_cluster(
+        args.node,
+        host=args.host,
+        port=args.port,
+        router_id=args.router_id,
+        health_interval_s=args.health_interval,
+        port_file=args.port_file,
+        quiet=args.quiet,
+        fault_plan=args.fault_plan,
+    )
+
+
+def _cmd_cache_server(args) -> int:
+    import signal as _signal
+
+    from .cluster.cachetier import CacheTierServer
+
+    cache_dir = None
+    if args.cache_dir:
+        cache_dir = args.cache_dir
+        problem = _writable_dir_error(cache_dir)
+        if problem is not None:
+            return _fail(f"--cache-dir: {problem}")
+    if args.port_file:
+        problem = _writable_file_error(args.port_file)
+        if problem is not None:
+            return _fail(f"--port-file: {problem}")
+    server = CacheTierServer(host=args.host, port=args.port,
+                             cache_dir=cache_dir)
+
+    def _on_signal(signum, frame):
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for sig in (_signal.SIGINT, _signal.SIGTERM):
+        _signal.signal(sig, _on_signal)
+    host, port = server.address
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{host} {port}\n")
+    print(f"cache tier listening on {host}:{port}"
+          + (f" (persisted in {cache_dir})" if cache_dir else " (in-memory)"))
+    try:
+        server.serve_forever()
+    except OSError:
+        pass  # socket closed by the signal-handler shutdown
+    return 0
 
 
 def _cmd_submit(args) -> int:
@@ -594,6 +655,7 @@ def _load_corpus(path, args):
         target=getattr(args, "filter_target", None),
         source=getattr(args, "source", None),
         rev=getattr(args, "rev", None),
+        node_id=getattr(args, "node", None),
     )
     return records, None
 
@@ -890,6 +952,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--telemetry-dir", default=None, metavar="DIR",
                          help="telemetry store directory (implies "
                               "--telemetry; default: <cache dir>/telemetry)")
+    p_serve.add_argument("--node-id", default=None, metavar="NAME",
+                         help="this daemon's identity within a cluster "
+                              "(stamped into job views and telemetry)")
+    p_serve.add_argument("--cache-tier", default=None, metavar="HOST:PORT",
+                         help="shared verdict-cache tier to layer behind "
+                              "the node-local cache (repro cache-server); "
+                              "tier outages degrade to local caching")
+
+    p_cluster = sub.add_parser(
+        "serve-cluster",
+        help="run the cluster router over N worker daemons")
+    p_cluster.add_argument("--node", action="append", default=[],
+                           metavar="[NAME=]URL",
+                           help="one worker base URL (repeatable; "
+                                "NAME=URL pins the node id so it matches "
+                                "the worker's --node-id, else ring order "
+                                "names node-0, node-1, ...: keep it stable)")
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument("--port", type=int, default=8447,
+                           help="router listen port (0 = ephemeral; see "
+                                "--port-file)")
+    p_cluster.add_argument("--router-id", default="router",
+                           help="identity stamped into routed jobs as "
+                                "routed_by")
+    p_cluster.add_argument("--health-interval", type=float, default=0.5,
+                           metavar="SECONDS",
+                           help="per-node health probe period")
+    p_cluster.add_argument("--port-file", default=None, metavar="PATH",
+                           help="write 'host port' here once listening")
+    p_cluster.add_argument("--quiet", action="store_true",
+                           help="suppress per-request access logs")
+    p_cluster.add_argument("--fault-plan", default=None, metavar="PLAN",
+                           help="deterministic fault injection for the "
+                                "router's lifetime (router.forward and "
+                                "worker.health sites)")
+
+    p_tier = sub.add_parser(
+        "cache-server",
+        help="run the shared verdict-cache tier for a cluster")
+    p_tier.add_argument("--host", default="127.0.0.1")
+    p_tier.add_argument("--port", type=int, default=8547,
+                        help="listen port (0 = ephemeral; see --port-file)")
+    p_tier.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist tier verdicts in DIR (default: "
+                             "in-memory only)")
+    p_tier.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write 'host port' here once listening")
 
     p_submit = sub.add_parser(
         "submit", help="submit one compile to a running server")
@@ -962,6 +1071,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "bench:table1, ...)")
         p.add_argument("--rev", default=None,
                        help="restrict to one git revision")
+        p.add_argument("--node", default=None, metavar="NODE_ID",
+                       help="restrict to records from one cluster worker "
+                            "node (serve --node-id)")
 
     p_report = perf_sub.add_parser(
         "report", help="per-workload trend table over one store")
@@ -1006,6 +1118,8 @@ def main(argv=None) -> int:
         "prune-grammar": _cmd_prune_grammar,
         "mine-rules": _cmd_mine_rules,
         "serve": _cmd_serve,
+        "serve-cluster": _cmd_serve_cluster,
+        "cache-server": _cmd_cache_server,
         "submit": _cmd_submit,
         "status": _cmd_status,
         "perf": _cmd_perf,

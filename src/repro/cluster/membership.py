@@ -1,0 +1,123 @@
+"""Worker-node membership: health state the router routes on.
+
+A :class:`WorkerNode` pairs one worker daemon's address with the two
+signals the router consults before dispatching to it:
+
+* **liveness** — the outcome of the router's periodic ``GET /healthz``
+  probes (``worker.health`` fault site), tracked as a consecutive-miss
+  counter so one dropped probe does not evict a node that is merely
+  busy;
+* **a per-node circuit breaker** — the same
+  :class:`~repro.faults.CircuitBreaker` the single-node scheduler sheds
+  load with, here fed by *dispatch* outcomes: forwards and proxies that
+  fail trip it, successes close it.  A node whose breaker is open is
+  skipped on the ring exactly like a dead one, then re-admitted through
+  the breaker's half-open probe once its cooldown lapses.
+
+Membership is static (the node list is fixed at router start); what is
+dynamic is only whether each node is currently *eligible*.  That split
+keeps the hash ring stable — a flapping node changes eligibility, never
+ring positions, so keys do not migrate when it recovers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..faults import CircuitBreaker
+
+#: consecutive failed health probes before a node is marked down
+DOWN_AFTER_MISSES = 2
+
+
+@dataclass
+class WorkerNode:
+    """One worker daemon as the router sees it."""
+
+    node_id: str
+    url: str  # e.g. http://127.0.0.1:8347
+    breaker: CircuitBreaker = field(
+        default_factory=lambda: CircuitBreaker(threshold=3, cooldown_s=2.0)
+    )
+    alive: bool = True
+    consecutive_misses: int = 0
+    last_probe_at: float | None = None
+    last_seen_at: float | None = None
+    dispatched: int = 0
+    failed_dispatches: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # -- probe outcomes ----------------------------------------------------
+
+    def probe_ok(self) -> None:
+        with self._lock:
+            now = time.monotonic()
+            self.last_probe_at = now
+            self.last_seen_at = now
+            self.consecutive_misses = 0
+            self.alive = True
+
+    def probe_failed(self) -> bool:
+        """Record one failed probe; ``True`` when this probe took the
+        node from up to down (the transition worth logging once)."""
+        with self._lock:
+            self.last_probe_at = time.monotonic()
+            self.consecutive_misses += 1
+            if self.alive and self.consecutive_misses >= DOWN_AFTER_MISSES:
+                self.alive = False
+                return True
+            return False
+
+    def mark_dead(self) -> None:
+        """An unambiguous dispatch-time failure (connection refused mid
+        forward) downs the node immediately — no need to wait for the
+        probe loop to notice."""
+        with self._lock:
+            self.alive = False
+            self.consecutive_misses = max(
+                self.consecutive_misses, DOWN_AFTER_MISSES
+            )
+
+    # -- dispatch outcomes -------------------------------------------------
+
+    def dispatch_ok(self) -> None:
+        with self._lock:
+            self.dispatched += 1
+            self.last_seen_at = time.monotonic()
+        self.breaker.record_success()
+
+    def dispatch_failed(self) -> None:
+        with self._lock:
+            self.failed_dispatches += 1
+        self.breaker.record_failure()
+
+    # -- eligibility -------------------------------------------------------
+
+    def eligible(self) -> bool:
+        """Whether the ring may hand this node new work right now.
+
+        Contract: a ``True`` answer in the breaker's half-open state
+        *claims* the probe slot, so the caller must actually dispatch
+        and resolve it via :meth:`dispatch_ok` / :meth:`dispatch_failed`
+        (the router's ring walk dispatches to the first eligible node,
+        which is exactly that).
+        """
+        with self._lock:
+            if not self.alive:
+                return False
+        return self.breaker.allow()
+
+    def snapshot(self) -> dict:
+        """The ``/healthz`` membership row for this node."""
+        with self._lock:
+            return {
+                "node_id": self.node_id,
+                "url": self.url,
+                "alive": self.alive,
+                "breaker": self.breaker.state,
+                "consecutive_misses": self.consecutive_misses,
+                "dispatched": self.dispatched,
+                "failed_dispatches": self.failed_dispatches,
+            }

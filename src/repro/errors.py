@@ -60,7 +60,20 @@ class ServiceError(ReproError):
 
 
 class QueueFullError(ServiceError):
-    """The service job queue is at capacity; retry later."""
+    """The service job queue is at capacity; retry later.
+
+    ``retry_after_s`` is the server's backpressure hint (surfaced as the
+    ``Retry-After`` header on the 503 response); clients that retry
+    should sleep at least that long instead of their own schedule.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class NoHealthyNodeError(ServiceError):
+    """The cluster router found no healthy worker node to dispatch to."""
 
 
 class ServiceUnavailable(ServiceError):

@@ -40,14 +40,18 @@ from .core import (
     KINDS,
     SITE_CACHE_FLUSH,
     SITE_CACHE_LOAD,
+    SITE_CACHETIER_GET,
+    SITE_CACHETIER_PUT,
     SITE_ENGINE_BATCH,
     SITE_ENGINE_WORKER,
     SITE_ORACLE_QUERY,
     SITE_PLAN_COMPILE,
+    SITE_ROUTER_FORWARD,
     SITE_RULES_LOAD,
     SITE_SCHEDULER_JOB,
     SITE_SERVER_REQUEST,
     SITE_TELEMETRY_FLUSH,
+    SITE_WORKER_HEALTH,
     SITES,
     FaultPlan,
     FaultRule,
@@ -84,14 +88,18 @@ __all__ = [
     "RetryPolicy",
     "SITE_CACHE_FLUSH",
     "SITE_CACHE_LOAD",
+    "SITE_CACHETIER_GET",
+    "SITE_CACHETIER_PUT",
     "SITE_ENGINE_BATCH",
     "SITE_ENGINE_WORKER",
     "SITE_ORACLE_QUERY",
     "SITE_PLAN_COMPILE",
+    "SITE_ROUTER_FORWARD",
     "SITE_RULES_LOAD",
     "SITE_SCHEDULER_JOB",
     "SITE_SERVER_REQUEST",
     "SITE_TELEMETRY_FLUSH",
+    "SITE_WORKER_HEALTH",
     "SITES",
     "activate",
     "active_plan",

@@ -47,6 +47,10 @@ SITE_SCHEDULER_JOB = "scheduler.job"    # scheduler job execution
 SITE_SERVER_REQUEST = "server.request"  # HTTP request/response path
 SITE_RULES_LOAD = "rules.load"          # rewrite-rule library JSONL load
 SITE_TELEMETRY_FLUSH = "telemetry.flush"  # telemetry segment JSONL append
+SITE_ROUTER_FORWARD = "router.forward"  # cluster router → worker dispatch
+SITE_CACHETIER_GET = "cachetier.get"    # shared cache-tier lookup RPC
+SITE_CACHETIER_PUT = "cachetier.put"    # shared cache-tier publish RPC
+SITE_WORKER_HEALTH = "worker.health"    # router health probe of one node
 
 SITES = (
     SITE_ENGINE_BATCH,
@@ -59,6 +63,10 @@ SITES = (
     SITE_SERVER_REQUEST,
     SITE_RULES_LOAD,
     SITE_TELEMETRY_FLUSH,
+    SITE_ROUTER_FORWARD,
+    SITE_CACHETIER_GET,
+    SITE_CACHETIER_PUT,
+    SITE_WORKER_HEALTH,
 )
 
 # -- failure kinds -----------------------------------------------------------
@@ -411,6 +419,21 @@ def builtin_plans() -> dict:
             # transient retry must absorb it.
             FaultRule(site=SITE_SERVER_REQUEST, kind=KIND_SOCKET_RESET,
                       on_nth=3, max_fires=1),
+        ]),
+        "cachetier-outage": FaultPlan(name="cachetier-outage", seed=23, rules=[
+            # The shared cache tier goes dark: every get and put fails.
+            # Workers must degrade to their node-local caches silently —
+            # a compile may get slower, never wronger, never failed.
+            FaultRule(site=SITE_CACHETIER_GET, kind=KIND_OSERROR, every=1),
+            FaultRule(site=SITE_CACHETIER_PUT, kind=KIND_OSERROR, every=1),
+        ]),
+        "router-flap": FaultPlan(name="router-flap", seed=29, rules=[
+            # One forward dies on the wire and one health probe lies;
+            # the router must retry on the next node and keep serving.
+            FaultRule(site=SITE_ROUTER_FORWARD, kind=KIND_OSERROR,
+                      on_nth=1, max_fires=1),
+            FaultRule(site=SITE_WORKER_HEALTH, kind=KIND_OSERROR,
+                      on_nth=2, max_fires=1),
         ]),
     }
 

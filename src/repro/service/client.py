@@ -11,12 +11,27 @@ Transport errors surface as :class:`~repro.errors.ServiceError`; protocol
 violations (bad JSON, version mismatch) as
 :class:`~repro.errors.ProtocolError`.
 
-Transient connection failures during **GET** requests — a polling client
-racing a server restart, a reset socket — are retried with capped
-exponential backoff before surfacing as the typed
-:class:`~repro.errors.ServiceUnavailable`.  POSTs are never retried:
-``POST /compile`` is not idempotent (a retry could double-submit), so
-its transport errors raise immediately.
+Retry semantics:
+
+* Transient connection failures during **GET** requests — a polling
+  client racing a server restart, a reset socket — are retried with
+  capped exponential backoff before surfacing as the typed
+  :class:`~repro.errors.ServiceUnavailable`.
+* ``POST /compile`` is retried too, but only because :meth:`submit`
+  stamps a client-generated **idempotency key** into every request it
+  sends: a retry after a dropped connection replays onto the job the
+  first attempt minted (or mints it if the first attempt never arrived)
+  instead of double-submitting.  POSTs *without* a key — explicit
+  ``idempotency_key=None`` callers, cancels, shutdown — are never
+  retried.
+* **503 shed responses** (full queue, open circuit breaker) are honored:
+  the client sleeps for the server's ``Retry-After`` hint and resubmits,
+  up to the retry policy's attempt budget, before surfacing the typed
+  error.
+
+``stats`` counts what the retry machinery actually did (GET retries,
+POST retries, 503 sheds honored) so tests and operators can see the
+resilience path exercising instead of inferring it from latency.
 """
 
 from __future__ import annotations
@@ -25,6 +40,8 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
+from dataclasses import replace
 
 from ..errors import (
     CircuitOpenError,
@@ -41,6 +58,10 @@ POLL_INITIAL_S = 0.05
 POLL_MAX_S = 1.0
 POLL_BACKOFF = 1.5
 
+#: cap on how long one honored Retry-After hint may sleep — a server
+#: deep in breaker cooldown should fail fast to the caller, not wedge it
+MAX_RETRY_AFTER_S = 5.0
+
 
 def _default_retry() -> RetryPolicy:
     return RetryPolicy(attempts=3, base_s=0.05, max_s=0.5)
@@ -49,41 +70,63 @@ def _default_retry() -> RetryPolicy:
 class ServiceClient:
     """Talks to one server at ``base_url`` (e.g. ``http://127.0.0.1:8347``).
 
-    ``retry`` governs the transient-connection retry for GET requests
-    (default: 3 retries, 50 ms base backoff capped at 0.5 s)."""
+    ``retry`` governs both the transient-connection retry (default: 3
+    retries, 50 ms base backoff capped at 0.5 s) and how many 503 shed
+    responses :meth:`submit` will wait out before giving up."""
 
     def __init__(self, base_url: str, timeout: float = 30.0,
                  retry: RetryPolicy | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retry = retry if retry is not None else _default_retry()
+        #: visible retry-path accounting; never consulted by the client
+        self.stats = {
+            "get_retries": 0,
+            "post_retries": 0,
+            "shed_retries": 0,
+        }
 
     # -- transport ---------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 idempotent: bool = False,
+                 headers: dict | None = None):
+        """One HTTP exchange; returns ``(status, body, headers)``.
+
+        ``idempotent=True`` opts a non-GET request into the transient
+        connection retry — the caller asserts a replay is safe.
+        """
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode() if payload is not None else None
+        req_headers = dict(headers or {})
+        if data:
+            req_headers.setdefault("Content-Type", "application/json")
         req = urllib.request.Request(
-            url, data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            url, data=data, method=method, headers=req_headers,
         )
-        attempts = self.retry.attempts if method == "GET" else 0
+        retryable = method == "GET" or idempotent
+        attempts = self.retry.attempts if retryable else 0
         last: Exception | None = None
         for attempt in range(attempts + 1):
             try:
                 with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                    return resp.status, resp.read().decode()
+                    return resp.status, resp.read().decode(), dict(
+                        resp.headers
+                    )
             except urllib.error.HTTPError as exc:
                 # The server answered; HTTP-level errors are never
                 # transport failures and are mapped by the caller.
-                return exc.code, exc.read().decode()
+                return exc.code, exc.read().decode(), dict(exc.headers or {})
             except (urllib.error.URLError, OSError) as exc:
                 # urllib wraps ConnectionResetError & friends in URLError.
                 last = exc
                 if attempt < attempts:
+                    self.stats[
+                        "get_retries" if method == "GET" else "post_retries"
+                    ] += 1
                     self.retry.sleep(attempt)
         reason = getattr(last, "reason", last)
-        if method == "GET":
+        if retryable:
             raise ServiceUnavailable(
                 f"cannot reach compile server at {self.base_url} "
                 f"after {attempts + 1} attempts: {reason}"
@@ -93,8 +136,12 @@ class ServiceClient:
         ) from last
 
     def _request_json(self, method: str, path: str,
-                      payload: dict | None = None) -> dict:
-        status, body = self._request(method, path, payload)
+                      payload: dict | None = None,
+                      idempotent: bool = False,
+                      headers: dict | None = None) -> dict:
+        status, body, resp_headers = self._request(
+            method, path, payload, idempotent=idempotent, headers=headers
+        )
         try:
             decoded = json.loads(body) if body else {}
         except json.JSONDecodeError as exc:
@@ -102,17 +149,28 @@ class ServiceClient:
                 f"server returned invalid JSON for {method} {path}: {exc}"
             ) from exc
         if status == 503:
-            if "retry_after_s" in decoded:
-                raise CircuitOpenError(
-                    decoded.get("error", "server is shedding load"),
-                    retry_after_s=float(decoded["retry_after_s"]),
-                )
-            raise QueueFullError(decoded.get("error", "server queue full"))
+            raise self._shed_error(decoded, resp_headers)
         if status >= 400:
             raise ServiceError(
                 decoded.get("error", f"{method} {path} failed ({status})")
             )
         return decoded
+
+    @staticmethod
+    def _shed_error(decoded: dict, headers: dict) -> ServiceError:
+        """Map one 503 body+headers to the typed shed exception, carrying
+        the server's Retry-After hint either way."""
+        retry_after = decoded.get("retry_after_s")
+        if retry_after is None:
+            retry_after = headers.get("Retry-After", 1.0)
+        try:
+            retry_after_s = max(0.0, float(retry_after))
+        except (TypeError, ValueError):
+            retry_after_s = 1.0
+        message = decoded.get("error", "server is shedding load")
+        if "circuit" in message or "shedding" in message:
+            return CircuitOpenError(message, retry_after_s=retry_after_s)
+        return QueueFullError(message, retry_after_s=retry_after_s)
 
     # -- API ---------------------------------------------------------------
 
@@ -124,14 +182,39 @@ class ServiceClient:
         return self._request_json("GET", "/metrics?format=json")
 
     def metrics_text(self) -> str:
-        status, body = self._request("GET", "/metrics")
+        status, body, _headers = self._request("GET", "/metrics")
         if status >= 400:
             raise ServiceError(f"GET /metrics failed ({status})")
         return body
 
-    def submit(self, request: CompileRequest) -> dict:
-        """Submit one compile; returns ``{id, state, coalesced, key}``."""
-        return self._request_json("POST", "/compile", request.to_dict())
+    def submit(self, request: CompileRequest,
+               honor_retry_after: bool = True) -> dict:
+        """Submit one compile; returns ``{id, state, coalesced, key, ...}``.
+
+        Stamps a fresh idempotency key onto the request when the caller
+        did not set one, which is what makes the transport retry of this
+        POST safe.  503 shed responses are waited out for the server's
+        ``Retry-After`` hint (bounded by the retry policy's attempts and
+        ``MAX_RETRY_AFTER_S``) unless ``honor_retry_after=False``.
+        """
+        if request.idempotency_key is None:
+            request = replace(request, idempotency_key=uuid.uuid4().hex)
+        payload = request.to_dict()
+        sheds = self.retry.attempts if honor_retry_after else 0
+        for attempt in range(sheds + 1):
+            try:
+                return self._request_json(
+                    "POST", "/compile", payload,
+                    idempotent=bool(request.idempotency_key),
+                )
+            except (CircuitOpenError, QueueFullError) as exc:
+                # A hint past the cap (a breaker deep in cooldown) means
+                # waiting it out is pointless: fail fast to the caller.
+                if attempt >= sheds or exc.retry_after_s > MAX_RETRY_AFTER_S:
+                    raise
+                self.stats["shed_retries"] += 1
+                time.sleep(max(0.0, exc.retry_after_s))
+        raise AssertionError("unreachable")
 
     def status(self, job_id: str) -> JobView:
         return JobView.from_dict(self._request_json("GET", f"/jobs/{job_id}"))

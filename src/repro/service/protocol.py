@@ -21,7 +21,12 @@ from ..errors import ProtocolError
 #: with safe defaults do NOT require a bump.
 #: v2: requests carry a ``target`` ISA — a v1 server would silently
 #: compile for HVX, a different result, so this is a meaning change.
-PROTOCOL_VERSION = 2
+#: v3: submissions carry a client-generated ``idempotency_key`` that the
+#: server dedupes on — a v2 server would run a retried ``POST /compile``
+#: twice, a different admission behaviour, so this is a meaning change.
+#: Job views additionally carry the serving ``node_id`` (and, through a
+#: cluster router, ``routed_by``).
+PROTOCOL_VERSION = 3
 
 BACKENDS = ("rake", "baseline")
 
@@ -72,8 +77,13 @@ class CompileRequest:
     (:mod:`repro.rules`); it is honored only when the server was started
     with rules enabled, and it participates in the coalescing key since
     a generalized rule hit may select a different (equally verified)
-    program than a fresh synthesis.  An optional field with a safe
-    default, so it needs no protocol version bump.
+    program than a fresh synthesis.
+
+    ``idempotency_key`` (v3) is a client-generated opaque token: the
+    server remembers which job each key minted, so a submission retried
+    after a dropped connection lands on the *same* job instead of
+    double-running.  The client fills it automatically; the cluster
+    router relies on it to make failover re-dispatch safe.
     """
 
     workload: str
@@ -87,6 +97,7 @@ class CompileRequest:
     batch_eval: bool = True
     trace: bool = False
     rules: bool = False
+    idempotency_key: str | None = None
 
     def validate(self, known_workloads=None) -> "CompileRequest":
         if not self.workload or not isinstance(self.workload, str):
@@ -125,6 +136,15 @@ class CompileRequest:
             raise ProtocolError("compile request: trace must be a boolean")
         if not isinstance(self.rules, bool):
             raise ProtocolError("compile request: rules must be a boolean")
+        if self.idempotency_key is not None and (
+            not isinstance(self.idempotency_key, str)
+            or not self.idempotency_key
+            or len(self.idempotency_key) > 128
+        ):
+            raise ProtocolError(
+                "compile request: idempotency_key must be a non-empty "
+                "string of at most 128 characters"
+            )
         return self
 
     def to_dict(self) -> dict:
@@ -140,6 +160,7 @@ class CompileRequest:
         known = {f: data[f] for f in (
             "workload", "backend", "target", "width", "height", "priority",
             "deadline_s", "jobs", "batch_eval", "trace", "rules",
+            "idempotency_key",
         ) if f in data}
         try:
             return cls(**known).validate()
@@ -224,6 +245,10 @@ class JobView:
     #: mirrors ``result.degraded`` at the job level so clients can gate
     #: on it without unpacking the result payload
     degraded: bool = False
+    #: identity of the worker daemon that ran (or is running) the job
+    node_id: str | None = None
+    #: identity of the cluster router that dispatched it, if any
+    routed_by: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -242,6 +267,8 @@ class JobView:
             "result": self.result.to_dict() if self.result else None,
             "trace_id": self.trace_id,
             "degraded": self.degraded,
+            "node_id": self.node_id,
+            "routed_by": self.routed_by,
         }
 
     @classmethod
@@ -269,6 +296,8 @@ class JobView:
                 result=CompileResult.from_dict(result) if result else None,
                 trace_id=data.get("trace_id"),
                 degraded=bool(data.get("degraded", False)),
+                node_id=data.get("node_id"),
+                routed_by=data.get("routed_by"),
             )
         except KeyError as exc:
             raise ProtocolError(f"job view: missing field {exc}") from exc

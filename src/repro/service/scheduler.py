@@ -89,6 +89,8 @@ class Job:
     result: CompileResult | None = None
     trace_id: str | None = None
     trace: dict | None = None  # serialized span tree (Tracer.tree())
+    node_id: str | None = None  # the daemon that owns this job
+    routed_by: str | None = None  # cluster router identity, if dispatched
     cancel_token: CancelToken = field(default_factory=CancelToken)
     done: threading.Event = field(default_factory=threading.Event)
 
@@ -108,6 +110,8 @@ class Job:
             result=self.result,
             trace_id=self.trace_id,
             degraded=bool(self.result.degraded) if self.result else False,
+            node_id=self.node_id,
+            routed_by=self.routed_by,
         )
 
 
@@ -176,6 +180,7 @@ class JobScheduler:
         rules: bool = False,
         rules_dir: str | None = None,
         telemetry_dir: str | None = None,
+        node_id: str | None = None,
     ):
         if workers < 1:
             raise ValueError("scheduler needs at least one worker")
@@ -214,7 +219,12 @@ class JobScheduler:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.queue_size = queue_size
         self.aging_rate = aging_rate
+        self.node_id = node_id
         self.coalescer = Coalescer()
+        # Client idempotency keys → job ids, living as long as the job is
+        # retained: a submission retried after a dropped connection maps
+        # back onto the job the first attempt minted.
+        self._idempotency: dict[str, str] = {}
         self.breaker = CircuitBreaker(
             threshold=breaker_threshold,
             cooldown_s=breaker_cooldown_s,
@@ -261,6 +271,9 @@ class JobScheduler:
             ("repro_jobs_submitted_total", "jobs admitted to the queue"),
             ("repro_jobs_coalesced_total",
              "submissions deduplicated onto an in-flight identical job"),
+            ("repro_jobs_idempotent_total",
+             "retried submissions replayed onto their original job via "
+             "the idempotency key"),
             ("repro_jobs_rejected_total",
              "submissions rejected (full queue or shutdown)"),
             ("repro_jobs_completed_total", "jobs finished successfully"),
@@ -321,17 +334,25 @@ class JobScheduler:
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, request: CompileRequest) -> tuple[Job, bool]:
+    def submit(self, request: CompileRequest,
+               routed_by: str | None = None) -> tuple[Job, bool]:
         """Admit one request; returns ``(job, coalesced)``.
 
         A coalesced submission returns the in-flight leader job for an
-        identical request instead of queueing a duplicate.  Raises
-        :class:`QueueFullError` when the queue is at capacity,
-        :class:`CircuitOpenError` while the circuit breaker is shedding
-        load after repeated worker crashes, and :class:`ServiceError`
-        after shutdown began.
+        identical request instead of queueing a duplicate; a submission
+        whose ``idempotency_key`` was already seen returns the job that
+        key minted (``coalesced`` is the string ``"idempotent"`` — truthy,
+        so callers that only care whether a new job was minted need not
+        distinguish).  ``routed_by`` stamps the dispatching cluster
+        router's identity onto the job.  Raises :class:`QueueFullError`
+        when the queue is at capacity, :class:`CircuitOpenError` while
+        the circuit breaker is shedding load after repeated worker
+        crashes, and :class:`ServiceError` after shutdown began.
         """
         request.validate()
+        replay = self._idempotent_replay(request)
+        if replay is not None:
+            return replay, "idempotent"
         if not self.breaker.allow():
             self.metrics.counter("repro_jobs_shed_total").inc()
             self.metrics.counter("repro_jobs_rejected_total").inc()
@@ -341,7 +362,7 @@ class JobScheduler:
                 retry_after_s=max(0.1, self.breaker.retry_after_s()),
             )
         try:
-            return self._submit_admitted(request)
+            return self._submit_admitted(request, routed_by=routed_by)
         except Exception:
             # If this submission held the half-open probe slot and never
             # became a job (full queue, shutdown), free the slot so the
@@ -349,7 +370,21 @@ class JobScheduler:
             self.breaker.release_probe()
             raise
 
-    def _submit_admitted(self, request: CompileRequest) -> tuple[Job, bool]:
+    def _idempotent_replay(self, request: CompileRequest) -> Job | None:
+        """The retained job an already-seen idempotency key minted, if
+        any — the retry-safety contract behind ``POST /compile``."""
+        if not request.idempotency_key:
+            return None
+        with self._cond:
+            job_id = self._idempotency.get(request.idempotency_key)
+            job = self._jobs.get(job_id) if job_id is not None else None
+            if job is None:
+                return None
+            self.metrics.counter("repro_jobs_idempotent_total").inc()
+            return job
+
+    def _submit_admitted(self, request: CompileRequest,
+                         routed_by: str | None = None) -> tuple[Job, bool]:
         key = request_key(request)
         with self._cond:
             if not self._accepting:
@@ -369,6 +404,8 @@ class JobScheduler:
                     key=key,
                     submitted_mono=now,
                     submitted_at=time.time(),
+                    node_id=self.node_id,
+                    routed_by=routed_by,
                 )
                 if request.deadline_s is not None:
                     # Deadlines are a client-facing SLA: the clock starts
@@ -386,9 +423,15 @@ class JobScheduler:
                 leader = self._jobs[job_id]
                 leader.coalesced_waiters = self.coalescer.waiters(key)
                 self.metrics.counter("repro_jobs_coalesced_total").inc()
+                if request.idempotency_key:
+                    # A retry of this submission must replay onto the
+                    # leader even after the leader goes terminal.
+                    self._idempotency[request.idempotency_key] = leader.id
                 return leader, True
             job = job_box[0]
             self._jobs[job.id] = job
+            if request.idempotency_key:
+                self._idempotency[request.idempotency_key] = job.id
             self._pending.append(job)
             self.metrics.counter("repro_jobs_submitted_total").inc()
             self.metrics.gauge("repro_queue_depth").set(len(self._pending))
@@ -591,6 +634,8 @@ class JobScheduler:
                 trace_tree=job.trace,
                 degraded=bool(result.degraded),
                 queue_wait_s=job.wait_s,
+                node_id=self.node_id,
+                routed_by=job.routed_by,
                 knobs={
                     "jobs": job.request.jobs,
                     "batch_eval": job.request.batch_eval,
@@ -650,8 +695,16 @@ class JobScheduler:
             if job.state in TERMINAL_STATES
         ]
         excess = len(self._jobs) - MAX_RETAINED
-        for job_id in terminal[:excess]:
+        evicted = set(terminal[:excess])
+        for job_id in evicted:
             del self._jobs[job_id]
+        if evicted and self._idempotency:
+            # Keys outlive their jobs only while the job is retained; a
+            # replay after eviction becomes an ordinary fresh submission.
+            self._idempotency = {
+                k: v for k, v in self._idempotency.items()
+                if v not in evicted
+            }
 
     # -- shutdown ----------------------------------------------------------
 

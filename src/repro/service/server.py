@@ -170,7 +170,15 @@ class _Handler(BaseHTTPRequestHandler):
                 headers={"Retry-After": str(math.ceil(exc.retry_after_s))},
             )
         except QueueFullError as exc:
-            self._send_json(503, {"error": str(exc), "retry": True})
+            self._send_json(
+                503,
+                {
+                    "error": str(exc),
+                    "retry": True,
+                    "retry_after_s": round(exc.retry_after_s, 3),
+                },
+                headers={"Retry-After": str(math.ceil(exc.retry_after_s))},
+            )
         except ServiceError as exc:
             self._send_json(409, {"error": str(exc)})
         except Exception as exc:
@@ -181,13 +189,19 @@ class _Handler(BaseHTTPRequestHandler):
 
         request = CompileRequest.from_dict(self._read_json())
         request.validate(known_workloads=names())
-        job, coalesced = self.service.scheduler.submit(request)
+        routed_by = self.headers.get("X-Repro-Routed-By") or None
+        job, coalesced = self.service.scheduler.submit(
+            request, routed_by=routed_by
+        )
+        idempotent = coalesced == "idempotent"
         self._send_json(202, {
             "v": PROTOCOL_VERSION,
             "id": job.id,
             "state": job.state,
-            "coalesced": coalesced,
+            "coalesced": bool(coalesced) and not idempotent,
+            "idempotent": idempotent,
             "key": job.key,
+            "node_id": self.service.node_id,
         })
 
 
@@ -216,7 +230,23 @@ class CompileServer:
         rules: bool = False,
         rules_dir: str | None = None,
         telemetry_dir: str | None = None,
+        node_id: str | None = None,
+        cache_tier: str | None = None,
     ):
+        self.node_id = node_id
+        # A shared verdict-cache tier (repro.cluster.cachetier) layers
+        # *behind* the node-local cache: lookups fall through to it,
+        # publishes are best-effort, and any tier outage degrades to
+        # purely local caching — never to a failed compile.
+        if cache_tier:
+            from ..cluster.cachetier import CacheTierClient, TieredOracleCache
+            from ..synthesis.engine import OracleCache
+
+            local = cache if cache is not None else (
+                OracleCache.with_disk(cache_dir) if cache_dir
+                else OracleCache()
+            )
+            cache = TieredOracleCache(local, CacheTierClient(cache_tier))
         self.scheduler = JobScheduler(
             workers=workers,
             queue_size=queue_size,
@@ -229,6 +259,7 @@ class CompileServer:
             rules=rules,
             rules_dir=rules_dir,
             telemetry_dir=telemetry_dir,
+            node_id=node_id,
         )
         self.metrics = self.scheduler.metrics
         self.quiet = quiet
@@ -260,6 +291,7 @@ class CompileServer:
         return {
             "status": "draining" if self._shutting_down else "ok",
             "v": PROTOCOL_VERSION,
+            "node_id": self.node_id,
             "uptime_s": round(time.monotonic() - self.started_mono, 3),
             "workloads": len(names()),
             "queue_depth": self.scheduler.queue_depth(),
@@ -327,6 +359,8 @@ def serve(
     rules: bool = False,
     rules_dir: str | None = None,
     telemetry_dir: str | None = None,
+    node_id: str | None = None,
+    cache_tier: str | None = None,
 ) -> int:
     """Run the daemon until SIGINT/SIGTERM or ``POST /shutdown``.
 
@@ -339,7 +373,10 @@ def serve(
     stored under ``rules_dir`` (default: the cache directory).
     ``telemetry_dir`` enables the persistent compile-telemetry corpus
     (:mod:`repro.telemetry`): one record per completed job, summarized
-    at ``GET /telemetry/summary``.
+    at ``GET /telemetry/summary``.  ``node_id`` names this daemon within
+    a cluster (stamped into job views and telemetry records);
+    ``cache_tier`` (``host:port``) layers the shared verdict-cache tier
+    behind the node-local cache.
     """
     if fault_plan:
         plan = faults.activate(faults.load_plan(fault_plan))
@@ -352,6 +389,7 @@ def serve(
         breaker_cooldown_s=breaker_cooldown_s,
         rules=rules, rules_dir=rules_dir,
         telemetry_dir=telemetry_dir,
+        node_id=node_id, cache_tier=cache_tier,
     )
     bound_host, bound_port = server.address
 

@@ -46,6 +46,7 @@ def filter_records(
     target: str | None = None,
     rev: str | None = None,
     source: str | None = None,
+    node_id: str | None = None,
     since: float | None = None,
     until: float | None = None,
 ) -> list:
@@ -59,6 +60,8 @@ def filter_records(
         if rev is not None and rec.get("rev") != rev:
             continue
         if source is not None and rec.get("source") != source:
+            continue
+        if node_id is not None and rec.get("node_id") != node_id:
             continue
         ts = rec.get("ts", 0.0)
         if since is not None and ts < since:

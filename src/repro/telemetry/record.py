@@ -117,6 +117,8 @@ def build_record(
     queue_wait_s: float | None = None,
     knobs: dict | None = None,
     extra: dict | None = None,
+    node_id: str | None = None,
+    routed_by: str | None = None,
 ) -> dict:
     """One telemetry record, ready for :meth:`TelemetryStore.append`.
 
@@ -126,7 +128,10 @@ def build_record(
     payload.  ``knobs`` records the performance-relevant configuration
     (``rules``/``fingerprints``/``batch_eval``/``jobs``); ``extra``
     carries producer-specific context (a benchmark's cold/warm phase)
-    without a schema change.
+    without a schema change.  ``node_id``/``routed_by`` identify the
+    cluster worker that ran the compile and the router that dispatched
+    it, so multi-node corpora join single-node ones cleanly (both read
+    as ``None`` for non-cluster producers).
     """
     payload = _stats_dict(stats)
     totals = payload.get("totals", {})
@@ -144,6 +149,8 @@ def build_record(
         "queue_wait_s": (round(float(queue_wait_s), 6)
                          if queue_wait_s is not None else None),
         "degraded": bool(degraded),
+        "node_id": node_id,
+        "routed_by": routed_by,
         "knobs": dict(knobs or {}),
         "totals": {f: int(totals.get(f, 0)) for f in COUNTER_FIELDS},
         "stage_time_s": {

@@ -203,17 +203,70 @@ class TestClientRetry:
         with pytest.raises(ServiceUnavailable, match="after 3 attempts"):
             client.healthz()
 
-    def test_post_is_never_retried(self):
+    def test_submit_post_is_retried_via_idempotency_key(self):
+        # submit() stamps a client-generated idempotency key, which is
+        # what makes retrying the POST safe: a replay lands on the job
+        # the first attempt minted instead of double-submitting.
+        client = self.unreachable_client(attempts=2)
+        with pytest.raises(ServiceUnavailable, match="after 3 attempts"):
+            client.submit(CompileRequest(workload="mul"))
+        assert client.stats["post_retries"] == 2
+
+    def test_non_idempotent_posts_are_never_retried(self):
+        # cancel/shutdown POSTs carry no idempotency key: no retry.
         client = self.unreachable_client(attempts=2)
         with pytest.raises(ServiceError) as err:
-            client.submit(CompileRequest(workload="mul"))
-        # POST /compile is not idempotent: no retry, no retry wording.
+            client.cancel("deadbeef")
         assert not isinstance(err.value, ServiceUnavailable)
         assert "attempts" not in str(err.value)
+        assert client.stats["post_retries"] == 0
 
     def test_service_unavailable_is_a_service_error(self):
         # Pollers catching ServiceError keep working across the upgrade.
         assert issubclass(ServiceUnavailable, ServiceError)
+
+    def test_client_honors_retry_after_on_queue_full(self):
+        # Fill a size-1 queue behind a paused scheduler, then resume it
+        # shortly after the shed: the client sleeps out the server's
+        # Retry-After hint and its resubmission is admitted.
+        server = CompileServer(workers=1, queue_size=1, quiet=True,
+                               compile_fn=quick_compile).start()
+        try:
+            server.scheduler.pause()
+            client = ServiceClient(server.url)
+            first = client.submit(CompileRequest(workload="mul", width=64))
+            timer = threading.Timer(0.2, server.scheduler.resume)
+            timer.start()
+            try:
+                reply = client.submit(
+                    CompileRequest(workload="mul", width=65)
+                )
+            finally:
+                timer.cancel()
+            assert reply["id"] != first["id"]
+            assert client.stats["shed_retries"] >= 1
+            assert client.wait(reply["id"], timeout=10).state == JOB_DONE
+        finally:
+            server.shutdown()
+
+    def test_breaker_shed_with_long_cooldown_fails_fast(self):
+        # A Retry-After hint past the client's cap (a breaker deep in
+        # its cooldown) is not worth waiting out: surface it at once.
+        server = CompileServer(workers=1, quiet=True,
+                               compile_fn=crash_compile,
+                               breaker_threshold=1,
+                               breaker_cooldown_s=60.0).start()
+        try:
+            client = ServiceClient(server.url)
+            view = client.compile(CompileRequest(workload="mul"), timeout=10)
+            assert view.state == JOB_FAILED
+            start = time.monotonic()
+            with pytest.raises(CircuitOpenError):
+                client.submit(CompileRequest(workload="mul", width=70))
+            assert time.monotonic() - start < 2.0  # no 60 s wait
+            assert client.stats["shed_retries"] == 0
+        finally:
+            server.shutdown()
 
     def test_injected_socket_reset_is_absorbed_by_retry(self):
         server = CompileServer(workers=1, quiet=True,

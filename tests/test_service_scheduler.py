@@ -355,3 +355,75 @@ class TestConcurrentSubmissions:
             assert s.wait(ids.pop(), timeout=10).state == JOB_DONE
         finally:
             s.shutdown()
+
+
+class TestIdempotency:
+    def test_retried_key_replays_onto_the_original_job(self):
+        s = make_scheduler(paused=True)
+        try:
+            request = CompileRequest(workload="mul", idempotency_key="k1")
+            first, coalesced1 = s.submit(request)
+            second, coalesced2 = s.submit(request)
+            assert second.id == first.id
+            assert not coalesced1
+            assert coalesced2 == "idempotent"  # truthy, but distinguishable
+            metrics = s.metrics.as_dict()
+            assert metrics["repro_jobs_idempotent_total"] == 1
+            assert metrics["repro_jobs_submitted_total"] == 1
+        finally:
+            s.resume()
+            s.shutdown()
+
+    def test_replay_works_after_the_job_went_terminal(self):
+        # Coalescing releases its key at terminal states; idempotency
+        # must NOT — a retry of a finished submission gets the finished
+        # job back, never a re-run.
+        s = make_scheduler()
+        try:
+            request = CompileRequest(workload="mul", idempotency_key="k2")
+            job, _ = s.submit(request)
+            assert s.wait(job.id, timeout=10).state == JOB_DONE
+            replay, coalesced = s.submit(request)
+            assert replay.id == job.id
+            assert coalesced == "idempotent"
+            assert replay.state == JOB_DONE
+        finally:
+            s.shutdown()
+
+    def test_distinct_keys_mint_distinct_jobs(self):
+        s = make_scheduler(paused=True)
+        try:
+            a, _ = s.submit(CompileRequest(workload="mul", width=64,
+                                           idempotency_key="ka"))
+            b, _ = s.submit(CompileRequest(workload="mul", width=65,
+                                           idempotency_key="kb"))
+            assert a.id != b.id
+        finally:
+            s.resume()
+            s.shutdown()
+
+    def test_coalesced_submission_key_replays_onto_leader(self):
+        s = make_scheduler(paused=True)
+        try:
+            leader, _ = s.submit(CompileRequest(workload="mul"))
+            follower_req = CompileRequest(workload="mul",
+                                          idempotency_key="kc")
+            follower, coalesced = s.submit(follower_req)
+            assert follower.id == leader.id and coalesced is True
+            replay, coalesced2 = s.submit(follower_req)
+            assert replay.id == leader.id
+            assert coalesced2 == "idempotent"
+        finally:
+            s.resume()
+            s.shutdown()
+
+    def test_node_identity_stamped_into_views(self):
+        s = make_scheduler(node_id="node-x")
+        try:
+            job, _ = s.submit(CompileRequest(workload="mul"),
+                              routed_by="router-1")
+            view = s.wait(job.id, timeout=10).view()
+            assert view.node_id == "node-x"
+            assert view.routed_by == "router-1"
+        finally:
+            s.shutdown()
